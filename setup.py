@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs keep working on environments whose setuptools/pip
+combination predates PEP 660 editable wheels (no ``wheel`` package needed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Reproduction of "Cost Effective Physical Register Sharing" (HPCA 2016).
+
+The library implements the paper's register sharing framework -- the
+Inflight Shared Register Buffer (ISRB) and the reference-counting schemes it
+is compared against -- together with the two optimisations used to evaluate
+it (move elimination and speculative memory bypassing with a TAGE-like
+Instruction Distance predictor), on top of a from-scratch cycle-level
+out-of-order core model and a synthetic workload suite.
+
+Typical usage::
+
+    from repro import CoreConfig, simulate
+
+    baseline = CoreConfig()
+    optimised = baseline.with_move_elimination().with_smb()
+
+    base = simulate("spill_reload", baseline, max_ops=20_000)
+    best = simulate("spill_reload", optimised, max_ops=20_000)
+    print(best.speedup_over(base))
+
+The subpackages are documented in DESIGN.md; the most useful entry points
+are re-exported here.
+"""
+
+from repro.core.isrb import InflightSharedRegisterBuffer, IsrbConfig
+from repro.core.move_elim import MoveEliminationPolicy
+from repro.core.smb import SmbConfig
+from repro.core.tracker import TrackerConfig, make_tracker
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core, simulate, simulate_trace
+from repro.pipeline.result import SimulationResult
+from repro.workloads import DEFAULT_SUITE, generate_trace, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CoreConfig",
+    "Core",
+    "SimulationResult",
+    "simulate",
+    "simulate_trace",
+    "InflightSharedRegisterBuffer",
+    "IsrbConfig",
+    "TrackerConfig",
+    "make_tracker",
+    "MoveEliminationPolicy",
+    "SmbConfig",
+    "generate_trace",
+    "list_workloads",
+    "DEFAULT_SUITE",
+]

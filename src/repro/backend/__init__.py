@@ -1,0 +1,23 @@
+"""Out-of-order execution engine substrate.
+
+The back end of the Table-1 machine: a 192-entry reorder buffer (with the
+``release_head`` pointer used for lazy register reclaiming in Section 3.3),
+a 60-entry unified issue queue feeding the functional-unit pools, and
+72/48-entry load/store queues implementing store-to-load forwarding and
+memory-order violation detection.
+"""
+
+from repro.backend.inflight import InflightOp
+from repro.backend.lsq import ForwardingState, LoadStoreQueue
+from repro.backend.rob import ReorderBuffer
+from repro.backend.scheduler import FunctionalUnitPool, FunctionalUnits, IssueQueue
+
+__all__ = [
+    "InflightOp",
+    "ReorderBuffer",
+    "IssueQueue",
+    "FunctionalUnitPool",
+    "FunctionalUnits",
+    "LoadStoreQueue",
+    "ForwardingState",
+]

@@ -1,0 +1,114 @@
+"""Per-instruction pipeline state.
+
+An :class:`InflightOp` wraps one dynamic micro-op from fetch until it
+commits (and, under lazy register reclaiming, until its ROB entry is
+released).  It carries the renaming outcome, scheduling state and all the
+flags the commit stage needs (memory-order violation, bypass validation
+result, ...).
+"""
+
+from __future__ import annotations
+
+from repro.core.distance import DistancePrediction
+from repro.isa.executor import DynamicOp
+from repro.rename.renamer import ProducerInfo
+
+
+class InflightOp:
+    """One micro-op travelling through the pipeline."""
+
+    __slots__ = (
+        "op", "seq", "fetch_cycle", "rename_cycle", "history", "path",
+        "predicted_taken", "branch_mispredicted",
+        "src_pregs", "dest_preg", "old_preg", "allocated", "eliminated", "bypassed",
+        "share_recorded", "bypass_producer", "bypass_value_matches", "smb_prediction",
+        "store_set_wait_seq", "false_dependency", "stlf_forwarded",
+        "needs_execution", "issued", "issue_cycle", "completed", "complete_cycle",
+        "violation", "committed", "commit_cycle", "released",
+    )
+
+    def __init__(self, op: DynamicOp, fetch_cycle: int, history: int, path: int) -> None:
+        self.op = op
+        self.seq = op.seq
+        self.fetch_cycle = fetch_cycle
+        self.rename_cycle = -1
+        self.history = history
+        self.path = path
+        self.predicted_taken: bool | None = None
+        self.branch_mispredicted = False
+        # Renaming outcome.
+        self.src_pregs: tuple[int, ...] = ()
+        self.dest_preg: int | None = None
+        self.old_preg: int | None = None
+        self.allocated = False
+        self.eliminated = False
+        self.bypassed = False
+        self.share_recorded = False
+        self.bypass_producer: ProducerInfo | None = None
+        self.bypass_value_matches = True
+        self.smb_prediction: DistancePrediction | None = None
+        # Memory dependence state.
+        self.store_set_wait_seq: int | None = None
+        self.false_dependency = False
+        self.stlf_forwarded = False
+        # Scheduling state.
+        self.needs_execution = True
+        self.issued = False
+        self.issue_cycle = -1
+        self.completed = False
+        self.complete_cycle = -1
+        # Commit state.
+        self.violation = False
+        self.committed = False
+        self.commit_cycle = -1
+        self.released = False
+
+    # -- convenience passthroughs -------------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        """``True`` for load micro-ops."""
+        return self.op.is_load
+
+    @property
+    def is_store(self) -> bool:
+        """``True`` for store micro-ops."""
+        return self.op.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        """``True`` for control-flow micro-ops."""
+        return self.op.is_branch
+
+    @property
+    def mem_addr(self) -> int | None:
+        """Byte address of a memory micro-op."""
+        return self.op.mem_addr
+
+    @property
+    def mem_size(self) -> int:
+        """Access size of a memory micro-op in bytes."""
+        return self.op.mem_size
+
+    @property
+    def shared(self) -> bool:
+        """``True`` when the destination mapping references a shared register."""
+        return self.eliminated or self.bypassed
+
+    def overlaps(self, other: "InflightOp") -> bool:
+        """Do the memory footprints of two micro-ops overlap?"""
+        if self.mem_addr is None or other.mem_addr is None:
+            return False
+        return (self.mem_addr < other.mem_addr + other.mem_size
+                and other.mem_addr < self.mem_addr + self.mem_size)
+
+    def covers(self, other: "InflightOp") -> bool:
+        """Does this micro-op's footprint fully contain ``other``'s?"""
+        if self.mem_addr is None or other.mem_addr is None:
+            return False
+        return (self.mem_addr <= other.mem_addr
+                and other.mem_addr + other.mem_size <= self.mem_addr + self.mem_size)
+
+    def __repr__(self) -> str:
+        return (f"InflightOp(seq={self.seq}, {self.op.opcode.value}, "
+                f"issued={self.issued}, completed={self.completed})")

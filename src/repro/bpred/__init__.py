@@ -1,0 +1,20 @@
+"""Branch prediction substrate: TAGE, BTB and return address stack.
+
+Table 1 of the paper specifies the front end as a TAGE predictor with one
+base component plus twelve tagged components (about 15K entries total), a
+2-way 4K-entry BTB and a 32-entry return address stack, with a 20-cycle
+minimum misprediction penalty.  This package implements all three
+structures; the TAGE predictor is parameterisable so that smaller (faster to
+simulate) geometries can be used without changing its behaviour.
+"""
+
+from repro.bpred.btb import BranchTargetBuffer
+from repro.bpred.ras import ReturnAddressStack
+from repro.bpred.tage import TageBranchPredictor, TageConfig
+
+__all__ = [
+    "TageBranchPredictor",
+    "TageConfig",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+]

@@ -1,0 +1,272 @@
+"""A TAGE conditional branch predictor.
+
+The paper's front end uses a 1+12-component TAGE predictor [Seznec &
+Michaud, 2006] with roughly 15K entries and a 20-cycle minimum misprediction
+penalty.  The same TAGE machinery is reused (with different payloads) by the
+Instruction Distance predictor in :mod:`repro.core.distance`, so this module
+keeps the classic prediction/update algorithm:
+
+* the *base* component is a direct-mapped table of bimodal counters;
+* each *tagged* component is indexed by a hash of the PC, a geometric number
+  of global-history bits and a few path-history bits, and stores a partial
+  tag, a 3-bit signed prediction counter and a 2-bit useful counter;
+* the longest-history matching component provides the prediction, the next
+  longest (or the base) provides the alternate prediction;
+* on a misprediction, an entry is allocated in a longer-history component
+  whose useful counter is zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.hashing import mix_hash, tag_hash
+from repro.common.history import PathHistory, ShiftHistory
+
+
+@dataclass(frozen=True)
+class TageComponentConfig:
+    """Geometry of one tagged TAGE component."""
+
+    entries: int
+    tag_bits: int
+    history_bits: int
+
+    def __post_init__(self) -> None:
+        if self.entries < 2 or self.entries & (self.entries - 1):
+            raise ValueError(f"component entries must be a power of two >= 2, got {self.entries}")
+        if self.tag_bits < 1:
+            raise ValueError("tag_bits must be >= 1")
+        if self.history_bits < 1:
+            raise ValueError("history_bits must be >= 1")
+
+
+@dataclass(frozen=True)
+class TageConfig:
+    """Geometry of the whole TAGE predictor."""
+
+    base_entries: int = 4096
+    components: tuple[TageComponentConfig, ...] = (
+        TageComponentConfig(1024, 9, 4),
+        TageComponentConfig(1024, 9, 9),
+        TageComponentConfig(1024, 10, 18),
+        TageComponentConfig(1024, 10, 35),
+        TageComponentConfig(512, 11, 67),
+        TageComponentConfig(512, 12, 130),
+    )
+    path_bits: int = 16
+    counter_bits: int = 3
+    useful_bits: int = 2
+    useful_reset_period: int = 256 * 1024
+
+    @classmethod
+    def table1(cls) -> "TageConfig":
+        """The 1+12 component configuration of the paper's Table 1 (about 15K entries)."""
+        histories = (4, 6, 10, 16, 25, 40, 64, 101, 160, 254, 403, 640)
+        components = []
+        for rank, history in enumerate(histories):
+            entries = 1024 if rank < 8 else 512
+            tag_bits = 8 + min(rank, 6)
+            components.append(TageComponentConfig(entries, tag_bits, history))
+        return cls(base_entries=4096, components=tuple(components))
+
+    @property
+    def total_entries(self) -> int:
+        """Total number of entries across the base and tagged components."""
+        return self.base_entries + sum(component.entries for component in self.components)
+
+    @property
+    def max_history_bits(self) -> int:
+        """Longest global history length used by any component."""
+        return max(component.history_bits for component in self.components)
+
+
+@dataclass
+class _TaggedEntry:
+    """One entry of a tagged component."""
+
+    tag: int = 0
+    counter: int = 0
+    useful: int = 0
+    valid: bool = False
+
+
+@dataclass(frozen=True)
+class TagePrediction:
+    """The outcome of a TAGE lookup, kept until the branch resolves.
+
+    The pipeline carries this object from fetch to execute so that
+    :meth:`TageBranchPredictor.update` can be fed exactly the state used for
+    the prediction (indices and tags would otherwise have to be recomputed
+    with a stale history).
+    """
+
+    taken: bool
+    provider: int  # component index, -1 for the base predictor
+    provider_index: int
+    alt_taken: bool
+    alt_provider: int
+    alt_index: int
+    base_index: int
+    indices: tuple[int, ...]
+    tags: tuple[int, ...]
+    weak: bool
+
+
+class TageBranchPredictor:
+    """TAGE predictor over conditional branch directions."""
+
+    def __init__(self, config: TageConfig | None = None) -> None:
+        self.config = config or TageConfig()
+        half = 1 << (self.config.counter_bits - 1)
+        self._counter_max = (1 << self.config.counter_bits) - 1
+        self._counter_weakly_taken = half
+        self._useful_max = (1 << self.config.useful_bits) - 1
+        self._base = [half] * self.config.base_entries
+        self._tables: list[list[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(component.entries)]
+            for component in self.config.components
+        ]
+        self._lookups = 0
+        self._allocation_clock = 0
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, pc: int, history: ShiftHistory, path: PathHistory) -> TagePrediction:
+        """Predict the direction of the conditional branch at ``pc``."""
+        config = self.config
+        base_index = (pc >> 2) % config.base_entries
+        indices: list[int] = []
+        tags: list[int] = []
+        hits: list[int] = []
+        for comp_id, component in enumerate(config.components):
+            index_bits = component.entries.bit_length() - 1
+            index = mix_hash(pc, history.bits(component.history_bits), component.history_bits,
+                             path.bits(config.path_bits), config.path_bits, index_bits)
+            tag = tag_hash(pc, history.bits(component.history_bits), component.history_bits,
+                           component.tag_bits)
+            indices.append(index)
+            tags.append(tag)
+            entry = self._tables[comp_id][index]
+            if entry.valid and entry.tag == tag:
+                hits.append(comp_id)
+
+        base_taken = self._base[base_index] >= self._counter_weakly_taken
+        if hits:
+            provider = hits[-1]
+            provider_entry = self._tables[provider][indices[provider]]
+            taken = provider_entry.counter >= self._counter_weakly_taken
+            weak = provider_entry.counter in (self._counter_weakly_taken - 1,
+                                              self._counter_weakly_taken)
+            if len(hits) >= 2:
+                alt_provider = hits[-2]
+                alt_entry = self._tables[alt_provider][indices[alt_provider]]
+                alt_taken = alt_entry.counter >= self._counter_weakly_taken
+                alt_index = indices[alt_provider]
+            else:
+                alt_provider = -1
+                alt_taken = base_taken
+                alt_index = base_index
+            # Newly allocated (weak) entries are less trustworthy than the
+            # alternate prediction, per the original TAGE policy.
+            if weak and not provider_entry.useful:
+                taken = alt_taken
+        else:
+            provider = -1
+            taken = base_taken
+            alt_provider = -1
+            alt_taken = base_taken
+            alt_index = base_index
+            weak = self._base[base_index] in (self._counter_weakly_taken - 1,
+                                              self._counter_weakly_taken)
+
+        self._lookups += 1
+        return TagePrediction(
+            taken=taken,
+            provider=provider,
+            provider_index=indices[provider] if provider >= 0 else base_index,
+            alt_taken=alt_taken,
+            alt_provider=alt_provider,
+            alt_index=alt_index,
+            base_index=base_index,
+            indices=tuple(indices),
+            tags=tuple(tags),
+            weak=weak,
+        )
+
+    # -- update -------------------------------------------------------------------
+
+    def update(self, pc: int, taken: bool, prediction: TagePrediction) -> None:
+        """Train the predictor with the resolved outcome of a predicted branch."""
+        config = self.config
+        mispredicted = prediction.taken != taken
+
+        # Update the provider (or the base table).
+        if prediction.provider >= 0:
+            entry = self._tables[prediction.provider][prediction.provider_index]
+            entry.counter = self._saturate(entry.counter, taken)
+            if prediction.taken != prediction.alt_taken:
+                if prediction.taken == taken:
+                    entry.useful = min(entry.useful + 1, self._useful_max)
+                else:
+                    entry.useful = max(entry.useful - 1, 0)
+            # Also train the base predictor when the provider entry is weak,
+            # keeping the bimodal table a useful fallback.
+            if prediction.weak:
+                self._base[prediction.base_index] = self._saturate(
+                    self._base[prediction.base_index], taken)
+        else:
+            self._base[prediction.base_index] = self._saturate(
+                self._base[prediction.base_index], taken)
+
+        # Allocate a new entry in a longer-history component on a misprediction.
+        if mispredicted and prediction.provider < len(config.components) - 1:
+            self._allocate(prediction, taken)
+
+        # Periodic graceful aging of the useful counters.
+        self._allocation_clock += 1
+        if self._allocation_clock >= config.useful_reset_period:
+            self._allocation_clock = 0
+            for table in self._tables:
+                for entry in table:
+                    entry.useful >>= 1
+
+    def _allocate(self, prediction: TagePrediction, taken: bool) -> None:
+        """Allocate an entry in one component with longer history than the provider."""
+        start = prediction.provider + 1
+        for comp_id in range(start, len(self.config.components)):
+            entry = self._tables[comp_id][prediction.indices[comp_id]]
+            if not entry.valid or entry.useful == 0:
+                entry.valid = True
+                entry.tag = prediction.tags[comp_id]
+                entry.counter = self._counter_weakly_taken if taken \
+                    else self._counter_weakly_taken - 1
+                entry.useful = 0
+                return
+        # No free entry: decay the useful counters on the candidate path so
+        # that a later allocation succeeds (standard TAGE behaviour).
+        for comp_id in range(start, len(self.config.components)):
+            entry = self._tables[comp_id][prediction.indices[comp_id]]
+            entry.useful = max(entry.useful - 1, 0)
+
+    def _saturate(self, counter: int, taken: bool) -> int:
+        """Move a prediction counter toward the observed outcome."""
+        if taken:
+            return min(counter + 1, self._counter_max)
+        return max(counter - 1, 0)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        """Number of predictions made so far."""
+        return self._lookups
+
+    def storage_bits(self) -> int:
+        """Approximate storage requirement of the predictor in bits."""
+        config = self.config
+        bits = config.base_entries * config.counter_bits
+        for component in config.components:
+            entry_bits = component.tag_bits + config.counter_bits + config.useful_bits
+            bits += component.entries * entry_bits
+        return bits

@@ -1,0 +1,130 @@
+"""A fixed-capacity circular buffer.
+
+The reorder buffer, the free list and the load/store queues of the core model
+are all circular structures with a head and a tail pointer.  This class keeps
+the implementation in one place and exposes the pointer arithmetic the paper
+relies on (for instance the ``release_head`` pointer used for lazy register
+reclaiming is implemented on top of the same index space).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class CircularBuffer(Generic[T]):
+    """A bounded FIFO with stable entry indices.
+
+    Entries are appended at the tail and popped from the head.  Each entry is
+    addressed by a monotonically increasing *sequence index* so that other
+    structures (e.g. the instruction distance predictor walking the ROB) can
+    hold references that survive unrelated pushes and pops.
+    """
+
+    __slots__ = ("_capacity", "_entries", "_head_seq")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: list[T] = []
+        self._head_seq = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries the buffer can hold."""
+        return self._capacity
+
+    @property
+    def head_seq(self) -> int:
+        """Sequence index of the oldest entry currently in the buffer."""
+        return self._head_seq
+
+    @property
+    def tail_seq(self) -> int:
+        """Sequence index one past the youngest entry."""
+        return self._head_seq + len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def is_full(self) -> bool:
+        """Return ``True`` when no more entries can be appended."""
+        return len(self._entries) >= self._capacity
+
+    def free_slots(self) -> int:
+        """Number of entries that can still be appended."""
+        return self._capacity - len(self._entries)
+
+    def append(self, item: T) -> int:
+        """Append ``item`` at the tail and return its sequence index."""
+        if self.is_full():
+            raise OverflowError("circular buffer is full")
+        self._entries.append(item)
+        return self.tail_seq - 1
+
+    def pop_head(self) -> T:
+        """Remove and return the oldest entry."""
+        if not self._entries:
+            raise IndexError("pop from an empty circular buffer")
+        item = self._entries.pop(0)
+        self._head_seq += 1
+        return item
+
+    def peek_head(self) -> T:
+        """Return the oldest entry without removing it."""
+        if not self._entries:
+            raise IndexError("peek on an empty circular buffer")
+        return self._entries[0]
+
+    def peek_tail(self) -> T:
+        """Return the youngest entry without removing it."""
+        if not self._entries:
+            raise IndexError("peek on an empty circular buffer")
+        return self._entries[-1]
+
+    def contains_seq(self, seq: int) -> bool:
+        """Return ``True`` if the entry with sequence index ``seq`` is present."""
+        return self._head_seq <= seq < self.tail_seq
+
+    def get_seq(self, seq: int) -> T:
+        """Return the entry with sequence index ``seq``."""
+        if not self.contains_seq(seq):
+            raise KeyError(f"sequence index {seq} not in buffer "
+                           f"[{self._head_seq}, {self.tail_seq})")
+        return self._entries[seq - self._head_seq]
+
+    def truncate_from(self, seq: int) -> list[T]:
+        """Drop every entry with sequence index >= ``seq`` and return them.
+
+        Used when the pipeline squashes all instructions younger than a given
+        one (memory-order traps, bypass validation failures).
+        """
+        if seq >= self.tail_seq:
+            return []
+        start = max(seq, self._head_seq) - self._head_seq
+        removed = self._entries[start:]
+        del self._entries[start:]
+        return removed
+
+    def clear(self) -> None:
+        """Remove every entry (the head sequence keeps advancing)."""
+        self._head_seq += len(self._entries)
+        self._entries.clear()
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._entries)
+
+    def items(self) -> Iterator[tuple[int, T]]:
+        """Iterate over ``(sequence index, entry)`` pairs, oldest first."""
+        for offset, entry in enumerate(self._entries):
+            yield self._head_seq + offset, entry
+
+    def __repr__(self) -> str:
+        return (f"CircularBuffer(capacity={self._capacity}, size={len(self)}, "
+                f"head_seq={self._head_seq})")

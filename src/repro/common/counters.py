@@ -1,0 +1,152 @@
+"""Small hardware-style counters.
+
+Two flavours are provided:
+
+* :class:`SaturatingCounter` -- the classic n-bit confidence counter used by
+  branch predictors, the Store Sets predictor and the instruction distance
+  predictors.  It increments and decrements between 0 and ``2**bits - 1``
+  and never wraps.
+
+* :class:`ResettableUpCounter` -- the primitive used by the Inflight Shared
+  Register Buffer (ISRB).  The paper is explicit that the ``referenced`` and
+  ``committed`` fields "are really up-counters that can be reset, i.e., they
+  are never decremented" (Section 4.3.1).  The counter saturates at its
+  maximum value; saturation is observable so experiments can study the
+  effect of narrow (e.g. 3-bit) fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SaturatingCounter:
+    """An ``bits``-wide saturating up/down counter.
+
+    Parameters
+    ----------
+    bits:
+        Width of the counter in bits.  The counter value is clamped to
+        ``[0, 2**bits - 1]``.
+    initial:
+        Initial value (clamped to the valid range).
+    """
+
+    __slots__ = ("_bits", "_max", "_value")
+
+    def __init__(self, bits: int, initial: int = 0) -> None:
+        if bits < 1:
+            raise ValueError(f"counter width must be >= 1 bit, got {bits}")
+        self._bits = bits
+        self._max = (1 << bits) - 1
+        self._value = min(max(initial, 0), self._max)
+
+    @property
+    def bits(self) -> int:
+        """Width of the counter in bits."""
+        return self._bits
+
+    @property
+    def value(self) -> int:
+        """Current counter value."""
+        return self._value
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value (``2**bits - 1``)."""
+        return self._max
+
+    def increment(self, amount: int = 1) -> int:
+        """Increment by ``amount`` and saturate at the maximum value."""
+        self._value = min(self._value + amount, self._max)
+        return self._value
+
+    def decrement(self, amount: int = 1) -> int:
+        """Decrement by ``amount`` and saturate at zero."""
+        self._value = max(self._value - amount, 0)
+        return self._value
+
+    def reset(self, value: int = 0) -> None:
+        """Force the counter to ``value`` (clamped to the valid range)."""
+        self._value = min(max(value, 0), self._max)
+
+    def is_saturated(self) -> bool:
+        """Return ``True`` when the counter sits at its maximum value."""
+        return self._value == self._max
+
+    def is_zero(self) -> bool:
+        """Return ``True`` when the counter is zero."""
+        return self._value == 0
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(bits={self._bits}, value={self._value})"
+
+
+@dataclass
+class ResettableUpCounter:
+    """An up-counter that saturates and can only be reset, never decremented.
+
+    This mirrors the ``referenced`` / ``committed`` fields of an ISRB entry.
+    A width of ``None`` models the paper's "unlimited" (32-bit) comparison
+    point where saturation never occurs in practice.
+
+    Attributes
+    ----------
+    bits:
+        Width in bits, or ``None`` for an unbounded counter.
+    value:
+        Current value.
+    overflowed:
+        Set to ``True`` the first time an increment would have exceeded the
+        maximum representable value.  The simulator uses this to detect when
+        a narrow counter loses information (Section 6.3's counter width
+        study).
+    """
+
+    bits: int | None = None
+    value: int = 0
+    overflowed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bits is not None and self.bits < 1:
+            raise ValueError(f"counter width must be >= 1 bit, got {self.bits}")
+        if self.value < 0:
+            raise ValueError("counter value cannot be negative")
+        if self.bits is not None:
+            self.value = min(self.value, self.max_value)
+
+    @property
+    def max_value(self) -> int | None:
+        """Largest representable value, or ``None`` for unbounded counters."""
+        if self.bits is None:
+            return None
+        return (1 << self.bits) - 1
+
+    def increment(self, amount: int = 1) -> int:
+        """Increase the counter, saturating (and flagging overflow) if narrow."""
+        if amount < 0:
+            raise ValueError("up-counters cannot be decremented")
+        new_value = self.value + amount
+        limit = self.max_value
+        if limit is not None and new_value > limit:
+            self.overflowed = True
+            new_value = limit
+        self.value = new_value
+        return self.value
+
+    def reset(self) -> None:
+        """Reset the counter to zero and clear the overflow flag."""
+        self.value = 0
+        self.overflowed = False
+
+    def copy(self) -> "ResettableUpCounter":
+        """Return an independent copy (used when checkpointing ISRB state)."""
+        clone = ResettableUpCounter(bits=self.bits, value=self.value)
+        clone.overflowed = self.overflowed
+        return clone
+
+    def __int__(self) -> int:
+        return self.value

@@ -1,0 +1,65 @@
+"""Folded-XOR hashing helpers for geometric-history predictors.
+
+TAGE-style predictors index each tagged component with a hash of the program
+counter, a geometric number of global-history bits and a few path-history
+bits.  In hardware this is done with XOR folding; the helpers below model the
+same behaviour deterministically so that predictor contents are reproducible
+across runs.
+"""
+
+from __future__ import annotations
+
+
+def fold_bits(value: int, input_bits: int, output_bits: int) -> int:
+    """Fold ``input_bits`` of ``value`` down to ``output_bits`` by XOR.
+
+    The value is split into consecutive ``output_bits``-wide chunks which are
+    XORed together, mimicking the history folding logic of TAGE.
+    """
+    if output_bits <= 0:
+        return 0
+    if input_bits <= 0:
+        return 0
+    mask = (1 << output_bits) - 1
+    value &= (1 << input_bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= output_bits
+    return folded & mask
+
+
+def mix_hash(pc: int, history: int, history_bits: int, path: int, path_bits: int,
+             output_bits: int) -> int:
+    """Compute a table index from PC, folded global history and folded path history.
+
+    The PC is shifted right by two (micro-op addresses are at least 4-byte
+    aligned in the synthetic ISA) and XOR-mixed with two folded components,
+    one of which is additionally rotated by one bit so the two folds do not
+    cancel each other for identical inputs.
+    """
+    if output_bits <= 0:
+        return 0
+    mask = (1 << output_bits) - 1
+    folded_hist = fold_bits(history, history_bits, output_bits)
+    folded_path = fold_bits(path, path_bits, output_bits)
+    rotated_path = ((folded_path << 1) | (folded_path >> (output_bits - 1))) & mask \
+        if output_bits > 1 else folded_path
+    pc_low = (pc >> 2) & mask
+    pc_high = (pc >> (2 + output_bits)) & mask
+    return (pc_low ^ pc_high ^ folded_hist ^ rotated_path) & mask
+
+
+def tag_hash(pc: int, history: int, history_bits: int, tag_bits: int) -> int:
+    """Compute a partial tag from the PC and folded global history.
+
+    Uses two folds of the history with different widths (``tag_bits`` and
+    ``tag_bits - 1``) as in the original TAGE proposal, so that tags differ
+    from indices computed over the same inputs.
+    """
+    if tag_bits <= 0:
+        return 0
+    mask = (1 << tag_bits) - 1
+    fold_a = fold_bits(history, history_bits, tag_bits)
+    fold_b = fold_bits(history, history_bits, max(tag_bits - 1, 1)) << 1
+    return ((pc >> 2) ^ fold_a ^ fold_b) & mask

@@ -1,0 +1,410 @@
+"""Instruction Distance predictors (Section 3.1).
+
+The Instruction Distance predictor sits in the front end.  Looked up with
+the load's PC, the global branch history and the path history, it predicts
+the *distance in committed instructions* between the load and the
+instruction that produced the data the load will read.  The renamer
+subtracts that distance from the load's sequence number, finds the producer
+in the ROB and renames the load's destination onto the producer's physical
+register.
+
+Two predictors are implemented:
+
+* :class:`NoSqDistancePredictor` -- the two-table design of NoSQ (Sha et
+  al.): one table indexed by the load PC alone, one by a hash of the PC,
+  8 bits of global branch history and 8 bits of path history; when both
+  hit, the path-indexed table provides the prediction (about 17KB at the
+  paper's sizing);
+* :class:`TageDistancePredictor` -- the paper's proposal: a TAGE-like
+  predictor with a direct-mapped base component and five partially tagged
+  components indexed with 2/5/11/27/64 bits of global history mixed with 16
+  bits of path history (about 12.2KB), which the paper shows captures more
+  SMB potential despite being smaller.
+
+Both predictors only authorise a bypass when the entry's 4-bit confidence
+counter is saturated, because a distance misprediction costs a pipeline
+flush while simply not predicting costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.hashing import fold_bits, mix_hash, tag_hash
+
+
+@dataclass(frozen=True)
+class DistancePrediction:
+    """Result of a distance lookup, carried by the load until commit-time training."""
+
+    distance: int | None
+    confident: bool
+    provider: int
+    provider_index: int
+    indices: tuple[int, ...] = ()
+    tags: tuple[int, ...] = ()
+
+    @property
+    def usable(self) -> bool:
+        """``True`` when the prediction is confident enough to attempt a bypass."""
+        return self.distance is not None and self.distance > 0 and self.confident
+
+
+@dataclass
+class _DistanceEntry:
+    """One predictor entry: partial tag, predicted distance and confidence."""
+
+    tag: int = 0
+    distance: int = 0
+    confidence: int = 0
+    valid: bool = False
+
+
+# ---------------------------------------------------------------------------
+# NoSQ-style two-table predictor
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NoSqDistanceConfig:
+    """Geometry of the NoSQ-style predictor (Table 1: 4K + 4K entries, 17KB)."""
+
+    pc_entries: int = 4096
+    path_entries: int = 4096
+    tag_bits: int = 5
+    distance_bits: int = 8
+    confidence_bits: int = 4
+    history_bits: int = 8
+    path_bits: int = 8
+
+
+class NoSqDistancePredictor:
+    """Two-table (PC-indexed + history-hashed) instruction distance predictor."""
+
+    name = "nosq"
+
+    def __init__(self, config: NoSqDistanceConfig | None = None) -> None:
+        self.config = config or NoSqDistanceConfig()
+        self._pc_table: dict[int, _DistanceEntry] = {}
+        self._path_table: dict[int, _DistanceEntry] = {}
+        self.lookups = 0
+        self.trainings = 0
+
+    # -- indexing -----------------------------------------------------------------
+
+    def _pc_index(self, pc: int) -> tuple[int, int]:
+        index = (pc >> 2) % self.config.pc_entries
+        tag = ((pc >> 2) // self.config.pc_entries) & ((1 << self.config.tag_bits) - 1)
+        return index, tag
+
+    def _path_index(self, pc: int, history: int, path: int) -> tuple[int, int]:
+        # Footnote 4 of the paper: XOR 8 bits of global history with 8 bits
+        # of path history, then XOR with the load address shifted by 4.
+        mixed = fold_bits(history, 64, self.config.history_bits) ^ \
+            fold_bits(path, 32, self.config.path_bits)
+        hashed = (pc << 4) ^ mixed
+        index = (hashed >> 2) % self.config.path_entries
+        tag = ((hashed >> 2) // self.config.path_entries) & ((1 << self.config.tag_bits) - 1)
+        return index, tag
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, pc: int, history: int, path: int) -> DistancePrediction:
+        """Predict the instruction distance for the load at ``pc``."""
+        self.lookups += 1
+        pc_index, pc_tag = self._pc_index(pc)
+        path_index, path_tag = self._path_index(pc, history, path)
+        max_confidence = (1 << self.config.confidence_bits) - 1
+
+        path_entry = self._path_table.get(path_index)
+        if path_entry is not None and path_entry.valid and path_entry.tag == path_tag:
+            return DistancePrediction(
+                distance=path_entry.distance,
+                confident=path_entry.confidence >= max_confidence,
+                provider=1,
+                provider_index=path_index,
+                indices=(pc_index, path_index),
+                tags=(pc_tag, path_tag),
+            )
+        pc_entry = self._pc_table.get(pc_index)
+        if pc_entry is not None and pc_entry.valid and pc_entry.tag == pc_tag:
+            return DistancePrediction(
+                distance=pc_entry.distance,
+                confident=pc_entry.confidence >= max_confidence,
+                provider=0,
+                provider_index=pc_index,
+                indices=(pc_index, path_index),
+                tags=(pc_tag, path_tag),
+            )
+        return DistancePrediction(
+            distance=None,
+            confident=False,
+            provider=-1,
+            provider_index=0,
+            indices=(pc_index, path_index),
+            tags=(pc_tag, path_tag),
+        )
+
+    # -- training -----------------------------------------------------------------
+
+    def train(self, pc: int, history: int, path: int, actual_distance: int | None,
+              prediction: DistancePrediction | None = None) -> None:
+        """Train with the distance observed at commit (``None`` when no producer was found).
+
+        A confidence counter only grows while the *same* distance keeps being
+        observed; any other outcome -- a different distance, or no producer
+        at all -- resets it, because a confident-but-wrong prediction costs a
+        pipeline flush while not predicting costs nothing (Section 3.1).
+        """
+        self.trainings += 1
+        if prediction is None:
+            prediction = self.predict(pc, history, path)
+            self.lookups -= 1  # the implicit lookup is bookkeeping, not a real access
+        pc_index, path_index = prediction.indices
+        pc_tag, path_tag = prediction.tags
+        if actual_distance is None:
+            # The load had no identified producer: a confident entry must not
+            # stay confident or it will keep triggering doomed bypasses.
+            for table, index, tag in ((self._pc_table, pc_index, pc_tag),
+                                      (self._path_table, path_index, path_tag)):
+                entry = table.get(index)
+                if entry is not None and entry.valid and entry.tag == tag:
+                    entry.confidence = 0
+            return
+        max_distance = (1 << self.config.distance_bits) - 1
+        actual = min(actual_distance, max_distance)
+        for table, index, tag in ((self._pc_table, pc_index, pc_tag),
+                                  (self._path_table, path_index, path_tag)):
+            entry = table.get(index)
+            if entry is None or not entry.valid or entry.tag != tag:
+                # Allocate on a miss (or replace a conflicting entry).
+                table[index] = _DistanceEntry(tag=tag, distance=actual, confidence=0, valid=True)
+                continue
+            if entry.distance == actual:
+                entry.confidence = min(entry.confidence + 1,
+                                       (1 << self.config.confidence_bits) - 1)
+            else:
+                entry.distance = actual
+                entry.confidence = 0
+
+    def punish(self, pc: int, history: int, path: int,
+               prediction: DistancePrediction | None = None) -> None:
+        """A bypass based on this predictor failed validation: clear its confidence."""
+        if prediction is None or not prediction.indices:
+            prediction = self.predict(pc, history, path)
+            self.lookups -= 1
+        pc_index, path_index = prediction.indices
+        pc_tag, path_tag = prediction.tags
+        for table, index, tag in ((self._pc_table, pc_index, pc_tag),
+                                  (self._path_table, path_index, path_tag)):
+            entry = table.get(index)
+            if entry is not None and entry.valid and entry.tag == tag:
+                entry.confidence = 0
+
+    def storage_bits(self) -> int:
+        """Total predictor storage in bits (about 17KB at the default sizing)."""
+        per_entry = self.config.tag_bits + self.config.distance_bits + self.config.confidence_bits
+        return (self.config.pc_entries + self.config.path_entries) * per_entry
+
+
+# ---------------------------------------------------------------------------
+# TAGE-like predictor (the paper's proposal)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TageDistanceConfig:
+    """Geometry of the TAGE-like distance predictor (Section 3.1, about 12.2KB)."""
+
+    base_entries: int = 4096
+    base_tag_bits: int = 5
+    component_entries: tuple[int, ...] = (512, 512, 256, 128, 128)
+    component_tag_bits: tuple[int, ...] = (10, 10, 11, 11, 12)
+    component_history_bits: tuple[int, ...] = (2, 5, 11, 27, 64)
+    path_bits: int = 16
+    distance_bits: int = 8
+    confidence_bits: int = 4
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.component_entries), len(self.component_tag_bits),
+                   len(self.component_history_bits)}
+        if len(lengths) != 1:
+            raise ValueError("component configuration tuples must have equal lengths")
+
+
+class TageDistancePredictor:
+    """TAGE-like instruction distance predictor (base + 5 tagged components)."""
+
+    name = "tage"
+
+    def __init__(self, config: TageDistanceConfig | None = None) -> None:
+        self.config = config or TageDistanceConfig()
+        self._base: dict[int, _DistanceEntry] = {}
+        self._components: list[dict[int, _DistanceEntry]] = [
+            dict() for _ in self.config.component_entries
+        ]
+        self.lookups = 0
+        self.trainings = 0
+        self.allocations = 0
+
+    # -- indexing -----------------------------------------------------------------
+
+    def _base_index(self, pc: int) -> tuple[int, int]:
+        index = (pc >> 2) % self.config.base_entries
+        tag = ((pc >> 2) // self.config.base_entries) & ((1 << self.config.base_tag_bits) - 1)
+        return index, tag
+
+    def _component_index(self, comp: int, pc: int, history: int, path: int) -> tuple[int, int]:
+        entries = self.config.component_entries[comp]
+        history_bits = self.config.component_history_bits[comp]
+        tag_bits = self.config.component_tag_bits[comp]
+        index_bits = entries.bit_length() - 1
+        index = mix_hash(pc, history, history_bits, path, self.config.path_bits, index_bits)
+        tag = tag_hash(pc, history, history_bits, tag_bits)
+        return index, tag
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, pc: int, history: int, path: int) -> DistancePrediction:
+        """Predict the instruction distance for the load at ``pc``."""
+        self.lookups += 1
+        max_confidence = (1 << self.config.confidence_bits) - 1
+        base_index, base_tag = self._base_index(pc)
+        indices: list[int] = [base_index]
+        tags: list[int] = [base_tag]
+        provider = -1
+        provider_index = base_index
+        provider_entry: _DistanceEntry | None = None
+
+        for comp in range(len(self._components)):
+            index, tag = self._component_index(comp, pc, history, path)
+            indices.append(index)
+            tags.append(tag)
+            entry = self._components[comp].get(index)
+            if entry is not None and entry.valid and entry.tag == tag:
+                provider = comp
+                provider_index = index
+                provider_entry = entry
+
+        if provider_entry is None:
+            base_entry = self._base.get(base_index)
+            if base_entry is not None and base_entry.valid and base_entry.tag == base_tag:
+                provider_entry = base_entry
+                provider = -1
+                provider_index = base_index
+
+        if provider_entry is None:
+            return DistancePrediction(
+                distance=None, confident=False, provider=-2, provider_index=0,
+                indices=tuple(indices), tags=tuple(tags),
+            )
+        return DistancePrediction(
+            distance=provider_entry.distance,
+            confident=provider_entry.confidence >= max_confidence,
+            provider=provider,
+            provider_index=provider_index,
+            indices=tuple(indices),
+            tags=tuple(tags),
+        )
+
+    # -- training -----------------------------------------------------------------
+
+    def train(self, pc: int, history: int, path: int, actual_distance: int | None,
+              prediction: DistancePrediction | None = None) -> None:
+        """Train with the distance observed at commit (``None`` when no producer was found)."""
+        self.trainings += 1
+        if prediction is None or not prediction.indices:
+            prediction = self.predict(pc, history, path)
+            self.lookups -= 1
+        if actual_distance is None:
+            # No identified producer: a confident provider must lose its
+            # confidence, otherwise it keeps authorising doomed bypasses
+            # for loads that periodically have no in-window producer.
+            self._reset_provider_confidence(prediction)
+            return
+        max_distance = (1 << self.config.distance_bits) - 1
+        actual = min(actual_distance, max_distance)
+        max_confidence = (1 << self.config.confidence_bits) - 1
+
+        provider_entry = self._provider_entry(prediction)
+        correct = provider_entry is not None and provider_entry.distance == actual
+        if provider_entry is not None:
+            if correct:
+                provider_entry.confidence = min(provider_entry.confidence + 1, max_confidence)
+            else:
+                provider_entry.distance = actual
+                provider_entry.confidence = 0
+        else:
+            # Nothing predicted for this load yet: seed the base component.
+            base_index, base_tag = prediction.indices[0], prediction.tags[0]
+            self._base[base_index] = _DistanceEntry(
+                tag=base_tag, distance=actual, confidence=0, valid=True)
+
+        # TAGE-style allocation: a wrong provider promotes the pair into a
+        # longer-history component so context-dependent distances separate.
+        if provider_entry is not None and not correct:
+            self._allocate(prediction, actual)
+
+    def _provider_entry(self, prediction: DistancePrediction) -> _DistanceEntry | None:
+        if prediction.provider == -2:
+            return None
+        if prediction.provider == -1:
+            entry = self._base.get(prediction.indices[0])
+            if entry is not None and entry.valid and entry.tag == prediction.tags[0]:
+                return entry
+            return None
+        component = self._components[prediction.provider]
+        entry = component.get(prediction.provider_index)
+        if entry is not None and entry.valid and entry.tag == prediction.tags[prediction.provider + 1]:
+            return entry
+        return None
+
+    def _reset_provider_confidence(self, prediction: DistancePrediction) -> None:
+        entry = self._provider_entry(prediction)
+        if entry is not None:
+            entry.confidence = 0
+
+    def punish(self, pc: int, history: int, path: int,
+               prediction: DistancePrediction | None = None) -> None:
+        """A bypass based on this predictor failed validation: clear the provider's confidence."""
+        if prediction is None or not prediction.indices:
+            prediction = self.predict(pc, history, path)
+            self.lookups -= 1
+        self._reset_provider_confidence(prediction)
+
+    def _allocate(self, prediction: DistancePrediction, actual: int) -> None:
+        """Allocate the pair in a component with longer history than the provider."""
+        start = prediction.provider + 1 if prediction.provider >= 0 else 0
+        for comp in range(start, len(self._components)):
+            index = prediction.indices[comp + 1]
+            tag = prediction.tags[comp + 1]
+            entry = self._components[comp].get(index)
+            if entry is None or not entry.valid or entry.confidence == 0:
+                self._components[comp][index] = _DistanceEntry(
+                    tag=tag, distance=actual, confidence=0, valid=True)
+                self.allocations += 1
+                return
+        # All candidates were confident: age them so a later allocation succeeds.
+        for comp in range(start, len(self._components)):
+            entry = self._components[comp].get(prediction.indices[comp + 1])
+            if entry is not None and entry.confidence > 0:
+                entry.confidence -= 1
+
+    def storage_bits(self) -> int:
+        """Total predictor storage in bits (about 12.2KB at the default sizing)."""
+        config = self.config
+        payload = config.distance_bits + config.confidence_bits
+        bits = config.base_entries * (config.base_tag_bits + payload)
+        for entries, tag_bits in zip(config.component_entries, config.component_tag_bits):
+            bits += entries * (tag_bits + payload)
+        return bits
+
+
+def make_distance_predictor(kind: str, config=None):
+    """Instantiate a distance predictor: ``"tage"`` (paper) or ``"nosq"`` (baseline)."""
+    kind = kind.lower()
+    if kind == "tage":
+        return TageDistancePredictor(config)
+    if kind == "nosq":
+        return NoSqDistancePredictor(config)
+    raise ValueError(f"unknown distance predictor kind {kind!r}; expected 'tage' or 'nosq'")

@@ -1,0 +1,389 @@
+"""Functional execution of programs into dynamic micro-op traces.
+
+The reproduction uses a *trace-driven* timing model: a program is first
+executed functionally by :class:`Executor`, which records every dynamic
+micro-op together with its concrete result value, memory address, memory
+value and branch outcome.  The cycle-level core model then replays this
+trace, so that
+
+* move elimination can be checked against real register values,
+* speculative memory bypassing can be *validated* exactly as in the paper
+  (compare the bypassed register's value with the value actually loaded),
+* the Data Dependency Table sees real virtual addresses, and
+* the branch predictor sees the real taken/not-taken stream.
+
+All register values are 64-bit unsigned integers.  Floating-point micro-ops
+operate on the same 64-bit domain with distinct mixing functions; the timing
+model only cares about dependencies and value equality, not IEEE semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import OpClass, Opcode, op_class
+from repro.isa.program import Program
+from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS, ArchReg, RegClass
+
+_MASK64 = (1 << 64) - 1
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """Raised when a program does not halt within the configured budgets."""
+
+
+@dataclass(frozen=True)
+class DynamicOp:
+    """One dynamic micro-op of a trace.
+
+    The fields capture everything the timing model needs: operands for
+    dependence tracking, the result value for sharing validation, the memory
+    address/size for the data cache, store queue and DDT, and the resolved
+    branch behaviour for the front end.
+    """
+
+    seq: int
+    pc: int
+    static_index: int
+    opcode: Opcode
+    op_class: OpClass
+    dest: ArchReg | None
+    srcs: tuple[ArchReg, ...]
+    width: int = 64
+    src_high8: bool = False
+    imm: int = 0
+    result: int | None = None
+    mem_addr: int | None = None
+    mem_size: int = 8
+    store_value: int | None = None
+    next_pc: int = 0
+    taken: bool = False
+    target_pc: int | None = None
+
+    @property
+    def is_load(self) -> bool:
+        """``True`` for load micro-ops."""
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """``True`` for store micro-ops."""
+        return self.op_class is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        """``True`` for control-flow micro-ops."""
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """``True`` for conditional branches."""
+        return self.opcode in (Opcode.BNZ, Opcode.BZ)
+
+    @property
+    def is_call(self) -> bool:
+        """``True`` for call micro-ops."""
+        return self.opcode is Opcode.CALL
+
+    @property
+    def is_return(self) -> bool:
+        """``True`` for return micro-ops."""
+        return self.opcode is Opcode.RET
+
+    @property
+    def is_move(self) -> bool:
+        """``True`` for register-to-register moves."""
+        return self.opcode in (Opcode.MOV, Opcode.MOVZX8, Opcode.FMOV)
+
+    @property
+    def writes_register(self) -> bool:
+        """``True`` when the micro-op produces an architectural register value."""
+        return self.dest is not None
+
+    def __repr__(self) -> str:
+        dest = self.dest.name if self.dest else "-"
+        return f"DynamicOp(seq={self.seq}, pc={self.pc:#x}, {self.opcode.value}, dest={dest})"
+
+
+@dataclass
+class Trace:
+    """A fully resolved dynamic micro-op stream for one workload."""
+
+    name: str
+    ops: list[DynamicOp] = field(default_factory=list)
+    program: Program | None = None
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __getitem__(self, index: int) -> DynamicOp:
+        return self.ops[index]
+
+    def count(self, predicate) -> int:
+        """Number of dynamic micro-ops satisfying ``predicate``."""
+        return sum(1 for op in self.ops if predicate(op))
+
+    def mix(self) -> dict[str, int]:
+        """Instruction mix summary (by :class:`OpClass` name)."""
+        counts: dict[str, int] = {}
+        for op in self.ops:
+            counts[op.op_class.value] = counts.get(op.op_class.value, 0) + 1
+        return counts
+
+
+class Executor:
+    """Architectural (functional) executor for :class:`~repro.isa.program.Program`.
+
+    Parameters
+    ----------
+    program:
+        The static program to execute.
+    initial_regs:
+        Optional initial values for architectural registers.
+    initial_memory:
+        Optional initial memory image as a mapping from byte address to byte
+        value (or from aligned address to 64-bit word when ``word_image`` is
+        ``True``).
+    """
+
+    def __init__(self, program: Program,
+                 initial_regs: dict[ArchReg, int] | None = None,
+                 initial_memory: dict[int, int] | None = None,
+                 word_image: bool = True) -> None:
+        program.validate()
+        self.program = program
+        self._int_regs = [0] * NUM_INT_REGS
+        self._fp_regs = [0] * NUM_FP_REGS
+        self._memory: dict[int, int] = {}
+        self._call_stack: list[int] = []
+        if initial_regs:
+            for reg, value in initial_regs.items():
+                self._write_reg(reg, value)
+        if initial_memory:
+            if word_image:
+                for address, value in initial_memory.items():
+                    self._write_memory(address, value & _MASK64, 8)
+            else:
+                for address, value in initial_memory.items():
+                    self._memory[address] = value & 0xFF
+
+    # -- architectural state accessors -------------------------------------------
+
+    def read_reg(self, reg: ArchReg) -> int:
+        """Return the current architectural value of ``reg``."""
+        if reg.reg_class is RegClass.INT:
+            return self._int_regs[reg.index]
+        return self._fp_regs[reg.index]
+
+    def _write_reg(self, reg: ArchReg, value: int) -> None:
+        value &= _MASK64
+        if reg.reg_class is RegClass.INT:
+            self._int_regs[reg.index] = value
+        else:
+            self._fp_regs[reg.index] = value
+
+    def read_memory(self, address: int, size: int = 8) -> int:
+        """Read ``size`` bytes of memory (little endian, missing bytes are zero)."""
+        value = 0
+        for offset in range(size):
+            value |= self._memory.get(address + offset, 0) << (8 * offset)
+        return value
+
+    def _write_memory(self, address: int, value: int, size: int) -> None:
+        for offset in range(size):
+            self._memory[address + offset] = (value >> (8 * offset)) & 0xFF
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, max_ops: int = 1_000_000) -> Trace:
+        """Execute the program and return its dynamic trace.
+
+        Execution stops at ``HALT`` or after ``max_ops`` dynamic micro-ops,
+        whichever comes first.  Falling off the end of the program raises
+        :class:`ExecutionLimitExceeded` because workloads are expected to be
+        explicit about termination.
+        """
+        trace = Trace(name=self.program.name, program=self.program)
+        index = 0
+        instructions = self.program.instructions
+        while len(trace.ops) < max_ops:
+            if index >= len(instructions):
+                raise ExecutionLimitExceeded(
+                    f"program {self.program.name!r} ran past its last instruction; "
+                    "add an explicit halt() or loop"
+                )
+            instruction = instructions[index]
+            if instruction.opcode is Opcode.HALT:
+                break
+            dynamic, next_index = self._step(instruction, index, len(trace.ops))
+            trace.ops.append(dynamic)
+            index = next_index
+        return trace
+
+    def _step(self, instruction: Instruction, index: int, seq: int) -> tuple[DynamicOp, int]:
+        """Execute one static instruction, returning its dynamic form and the next index."""
+        opcode = instruction.opcode
+        pc = self.program.pc_of(index)
+        next_index = index + 1
+        result: int | None = None
+        mem_addr: int | None = None
+        mem_size = 8
+        store_value: int | None = None
+        taken = False
+        target_pc: int | None = None
+
+        if opcode in _ALU_HANDLERS:
+            result = _ALU_HANDLERS[opcode](self, instruction)
+        elif opcode is Opcode.MOVI:
+            result = instruction.imm & _MASK64
+        elif opcode in (Opcode.MOV, Opcode.FMOV):
+            result = self._execute_move(instruction)
+        elif opcode is Opcode.MOVZX8:
+            source = self.read_reg(instruction.srcs[0])
+            byte = (source >> 8) & 0xFF if instruction.src_high8 else source & 0xFF
+            result = byte
+        elif opcode in (Opcode.LOAD, Opcode.FLOAD):
+            mem_addr, mem_size = self._effective_address(instruction)
+            result = self.read_memory(mem_addr, mem_size)
+        elif opcode in (Opcode.STORE, Opcode.FSTORE):
+            mem_addr, mem_size = self._effective_address(instruction)
+            store_value = self.read_reg(instruction.srcs[0])
+            if mem_size == 4:
+                store_value &= 0xFFFFFFFF
+            self._write_memory(mem_addr, store_value, mem_size)
+        elif opcode in (Opcode.BNZ, Opcode.BZ):
+            value = self.read_reg(instruction.srcs[0])
+            taken = (value != 0) if opcode is Opcode.BNZ else (value == 0)
+            target_index = self.program.target_index(instruction.target)
+            target_pc = self.program.pc_of(target_index)
+            if taken:
+                next_index = target_index
+        elif opcode is Opcode.JMP:
+            taken = True
+            next_index = self.program.target_index(instruction.target)
+            target_pc = self.program.pc_of(next_index)
+        elif opcode is Opcode.CALL:
+            taken = True
+            self._call_stack.append(index + 1)
+            next_index = self.program.target_index(instruction.target)
+            target_pc = self.program.pc_of(next_index)
+        elif opcode is Opcode.RET:
+            taken = True
+            if not self._call_stack:
+                raise ExecutionLimitExceeded(
+                    f"return without a matching call in program {self.program.name!r}"
+                )
+            next_index = self._call_stack.pop()
+            target_pc = self.program.pc_of(next_index)
+        elif opcode is Opcode.NOP:
+            result = None
+        else:  # pragma: no cover - defensive; HALT is handled by run()
+            raise NotImplementedError(f"unhandled opcode {opcode}")
+
+        if instruction.dest is not None and result is not None:
+            self._write_reg(instruction.dest, result)
+
+        dynamic = DynamicOp(
+            seq=seq,
+            pc=pc,
+            static_index=index,
+            opcode=opcode,
+            op_class=op_class(opcode),
+            dest=instruction.dest,
+            srcs=instruction.source_registers(),
+            width=instruction.width,
+            src_high8=instruction.src_high8,
+            imm=instruction.imm,
+            result=result,
+            mem_addr=mem_addr,
+            mem_size=mem_size,
+            store_value=store_value,
+            next_pc=self.program.pc_of(next_index) if next_index < len(self.program) else pc + 4,
+            taken=taken,
+            target_pc=target_pc,
+        )
+        return dynamic, next_index
+
+    def _execute_move(self, instruction: Instruction) -> int:
+        """Register-to-register move semantics, including x86-style partial widths."""
+        source = self.read_reg(instruction.srcs[0])
+        if instruction.opcode is Opcode.FMOV or instruction.width == 64:
+            return source
+        if instruction.width == 32:
+            # x86_64 zeroes the upper 32 bits on a 32-bit register move.
+            return source & 0xFFFFFFFF
+        destination = self.read_reg(instruction.dest)
+        if instruction.width == 16:
+            return (destination & ~0xFFFF) & _MASK64 | (source & 0xFFFF)
+        # 8-bit move merges into the low byte of the destination.
+        return (destination & ~0xFF) & _MASK64 | (source & 0xFF)
+
+    def _effective_address(self, instruction: Instruction) -> tuple[int, int]:
+        """Compute the byte address and size of a memory micro-op."""
+        mem = instruction.mem
+        address = mem.offset
+        if mem.base is not None:
+            address += self.read_reg(mem.base)
+        if mem.index is not None:
+            address += self.read_reg(mem.index) * mem.scale
+        return address & _MASK64, mem.size
+
+
+def _binary(handler):
+    """Wrap a two-source integer operation handler."""
+
+    def wrapped(executor: Executor, instruction: Instruction) -> int:
+        a = executor.read_reg(instruction.srcs[0])
+        b = executor.read_reg(instruction.srcs[1])
+        return handler(a, b) & _MASK64
+
+    return wrapped
+
+
+def _immediate(handler):
+    """Wrap a source-plus-immediate integer operation handler."""
+
+    def wrapped(executor: Executor, instruction: Instruction) -> int:
+        a = executor.read_reg(instruction.srcs[0])
+        return handler(a, instruction.imm) & _MASK64
+
+    return wrapped
+
+
+def _unary(handler):
+    """Wrap a single-source operation handler."""
+
+    def wrapped(executor: Executor, instruction: Instruction) -> int:
+        a = executor.read_reg(instruction.srcs[0])
+        return handler(a) & _MASK64
+
+    return wrapped
+
+
+_ALU_HANDLERS = {
+    Opcode.IADD: _binary(lambda a, b: a + b),
+    Opcode.ISUB: _binary(lambda a, b: a - b),
+    Opcode.IAND: _binary(lambda a, b: a & b),
+    Opcode.IOR: _binary(lambda a, b: a | b),
+    Opcode.IXOR: _binary(lambda a, b: a ^ b),
+    Opcode.ISHL: _binary(lambda a, b: a << (b & 63)),
+    Opcode.ISHR: _binary(lambda a, b: a >> (b & 63)),
+    Opcode.IADDI: _immediate(lambda a, imm: a + imm),
+    Opcode.IANDI: _immediate(lambda a, imm: a & imm),
+    Opcode.ISHLI: _immediate(lambda a, imm: a << (imm & 63)),
+    Opcode.ISHRI: _immediate(lambda a, imm: a >> (imm & 63)),
+    Opcode.ICMPEQ: _binary(lambda a, b: 1 if a == b else 0),
+    Opcode.ICMPLT: _binary(lambda a, b: 1 if a < b else 0),
+    Opcode.IMUL: _binary(lambda a, b: a * b),
+    Opcode.IDIV: _binary(lambda a, b: a // b if b else 0),
+    Opcode.FADD: _binary(lambda a, b: a + b),
+    Opcode.FSUB: _binary(lambda a, b: a - b),
+    Opcode.FMUL: _binary(lambda a, b: (a * b) ^ ((a * b) >> 17)),
+    Opcode.FDIV: _binary(lambda a, b: (a // b if b else 0) ^ 0x5A5A5A5A),
+    Opcode.I2F: _unary(lambda a: a),
+    Opcode.F2I: _unary(lambda a: a),
+}

@@ -1,0 +1,171 @@
+"""Static micro-op representation.
+
+A :class:`Instruction` is the static form of a micro-op inside a
+:class:`~repro.isa.program.Program`.  The functional executor turns static
+instructions into dynamic micro-ops (with concrete values and addresses)
+that the timing model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import (
+    Opcode,
+    is_branch,
+    is_conditional_branch,
+    is_load,
+    is_move,
+    is_store,
+    op_class,
+)
+from repro.isa.registers import ArchReg, RegClass
+
+
+@dataclass(frozen=True)
+class MemOperand:
+    """A memory operand of the form ``base + index * scale + offset``.
+
+    ``base`` and ``index`` are integer architectural registers; either may be
+    ``None``.  ``size`` is the access size in bytes (4 or 8).
+    """
+
+    base: ArchReg | None = None
+    index: ArchReg | None = None
+    scale: int = 1
+    offset: int = 0
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size not in (4, 8):
+            raise ValueError(f"memory access size must be 4 or 8 bytes, got {self.size}")
+        if self.base is not None and self.base.reg_class is not RegClass.INT:
+            raise ValueError("memory base register must be an integer register")
+        if self.index is not None and self.index.reg_class is not RegClass.INT:
+            raise ValueError("memory index register must be an integer register")
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"memory scale must be 1, 2, 4 or 8, got {self.scale}")
+
+    def registers(self) -> tuple[ArchReg, ...]:
+        """The architectural registers this operand reads."""
+        regs = []
+        if self.base is not None:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return tuple(regs)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A static micro-op.
+
+    Attributes
+    ----------
+    opcode:
+        The operation.
+    dest:
+        Destination architectural register, if any.
+    srcs:
+        Source architectural registers (register operands only; memory
+        address registers live in ``mem``).
+    imm:
+        Immediate operand for immediate-form ALU ops and ``MOVI``.
+    width:
+        Operand width in bits for register-to-register moves (64, 32, 16, 8).
+        The Intel move-elimination eligibility rules of Section 2.1 depend on
+        this field.
+    src_high8:
+        ``True`` when an 8-bit move reads the *high* byte of a 16-bit
+        register (``AH``-like); such moves can never be eliminated.
+    mem:
+        Memory operand for loads and stores.
+    target:
+        Branch/jump/call target label.
+    label:
+        Optional label naming this instruction (branch targets).
+    """
+
+    opcode: Opcode
+    dest: ArchReg | None = None
+    srcs: tuple[ArchReg, ...] = ()
+    imm: int = 0
+    width: int = 64
+    src_high8: bool = False
+    mem: MemOperand | None = None
+    target: str | None = None
+    label: str | None = None
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width not in (64, 32, 16, 8):
+            raise ValueError(f"register width must be 64, 32, 16 or 8 bits, got {self.width}")
+        if (is_load(self.opcode) or is_store(self.opcode)) and self.mem is None:
+            raise ValueError(f"{self.opcode.value} requires a memory operand")
+        if is_branch(self.opcode) and self.opcode is not Opcode.RET and self.target is None:
+            raise ValueError(f"{self.opcode.value} requires a target label")
+
+    # -- classification helpers -------------------------------------------------
+
+    @property
+    def op_class(self):
+        """Functional-unit class of the micro-op."""
+        return op_class(self.opcode)
+
+    @property
+    def is_load(self) -> bool:
+        """``True`` for load micro-ops."""
+        return is_load(self.opcode)
+
+    @property
+    def is_store(self) -> bool:
+        """``True`` for store micro-ops."""
+        return is_store(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        """``True`` for control-flow micro-ops."""
+        return is_branch(self.opcode)
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """``True`` for conditional branches."""
+        return is_conditional_branch(self.opcode)
+
+    @property
+    def is_move(self) -> bool:
+        """``True`` for register-to-register moves (ME candidates)."""
+        return is_move(self.opcode)
+
+    def source_registers(self) -> tuple[ArchReg, ...]:
+        """All architectural registers read by the micro-op.
+
+        This includes register sources, memory address registers and, for
+        stores, the data register.  Partial-width (16/8-bit) register moves
+        are *merge* micro-ops in x86_64 terms: they also read their old
+        destination, which is exactly why they cannot be move-eliminated
+        (Section 2.1 of the paper).
+        """
+        regs: list[ArchReg] = list(self.srcs)
+        if self.opcode is Opcode.MOV and self.width in (16, 8) and self.dest is not None:
+            regs.append(self.dest)
+        if self.mem is not None:
+            regs.extend(self.mem.registers())
+        return tuple(regs)
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        if self.dest is not None:
+            parts.append(self.dest.name)
+        parts.extend(src.name for src in self.srcs)
+        if self.mem is not None:
+            base = self.mem.base.name if self.mem.base else ""
+            parts.append(f"[{base}+{self.mem.offset}]")
+        if self.opcode in (Opcode.MOVI, Opcode.IADDI, Opcode.IANDI, Opcode.ISHLI, Opcode.ISHRI):
+            parts.append(f"#{self.imm}")
+        if self.target is not None:
+            parts.append(f"-> {self.target}")
+        text = " ".join(parts)
+        if self.label:
+            text = f"{self.label}: {text}"
+        return text

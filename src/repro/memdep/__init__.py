@@ -1,0 +1,13 @@
+"""Memory dependence prediction substrate (Store Sets).
+
+The paper keeps a conventional Store Sets predictor [Chrysos & Emer, 1998]
+as the memory dependence predictor even when SMB is enabled, and explicitly
+measures how many *false dependencies* Store Sets introduces and how many
+*memory order violations* (traps) it fails to prevent -- both are reported
+in Figure 4 and revisited in Figure 6b.  This package provides that
+predictor.
+"""
+
+from repro.memdep.store_sets import StoreSetsConfig, StoreSetsPredictor
+
+__all__ = ["StoreSetsPredictor", "StoreSetsConfig"]

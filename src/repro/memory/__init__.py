@@ -1,0 +1,31 @@
+"""Memory hierarchy substrate.
+
+Table 1 of the paper models a 32KB 8-way L1D (4-cycle), a unified 1MB
+16-way L2 (12-cycle) with a degree-8 stride prefetcher, and a single-channel
+DDR3-1600 main memory with 75 to 185 cycle latency.  This package provides
+those pieces:
+
+* :class:`~repro.memory.cache.SetAssociativeCache` -- a generic LRU cache
+  with MSHR accounting,
+* :class:`~repro.memory.prefetcher.StridePrefetcher` -- a per-PC stride
+  prefetcher,
+* :class:`~repro.memory.dram.DramModel` -- an open-page DDR3-like latency
+  model,
+* :class:`~repro.memory.hierarchy.MemoryHierarchy` -- the composition used
+  by the core model, returning a latency for every access.
+"""
+
+from repro.memory.cache import CacheConfig, SetAssociativeCache
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.prefetcher import StridePrefetcher
+
+__all__ = [
+    "CacheConfig",
+    "SetAssociativeCache",
+    "StridePrefetcher",
+    "DramConfig",
+    "DramModel",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+]

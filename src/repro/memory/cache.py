@@ -1,0 +1,122 @@
+"""A set-associative, write-back, LRU cache model.
+
+The timing model only needs hit/miss decisions and occupancy bookkeeping --
+data values travel with the dynamic trace -- so lines store tags only.
+MSHR occupancy is tracked per-cycle-window in the hierarchy; the cache
+itself exposes hit/miss/eviction statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    hit_latency: int = 4
+    mshrs: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError(
+                f"{self.name}: size must be divisible by ways * line size "
+                f"({self.size_bytes} / {self.ways} * {self.line_bytes})"
+            )
+        if self.hit_latency < 1:
+            raise ValueError("hit latency must be >= 1 cycle")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache tracking tags only."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        # Each set is an insertion-ordered dict {tag: dirty} used as an LRU list.
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.prefetch_fills = 0
+
+    # -- address helpers ----------------------------------------------------------
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def line_address(self, address: int) -> int:
+        """Return the address of the first byte of the line containing ``address``."""
+        return (address // self.config.line_bytes) * self.config.line_bytes
+
+    # -- operations ---------------------------------------------------------------
+
+    def lookup(self, address: int, is_write: bool = False) -> bool:
+        """Access the cache; returns ``True`` on a hit and updates LRU/dirty state."""
+        set_index, tag = self._locate(address)
+        cache_set = self._sets[set_index]
+        if tag in cache_set:
+            dirty = cache_set.pop(tag)
+            cache_set[tag] = dirty or is_write
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, address: int, is_write: bool = False, is_prefetch: bool = False) -> None:
+        """Install the line containing ``address``, evicting the LRU line if needed."""
+        set_index, tag = self._locate(address)
+        cache_set = self._sets[set_index]
+        if tag in cache_set:
+            dirty = cache_set.pop(tag)
+            cache_set[tag] = dirty or is_write
+            return
+        if len(cache_set) >= self.config.ways:
+            _victim, dirty = next(iter(cache_set.items()))
+            del cache_set[_victim]
+            self.evictions += 1
+            if dirty:
+                self.writebacks += 1
+        cache_set[tag] = is_write
+        if is_prefetch:
+            self.prefetch_fills += 1
+
+    def probe(self, address: int) -> bool:
+        """Return ``True`` if the line is present, without touching LRU or statistics."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def invalidate_all(self) -> None:
+        """Empty the cache (used by tests)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    # -- statistics ---------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        """Miss rate over all lookups (0.0 when the cache was never accessed)."""
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def __repr__(self) -> str:
+        return (f"SetAssociativeCache({self.config.name}: {self.config.size_bytes // 1024}KB, "
+                f"{self.config.ways}-way, {self.config.num_sets} sets)")

@@ -1,0 +1,74 @@
+"""An open-page DDR3-like main-memory latency model.
+
+Table 1 specifies a single-channel DDR3-1600 part (11-11-11 timings, 2
+ranks, 8 banks per rank, 8KB row buffer) with a minimum read latency of 75
+core cycles and a maximum of 185 cycles.  This model captures the dominant
+effect at that abstraction level: row-buffer hits pay the minimum latency,
+row-buffer conflicts pay extra activation/precharge latency, and a busy
+bank adds queueing delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Latency parameters of the main memory model (in core cycles)."""
+
+    min_latency: int = 75
+    row_miss_penalty: int = 55
+    max_latency: int = 185
+    ranks: int = 2
+    banks_per_rank: int = 8
+    row_bytes: int = 8192
+    bank_busy_cycles: int = 24
+
+    def __post_init__(self) -> None:
+        if self.min_latency <= 0 or self.max_latency < self.min_latency:
+            raise ValueError("invalid DRAM latency bounds")
+        if self.ranks <= 0 or self.banks_per_rank <= 0 or self.row_bytes <= 0:
+            raise ValueError("DRAM geometry values must be positive")
+
+
+class DramModel:
+    """Per-bank open-row tracking with queueing delay for busy banks."""
+
+    def __init__(self, config: DramConfig | None = None) -> None:
+        self.config = config or DramConfig()
+        banks = self.config.ranks * self.config.banks_per_rank
+        self._open_row: list[int | None] = [None] * banks
+        self._bank_free_at: list[int] = [0] * banks
+        self.accesses = 0
+        self.row_hits = 0
+        self.row_conflicts = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        row = address // self.config.row_bytes
+        bank = row % (self.config.ranks * self.config.banks_per_rank)
+        return bank, row
+
+    def access(self, address: int, now: int) -> int:
+        """Return the latency of an access issued at cycle ``now``."""
+        self.accesses += 1
+        config = self.config
+        bank, row = self._locate(address)
+        latency = config.min_latency
+        if self._open_row[bank] is None or self._open_row[bank] != row:
+            if self._open_row[bank] is not None:
+                self.row_conflicts += 1
+            latency += config.row_miss_penalty
+        else:
+            self.row_hits += 1
+        # Queueing behind an earlier access to the same bank.
+        if self._bank_free_at[bank] > now:
+            latency += self._bank_free_at[bank] - now
+        latency = min(latency, config.max_latency)
+        self._open_row[bank] = row
+        self._bank_free_at[bank] = now + config.bank_busy_cycles
+        return latency
+
+    def __repr__(self) -> str:
+        banks = self.config.ranks * self.config.banks_per_rank
+        return f"DramModel(banks={banks}, min={self.config.min_latency})"

@@ -1,0 +1,126 @@
+"""The composed L1I / L1D / unified L2 / DRAM hierarchy.
+
+The core model asks one question of the hierarchy: *how many cycles does
+this access take?*  Values travel with the dynamic trace, so the hierarchy
+only models hit/miss behaviour, the stride prefetcher and MSHR pressure.
+
+Latency composition follows Table 1: an L1D hit costs 4 cycles, an L1 miss
+that hits in the L2 costs 4 + 12 cycles, and an L2 miss adds the DRAM
+latency (75 to 185 cycles).  The L2 prefetcher is trained by L1 misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.cache import CacheConfig, SetAssociativeCache
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.prefetcher import StridePrefetcher
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Configuration of the full memory hierarchy (Table 1 defaults)."""
+
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="L1I", size_bytes=32 * 1024, ways=8, hit_latency=1, mshrs=8))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="L1D", size_bytes=32 * 1024, ways=8, hit_latency=4, mshrs=64))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="L2", size_bytes=1024 * 1024, ways=16, hit_latency=12, mshrs=64))
+    dram: DramConfig = field(default_factory=DramConfig)
+    prefetch_degree: int = 8
+    prefetch_distance: int = 1
+    load_ports: int = 2
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + stride prefetcher + DRAM."""
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config or HierarchyConfig()
+        self.l1i = SetAssociativeCache(self.config.l1i)
+        self.l1d = SetAssociativeCache(self.config.l1d)
+        self.l2 = SetAssociativeCache(self.config.l2)
+        self.dram = DramModel(self.config.dram)
+        self.prefetcher = StridePrefetcher(
+            degree=self.config.prefetch_degree,
+            distance=self.config.prefetch_distance,
+        )
+        self.demand_accesses = 0
+        self.mshr_full_events = 0
+        self._outstanding_misses: list[int] = []  # completion cycles of in-flight L1D misses
+
+    # -- data-side accesses -------------------------------------------------------
+
+    def access_data(self, address: int, is_write: bool, pc: int, now: int = 0) -> int:
+        """Access the data side of the hierarchy; returns the latency in cycles."""
+        self.demand_accesses += 1
+        line = self.l1d.line_address(address)
+        latency = self.config.l1d.hit_latency
+        if self.l1d.lookup(line, is_write=is_write):
+            return latency
+
+        # L1D miss: check MSHR occupancy, then the L2.
+        self._retire_outstanding(now)
+        if len(self._outstanding_misses) >= self.config.l1d.mshrs:
+            self.mshr_full_events += 1
+            latency += 4  # stall until an MSHR frees up (coarse model)
+
+        prefetches = self.prefetcher.train(pc, line)
+        if self.l2.lookup(line, is_write=is_write):
+            latency += self.config.l2.hit_latency
+        else:
+            latency += self.config.l2.hit_latency
+            latency += self.dram.access(line, now)
+            self.l2.fill(line, is_write=is_write)
+        self.l1d.fill(line, is_write=is_write)
+        self._outstanding_misses.append(now + latency)
+
+        # Prefetches fill the L2 (distance-1, degree-8 stride prefetcher).
+        for prefetch_address in prefetches:
+            prefetch_line = self.l2.line_address(prefetch_address)
+            if not self.l2.probe(prefetch_line):
+                self.l2.fill(prefetch_line, is_prefetch=True)
+        return latency
+
+    # -- instruction-side accesses ------------------------------------------------
+
+    def access_instruction(self, pc: int, now: int = 0) -> int:
+        """Fetch the line containing ``pc``; returns the latency in cycles."""
+        line = self.l1i.line_address(pc)
+        if self.l1i.lookup(line):
+            return self.config.l1i.hit_latency
+        latency = self.config.l1i.hit_latency
+        if self.l2.lookup(line):
+            latency += self.config.l2.hit_latency
+        else:
+            latency += self.config.l2.hit_latency + self.dram.access(line, now)
+            self.l2.fill(line)
+        self.l1i.fill(line)
+        return latency
+
+    # -- housekeeping -------------------------------------------------------------
+
+    def _retire_outstanding(self, now: int) -> None:
+        """Drop completed misses from the MSHR occupancy list."""
+        if self._outstanding_misses:
+            self._outstanding_misses = [t for t in self._outstanding_misses if t > now]
+
+    def stats(self) -> dict[str, float]:
+        """Summary statistics for reporting."""
+        return {
+            "l1d_accesses": self.l1d.accesses,
+            "l1d_misses": self.l1d.misses,
+            "l1d_miss_rate": self.l1d.miss_rate(),
+            "l2_accesses": self.l2.accesses,
+            "l2_misses": self.l2.misses,
+            "l1i_misses": self.l1i.misses,
+            "dram_accesses": self.dram.accesses,
+            "dram_row_hits": self.dram.row_hits,
+            "prefetches_issued": self.prefetcher.prefetches_issued,
+            "mshr_full_events": self.mshr_full_events,
+        }
+
+    def __repr__(self) -> str:
+        return "MemoryHierarchy(L1I 32KB, L1D 32KB, L2 1MB, DDR3)"

@@ -1,0 +1,25 @@
+"""The cycle-level out-of-order core model.
+
+:class:`~repro.pipeline.config.CoreConfig` describes the machine (Table 1
+of the paper by default) plus the three optimisation knobs the paper
+studies: move elimination, speculative memory bypassing and the register
+sharing tracker.  :class:`~repro.pipeline.core.Core` replays a dynamic
+micro-op trace through the pipeline and returns a
+:class:`~repro.pipeline.result.SimulationResult` with the cycle count and
+every statistic the benchmark harness needs.
+
+The convenience function :func:`~repro.pipeline.core.simulate` builds a
+workload trace and runs it in one call.
+"""
+
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core, simulate, simulate_trace
+from repro.pipeline.result import SimulationResult
+
+__all__ = [
+    "CoreConfig",
+    "Core",
+    "SimulationResult",
+    "simulate",
+    "simulate_trace",
+]

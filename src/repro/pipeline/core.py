@@ -1,0 +1,659 @@
+"""The cycle-level out-of-order core model.
+
+:class:`Core` replays a dynamic micro-op trace (produced by the functional
+executor) through an out-of-order pipeline with the Table-1 organisation:
+
+``fetch -> (front-end latency) -> rename/dispatch -> issue -> execute ->
+writeback -> commit``
+
+The model is trace driven: wrong-path instructions are never fetched, so
+branch mispredictions appear as fetch stalls whose length is the real
+resolution delay of the branch plus the redirect and the scheme-dependent
+repair latency of the register sharing tracker.  Memory-order violations
+and SMB validation failures, in contrast, squash *correct-path* in-flight
+instructions and therefore exercise the full recovery machinery: the rename
+map is restored from the commit rename map, the free lists fall back to
+their committed image, and the sharing tracker is asked to
+``flush_to_committed`` (Section 4.1's "squash at Commit" path).
+
+Move elimination and speculative memory bypassing are performed at rename
+time by :class:`repro.rename.renamer.Renamer`; this module supplies the ROB
+producer lookup SMB needs, validates bypassed loads at writeback against
+the architecturally correct value carried by the trace, and trains the
+Instruction Distance predictor at commit through the
+:class:`repro.core.smb.SmbEngine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.backend.inflight import InflightOp
+from repro.backend.lsq import ForwardingState, LoadStoreQueue
+from repro.backend.rob import ReorderBuffer
+from repro.backend.scheduler import FunctionalUnits, IssueQueue
+from repro.bpred.btb import BranchTargetBuffer
+from repro.bpred.ras import ReturnAddressStack
+from repro.bpred.tage import TageBranchPredictor
+from repro.common.history import PathHistory, ShiftHistory
+from repro.core.smb import SmbEngine
+from repro.core.tracker import ReclaimDecision, make_tracker
+from repro.isa.executor import DynamicOp, Trace
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS, RegClass
+from repro.memdep.store_sets import StoreSetsPredictor
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.result import SimulationResult
+from repro.rename.maps import CommitRenameMap, FreeList, RenameMap
+from repro.rename.renamer import ProducerInfo, Renamer
+
+_NEVER = 1 << 60
+
+
+class Core:
+    """A configurable out-of-order core simulator."""
+
+    def __init__(self, config: CoreConfig | None = None) -> None:
+        self.config = config or CoreConfig()
+
+    # ------------------------------------------------------------------ setup --
+
+    def _reset(self, trace: Trace) -> None:
+        config = self.config
+        self.trace = trace
+        self.cycle = 0
+        self.committed = 0
+        self.fetch_index = 0
+        self.fetch_blocked_until = 0
+        self.pending_redirect: InflightOp | None = None
+        self.frontend_queue: list[InflightOp] = []
+        self.epoch = 0
+        self._last_fetch_line = -1
+
+        # Front end.
+        self.branch_predictor = TageBranchPredictor(config.branch_predictor)
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_ways)
+        self.ras = ReturnAddressStack(config.ras_depth)
+        self.history = ShiftHistory(max_bits=256)
+        self.path = PathHistory(max_bits=32)
+
+        # Renaming.
+        self.rename_map = RenameMap()
+        self.commit_map = CommitRenameMap()
+        self.int_free = FreeList(RegClass.INT, 0, config.num_int_pregs, NUM_INT_REGS)
+        self.fp_free = FreeList(RegClass.FP, config.num_int_pregs, config.num_fp_pregs,
+                                NUM_FP_REGS)
+        for index in range(NUM_INT_REGS):
+            self.rename_map.raw()[index] = index
+            self.commit_map.raw()[index] = index
+        for index in range(NUM_FP_REGS):
+            self.rename_map.raw()[NUM_INT_REGS + index] = config.num_int_pregs + index
+            self.commit_map.raw()[NUM_INT_REGS + index] = config.num_int_pregs + index
+
+        self.tracker = make_tracker(config.tracker)
+        self.smb_engine = SmbEngine(config.smb, num_arch_regs=NUM_INT_REGS + NUM_FP_REGS)
+        self.renamer = Renamer(self.rename_map, self.int_free, self.fp_free, self.tracker,
+                               config.move_elimination, self.smb_engine)
+
+        # Back end.
+        self.rob = ReorderBuffer(config.rob_entries, lazy_reclaim=config.lazy_reclaim)
+        self.iq = IssueQueue(config.iq_entries)
+        self.lsq = LoadStoreQueue(config.lq_entries, config.sq_entries)
+        self.fus = FunctionalUnits()
+        self.store_sets = StoreSetsPredictor(config.store_sets)
+        self.memory = MemoryHierarchy(config.memory)
+
+        self.preg_ready: dict[int, int] = {}
+        self.execution_heap: list[tuple[int, int, int, InflightOp]] = []
+
+        # Statistics.
+        self.counters: dict[str, float] = {
+            "conditional_branches": 0, "branch_mispredictions": 0, "btb_misses": 0,
+            "ras_mispredictions": 0, "memory_order_violations": 0,
+            "traps_avoided_by_smb": 0, "false_dependencies": 0,
+            "bypass_validation_flushes": 0, "committed_loads": 0,
+            "committed_bypassed_loads": 0, "committed_eliminated_moves": 0,
+            "fetch_stall_cycles": 0, "rename_stall_cycles": 0,
+            "recovery_extra_cycles": 0, "release_walks": 0,
+        }
+        self._last_share_attempt_seq: int | None = None
+        self._share_attempt_gaps = 0.0
+        self._share_attempt_count = 0
+        self._last_reclaim_check_seq: int | None = None
+        self._reclaim_check_gaps = 0.0
+        self._reclaim_check_count = 0
+
+    # -------------------------------------------------------------------- run --
+
+    def run(self, trace: Trace, max_cycles: int | None = None) -> SimulationResult:
+        """Replay ``trace`` through the pipeline and return the simulation result."""
+        if len(trace) == 0:
+            raise ValueError("cannot simulate an empty trace")
+        self._reset(trace)
+        limit = max_cycles or self.config.max_cycles_per_instruction * len(trace)
+        while self.committed < len(trace.ops):
+            self._do_commit()
+            self._do_complete()
+            self._do_issue()
+            self._do_rename()
+            self._do_fetch()
+            self.cycle += 1
+            if self.cycle > limit:
+                raise RuntimeError(
+                    f"simulation exceeded {limit} cycles after committing "
+                    f"{self.committed}/{len(trace.ops)} micro-ops of {trace.name!r}; "
+                    "this indicates a pipeline deadlock")
+        return self._build_result()
+
+    # ------------------------------------------------------------------ fetch --
+
+    def _do_fetch(self) -> None:
+        config = self.config
+        if self.pending_redirect is not None or self.cycle < self.fetch_blocked_until:
+            self.counters["fetch_stall_cycles"] += 1
+            return
+        fetched = 0
+        taken_branches = 0
+        while (fetched < config.fetch_width
+               and self.fetch_index < len(self.trace.ops)
+               and len(self.frontend_queue) < config.frontend_queue_entries):
+            op = self.trace.ops[self.fetch_index]
+            # Instruction cache: one access per new line.
+            line = op.pc // self.memory.config.l1i.line_bytes
+            if line != self._last_fetch_line:
+                latency = self.memory.access_instruction(op.pc, self.cycle)
+                self._last_fetch_line = line
+                if latency > self.memory.config.l1i.hit_latency:
+                    self.fetch_blocked_until = self.cycle + latency
+                    break
+            entry = InflightOp(op, self.cycle, self.history.bits(64), self.path.bits(32))
+            stop_fetching = False
+            if op.is_branch:
+                stop_fetching, taken_branches = self._fetch_branch(entry, taken_branches)
+            self.frontend_queue.append(entry)
+            self.fetch_index += 1
+            fetched += 1
+            if entry.branch_mispredicted:
+                self.pending_redirect = entry
+                break
+            if stop_fetching:
+                break
+
+    def _fetch_branch(self, entry: InflightOp, taken_branches: int) -> tuple[bool, int]:
+        """Predict a branch at fetch time; returns (stop fetching, taken branches so far)."""
+        config = self.config
+        op = entry.op
+        stop = False
+        if op.is_conditional_branch:
+            self.counters["conditional_branches"] += 1
+            prediction = self.branch_predictor.predict(op.pc, self.history, self.path)
+            entry.predicted_taken = prediction.taken
+            mispredicted = prediction.taken != op.taken
+            self.branch_predictor.update(op.pc, op.taken, prediction)
+            self.history.push(op.taken)
+            self.path.push(op.pc)
+            if mispredicted:
+                entry.branch_mispredicted = True
+                self.counters["branch_mispredictions"] += 1
+            elif prediction.taken:
+                stop = self._taken_branch_btb(op, taken_branches)
+        elif op.opcode is Opcode.RET:
+            predicted = self.ras.pop()
+            self.path.push(op.pc)
+            if predicted is None or predicted != op.target_pc:
+                entry.branch_mispredicted = True
+                self.counters["ras_mispredictions"] += 1
+                self.counters["branch_mispredictions"] += 1
+            else:
+                stop = True
+        else:
+            # Direct jumps and calls are always (correctly) predicted taken.
+            self.path.push(op.pc)
+            if op.opcode is Opcode.CALL:
+                self.ras.push(op.pc + 4)
+            stop = self._taken_branch_btb(op, taken_branches)
+        if op.taken:
+            taken_branches += 1
+            if taken_branches >= config.max_taken_branches_per_fetch + 1:
+                stop = True
+        return stop, taken_branches
+
+    def _taken_branch_btb(self, op: DynamicOp, taken_branches: int) -> bool:
+        """BTB lookup for a taken branch; a miss costs a short front-end redirect."""
+        target = self.btb.lookup(op.pc)
+        actual_target = op.target_pc if op.target_pc is not None else op.next_pc
+        if target is None or target != actual_target:
+            self.counters["btb_misses"] += 1
+            self.btb.update(op.pc, actual_target)
+            self.fetch_blocked_until = self.cycle + self.config.btb_miss_penalty
+            return True
+        return False
+
+    # ----------------------------------------------------------------- rename --
+
+    def _do_rename(self) -> None:
+        config = self.config
+        renamed = 0
+        while renamed < config.rename_width and self.frontend_queue:
+            entry = self.frontend_queue[0]
+            if entry.fetch_cycle + config.frontend_depth > self.cycle:
+                break
+            op = entry.op
+            if not self._rename_resources_available(entry):
+                self.counters["rename_stall_cycles"] += 1
+                break
+            self.frontend_queue.pop(0)
+
+            smb_prediction = None
+            if (config.smb.enabled and op.is_load
+                    and self.tracker.supports_memory_bypass):
+                smb_prediction = self.smb_engine.predict(op, entry.history, entry.path)
+            self._note_share_attempt(entry, smb_prediction)
+            outcome = self.renamer.rename_op(
+                op, entry.history, entry.path,
+                resolve_producer=self._resolve_producer,
+                smb_prediction=smb_prediction,
+            )
+            entry.rename_cycle = self.cycle
+            entry.smb_prediction = smb_prediction
+            entry.src_pregs = outcome.src_pregs
+            entry.dest_preg = outcome.dest_preg
+            entry.old_preg = outcome.old_preg
+            entry.allocated = outcome.allocated
+            entry.eliminated = outcome.eliminated
+            entry.bypassed = outcome.bypassed
+            entry.share_recorded = outcome.share_recorded
+            entry.bypass_producer = outcome.bypass_producer
+            entry.bypass_value_matches = outcome.bypass_value_matches
+
+            if outcome.allocated and outcome.dest_preg is not None:
+                self.preg_ready[outcome.dest_preg] = _NEVER
+
+            entry.needs_execution = not (
+                outcome.eliminated or op.op_class is OpClass.NOP)
+
+            # Memory dependence prediction (Store Sets).
+            if op.is_load:
+                wait_seq = self.store_sets.lookup_load(op.pc)
+                if wait_seq is not None and wait_seq < op.seq:
+                    waiting_for = self.rob.lookup(wait_seq)
+                    if waiting_for is not None and waiting_for.is_store \
+                            and not waiting_for.committed:
+                        entry.store_set_wait_seq = wait_seq
+            elif op.is_store:
+                self.store_sets.store_renamed(op.pc, op.seq)
+
+            # Dispatch.
+            self.rob.append(entry)
+            if op.is_load or op.is_store:
+                self.lsq.add(entry)
+            if entry.needs_execution:
+                self.iq.add(entry)
+            else:
+                entry.issued = True
+                entry.completed = True
+                entry.complete_cycle = self.cycle
+            renamed += 1
+
+    def _rename_resources_available(self, entry: InflightOp) -> bool:
+        """Check ROB/IQ/LSQ/free-list availability, triggering lazy release if needed."""
+        op = entry.op
+        if self.rob.is_full():
+            if self.config.lazy_reclaim:
+                self._release_retained(force=True)
+            if self.rob.is_full():
+                return False
+        if self.iq.is_full():
+            return False
+        if op.is_load and self.lsq.lq_full():
+            return False
+        if op.is_store and self.lsq.sq_full():
+            return False
+        if not self.renamer.can_rename(op):
+            if self.config.lazy_reclaim:
+                self._release_retained(force=True)
+            if not self.renamer.can_rename(op):
+                return False
+        if self.config.lazy_reclaim:
+            self._release_retained(force=False)
+        return True
+
+    def _resolve_producer(self, seq: int) -> ProducerInfo | None:
+        """Locate a bypass producer by sequence number (ROB or retained entries)."""
+        entry = self.rob.lookup(seq)
+        if entry is None:
+            return None
+        if entry.committed and not self.config.smb.bypass_from_committed:
+            return None
+        if entry.dest_preg is None or not entry.op.writes_register:
+            return None
+        return ProducerInfo(
+            seq=seq,
+            preg=entry.dest_preg,
+            value=entry.op.result,
+            is_load=entry.is_load,
+            is_committed=entry.committed,
+        )
+
+    def _note_share_attempt(self, entry: InflightOp, smb_prediction) -> None:
+        """Track the inter-arrival distance of ISRB allocation attempts (Section 6.3)."""
+        is_me_candidate = self.config.move_elimination.is_candidate(entry.op)
+        is_smb_candidate = smb_prediction is not None
+        if not (is_me_candidate or is_smb_candidate):
+            return
+        if self._last_share_attempt_seq is not None:
+            self._share_attempt_gaps += entry.seq - self._last_share_attempt_seq
+            self._share_attempt_count += 1
+        self._last_share_attempt_seq = entry.seq
+
+    # ------------------------------------------------------------------ issue --
+
+    def _do_issue(self) -> None:
+        config = self.config
+        cycle = self.cycle
+
+        def try_issue(entry: InflightOp) -> bool:
+            for preg in entry.src_pregs:
+                if self.preg_ready.get(preg, 0) > cycle:
+                    return False
+            pool = self.fus.pool_for(entry.op.op_class)
+            if not pool.can_accept(cycle):
+                return False
+            if entry.is_load:
+                latency = self._load_issue_latency(entry)
+                if latency is None:
+                    return False
+            elif entry.is_store:
+                latency = config.store_latency
+            else:
+                latency = self._execution_latency(entry.op)
+            pool.accept(cycle, latency)
+            entry.issued = True
+            entry.issue_cycle = cycle
+            entry.complete_cycle = cycle + latency
+            heapq.heappush(self.execution_heap,
+                           (entry.complete_cycle, entry.seq, self.epoch, entry))
+            return True
+
+        self.iq.issue(cycle, config.issue_width, try_issue)
+
+    def _execution_latency(self, op: DynamicOp) -> int:
+        """Fixed execution latency of a non-memory micro-op."""
+        config = self.config
+        op_class = op.op_class
+        if op_class in (OpClass.INT_ALU, OpClass.INT_MOVE):
+            return config.int_alu_latency
+        if op_class is OpClass.INT_MUL:
+            return config.int_mul_latency
+        if op_class is OpClass.INT_DIV:
+            return config.int_div_latency
+        if op_class in (OpClass.FP_ALU, OpClass.FP_MOVE):
+            return config.fp_alu_latency
+        if op_class is OpClass.FP_MULDIV:
+            return config.fp_div_latency if op.opcode is Opcode.FDIV else config.fp_mul_latency
+        if op_class is OpClass.BRANCH:
+            return config.branch_latency
+        return config.int_alu_latency
+
+    def _load_issue_latency(self, entry: InflightOp) -> int | None:
+        """Memory-dependence checks and latency for a load; ``None`` means wait."""
+        config = self.config
+        op = entry.op
+
+        # Store Sets dependence: the load waits until the predicted store executed.
+        if entry.store_set_wait_seq is not None and not entry.bypassed:
+            store = self.rob.lookup(entry.store_set_wait_seq)
+            if store is not None and store.is_store and not store.committed \
+                    and not store.completed:
+                return None
+            if not entry.false_dependency:
+                store_op = self.trace.ops[entry.store_set_wait_seq]
+                overlap = (store_op.mem_addr is not None and op.mem_addr is not None
+                           and store_op.mem_addr < op.mem_addr + op.mem_size
+                           and op.mem_addr < store_op.mem_addr + store_op.mem_size)
+                if not overlap:
+                    entry.false_dependency = True
+                    self.counters["false_dependencies"] += 1
+
+        decision = self.lsq.forwarding_for(entry)
+        if decision.state is ForwardingState.PARTIAL_OVERLAP:
+            store = decision.store
+            if not (store.issued and store.completed):
+                return None
+            return config.stlf_latency + config.partial_forward_penalty
+        if decision.state is ForwardingState.FORWARD:
+            entry.stlf_forwarded = True
+            return config.stlf_latency
+        # No conflict, or the covering store has not executed yet (the load
+        # proceeds with possibly stale data -- violation detected later).
+        return self.memory.access_data(op.mem_addr, False, op.pc, self.cycle)
+
+    # -------------------------------------------------------------- writeback --
+
+    def _do_complete(self) -> None:
+        cycle = self.cycle
+        heap = self.execution_heap
+        while heap and heap[0][0] <= cycle:
+            _, _, epoch, entry = heapq.heappop(heap)
+            if epoch != self.epoch or entry.completed:
+                continue
+            entry.completed = True
+            if entry.allocated and entry.dest_preg is not None:
+                self.preg_ready[entry.dest_preg] = entry.complete_cycle
+            if entry.is_store:
+                self._detect_violations(entry)
+            if entry.is_load and entry.bypassed:
+                self.smb_engine.note_validation(
+                    entry.op, entry.bypass_value_matches,
+                    entry.history, entry.path, entry.smb_prediction)
+            if entry is self.pending_redirect:
+                self._resolve_misprediction(entry)
+
+    def _detect_violations(self, store: InflightOp) -> None:
+        """A store executed: flag younger already-executed overlapping loads."""
+        for load in self.lsq.violating_loads(store):
+            if load.bypassed and load.bypass_value_matches:
+                # The dependence was satisfied through the register file:
+                # the trap is avoided (Section 3.1's third benefit of SMB).
+                self.counters["traps_avoided_by_smb"] += 1
+                continue
+            if not load.violation:
+                load.violation = True
+                self.store_sets.train_violation(load.op.pc, store.op.pc)
+
+    def _resolve_misprediction(self, branch: InflightOp) -> None:
+        """A mispredicted branch resolved: restart fetch, charging the recovery cost."""
+        wrong_path_estimate = min(
+            self.rob.free_slots(),
+            max(self.cycle - branch.rename_cycle, 1) * self.config.rename_width,
+        ) if branch.rename_cycle >= 0 else self.config.rename_width
+        extra = self.tracker.recovery_cycles(wrong_path_estimate, self.config.commit_width)
+        extra = max(extra - 1, 0)  # a single-cycle repair is part of the base redirect
+        self.counters["recovery_extra_cycles"] += extra
+        self.fetch_blocked_until = max(self.fetch_blocked_until, self.cycle + 1 + extra)
+        self.pending_redirect = None
+
+    # ----------------------------------------------------------------- commit --
+
+    def _do_commit(self) -> None:
+        config = self.config
+        committed_now = 0
+        while committed_now < config.commit_width:
+            entry = self.rob.head()
+            if entry is None or not entry.completed:
+                break
+            if entry.violation or (entry.bypassed and not entry.bypass_value_matches):
+                self._flush_at(entry)
+                break
+            self._commit_entry(entry)
+            committed_now += 1
+
+    def _commit_entry(self, entry: InflightOp) -> None:
+        config = self.config
+        op = entry.op
+        csn = self.committed
+        entry.committed = True
+        entry.commit_cycle = self.cycle
+        self.rob.pop_head()
+
+        if op.is_load or op.is_store:
+            self.lsq.remove_committed(entry)
+            if op.is_store:
+                # Drain the store to the cache (latency absorbed by the store buffer).
+                self.memory.access_data(op.mem_addr, True, op.pc, self.cycle)
+                self.store_sets.store_completed(op.pc, op.seq)
+            else:
+                self.counters["committed_loads"] += 1
+                if entry.bypassed:
+                    self.counters["committed_bypassed_loads"] += 1
+        if entry.eliminated:
+            self.counters["committed_eliminated_moves"] += 1
+
+        if entry.share_recorded and entry.dest_preg is not None:
+            self.tracker.on_share_commit(entry.dest_preg)
+
+        if op.dest is not None and entry.dest_preg is not None:
+            arch_flat = op.dest.flat_index
+            previous = self.commit_map.lookup_flat(arch_flat)
+            self.commit_map.raw()[arch_flat] = entry.dest_preg
+            if entry.allocated:
+                self._free_list_for_preg(entry.dest_preg).on_commit_allocate(entry.dest_preg)
+            if previous >= 0 and previous != entry.dest_preg:
+                if config.lazy_reclaim:
+                    # Deferred: the ROB retains this entry until the release walk.
+                    pass
+                else:
+                    self._reclaim_register(previous, arch_flat, entry.seq)
+
+        # Commit-side SMB training (CSN table, DDT, distance predictor).
+        self.smb_engine.train_commit(op, csn, entry.history, entry.path, entry.smb_prediction)
+        self.committed += 1
+
+    def _reclaim_register(self, preg: int, arch_flat: int, seq: int) -> None:
+        """Ask the sharing tracker whether ``preg`` can return to the free list."""
+        if self.tracker.is_tracked(preg):
+            if self._last_reclaim_check_seq is not None:
+                self._reclaim_check_gaps += seq - self._last_reclaim_check_seq
+                self._reclaim_check_count += 1
+            self._last_reclaim_check_seq = seq
+        decision = self.tracker.reclaim(preg, arch_flat)
+        if decision is ReclaimDecision.FREE:
+            self._free_list_for_preg(preg).release(preg)
+
+    def _release_retained(self, force: bool) -> None:
+        """Lazy-reclaim release walk (Section 3.3).
+
+        Triggered when the free list runs low or the ROB fills up
+        (``force``), the walk releases retained committed entries and
+        performs the register reclaims their commits deferred.
+        """
+        config = self.config
+        def needs_release() -> bool:
+            if force and (self.rob.is_full()
+                          or self.int_free.is_empty() or self.fp_free.is_empty()):
+                return True
+            return (self.int_free.available() < config.free_list_low_watermark
+                    or self.fp_free.available() < config.free_list_low_watermark
+                    or self.rob.free_slots() < config.rename_width)
+
+        released_any = False
+        while needs_release() and self.rob.retained_count() > 0:
+            entry = self.rob.pop_retained()
+            if entry is None:
+                break
+            released_any = True
+            if entry.op.dest is not None and entry.old_preg is not None \
+                    and entry.old_preg >= 0 and entry.old_preg != entry.dest_preg:
+                self._reclaim_register(entry.old_preg, entry.op.dest.flat_index, entry.seq)
+        if released_any:
+            self.counters["release_walks"] += 1
+
+    # ------------------------------------------------------------------ flush --
+
+    def _flush_at(self, entry: InflightOp) -> None:
+        """Squash everything in flight and re-fetch starting at ``entry`` (trap at commit)."""
+        if entry.violation:
+            self.counters["memory_order_violations"] += 1
+        else:
+            self.counters["bypass_validation_flushes"] += 1
+
+        squashed = self.rob.squash_all_inflight()
+        self.iq.clear()
+        self.lsq.squash_all()
+        self.frontend_queue.clear()
+        self.execution_heap.clear()
+        self.epoch += 1
+        self.pending_redirect = None
+
+        # Restore the renamer to the committed state (Section 4.1).
+        self.rename_map.copy_from(self.commit_map)
+        self.int_free.restore_to_committed()
+        self.fp_free.restore_to_committed()
+        for preg in self.tracker.flush_to_committed():
+            self._free_list_for_preg(preg).release(preg)
+
+        # Re-fetch from the trapping instruction itself.
+        self.fetch_index = entry.seq
+        self._last_fetch_line = -1
+        extra = self.tracker.recovery_cycles(len(squashed), self.config.commit_width)
+        extra = max(extra - 1, 0)
+        self.counters["recovery_extra_cycles"] += extra
+        self.fetch_blocked_until = self.cycle + self.config.trap_penalty + extra
+
+    # ------------------------------------------------------------------ utils --
+
+    def _free_list_for_preg(self, preg: int) -> FreeList:
+        return self.int_free if preg < self.config.num_int_pregs else self.fp_free
+
+    def _build_result(self) -> SimulationResult:
+        stats: dict[str, float] = dict(self.counters)
+        stats.update(self.renamer.move_stats.as_dict())
+        stats.update(self.smb_engine.stats_dict())
+        for key, value in self.tracker.stats.as_dict().items():
+            stats[f"tracker_{key}"] = value
+        stats["tracker_storage_bits"] = self.tracker.storage_bits()
+        stats["tracker_checkpoint_bits"] = self.tracker.checkpoint_bits()
+        for key, value in self.memory.stats().items():
+            stats[f"mem_{key}"] = value
+        stats["rob_peak_occupancy"] = self.rob.peak_occupancy
+        stats["iq_peak_occupancy"] = self.iq.peak_occupancy
+        stats["lq_peak_occupancy"] = self.lsq.peak_lq
+        stats["sq_peak_occupancy"] = self.lsq.peak_sq
+        stats["renamed_instructions"] = self.renamer.move_stats.renamed_instructions
+        if self._share_attempt_count:
+            stats["isrb_alloc_mean_distance"] = (
+                self._share_attempt_gaps / self._share_attempt_count)
+        if self._reclaim_check_count:
+            stats["isrb_reclaim_mean_distance"] = (
+                self._reclaim_check_gaps / self._reclaim_check_count)
+        if self.counters["committed_loads"]:
+            stats["bypassed_load_fraction"] = (
+                self.counters["committed_bypassed_loads"] / self.counters["committed_loads"])
+        return SimulationResult(
+            workload=self.trace.name,
+            config_label=self.config.label(),
+            cycles=self.cycle,
+            instructions=self.committed,
+            stats=stats,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def simulate_trace(trace: Trace, config: CoreConfig | None = None,
+                   max_cycles: int | None = None) -> SimulationResult:
+    """Run ``trace`` on a core with the given configuration."""
+    return Core(config).run(trace, max_cycles=max_cycles)
+
+
+def simulate(workload: str, config: CoreConfig | None = None, max_ops: int = 20_000,
+             seed: int = 1, max_cycles: int | None = None) -> SimulationResult:
+    """Generate workload ``workload`` and simulate it in one call."""
+    from repro.workloads import generate_trace
+
+    trace = generate_trace(workload, max_ops=max_ops, seed=seed)
+    return simulate_trace(trace, config, max_cycles=max_cycles)

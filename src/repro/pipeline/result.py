@@ -1,0 +1,67 @@
+"""Simulation results and comparison helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one trace replay through the core model.
+
+    Attributes
+    ----------
+    workload:
+        Name of the workload that was simulated.
+    config_label:
+        Short description of the configuration (from
+        :meth:`repro.pipeline.config.CoreConfig.label`).
+    cycles:
+        Number of simulated cycles.
+    instructions:
+        Number of committed micro-ops.
+    stats:
+        Flat dictionary of every event counter collected during the run
+        (branch mispredictions, memory-order traps, eliminated moves,
+        bypassed loads, tracker statistics, cache statistics, ...).
+    """
+
+    workload: str
+    config_label: str
+    cycles: int
+    instructions: int
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed micro-ops per cycle."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same workload expected)."""
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"comparing different workloads: {baseline.workload!r} vs {self.workload!r}")
+        if baseline.instructions != self.instructions:
+            raise ValueError(
+                "comparing runs that committed different instruction counts "
+                f"({baseline.instructions} vs {self.instructions})")
+        if self.cycles <= 0 or baseline.cycles <= 0:
+            raise ValueError("cycle counts must be positive to compute a speedup")
+        return baseline.cycles / self.cycles
+
+    def stat(self, key: str, default: float = 0.0) -> float:
+        """Return one statistic (0 when absent)."""
+        return self.stats.get(key, default)
+
+    def summary(self) -> str:
+        """One-line summary used by the examples."""
+        return (f"{self.workload:18s} [{self.config_label}] "
+                f"cycles={self.cycles:8d} instructions={self.instructions:7d} "
+                f"IPC={self.ipc:5.2f}")
+
+    def __repr__(self) -> str:
+        return (f"SimulationResult(workload={self.workload!r}, config={self.config_label!r}, "
+                f"cycles={self.cycles}, instructions={self.instructions}, ipc={self.ipc:.3f})")

@@ -1,0 +1,236 @@
+"""The register renamer, including move elimination and SMB integration.
+
+For every micro-op the renamer:
+
+1. looks up the physical registers of the source operands;
+2. for an eligible register-to-register move, attempts **move
+   elimination**: the destination architectural register is mapped onto the
+   source's physical register, provided the sharing tracker accepts one
+   more reference (Section 2);
+3. for a load with a confident Instruction Distance prediction, attempts
+   **speculative memory bypassing**: the predicted producer is located in
+   the ROB (through a callback supplied by the pipeline), its physical
+   register becomes the load's destination mapping, again subject to the
+   sharing tracker (Section 3.2);
+4. otherwise allocates a fresh physical register from the free list.
+
+In every case the previous mapping of the destination architectural
+register is recorded so the commit stage can hand it to the reclaim logic
+(which consults the sharing tracker before returning it to the free list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.move_elim import MoveEliminationPolicy, MoveEliminationStats
+from repro.core.smb import SmbEngine
+from repro.core.tracker import SharingTracker
+from repro.isa.executor import DynamicOp
+from repro.isa.registers import RegClass
+from repro.rename.maps import FreeList, RenameMap
+
+
+@dataclass(frozen=True)
+class ProducerInfo:
+    """What the pipeline knows about the instruction a load may bypass from."""
+
+    seq: int
+    preg: int
+    value: int | None
+    is_load: bool
+    is_committed: bool
+
+
+@dataclass
+class RenameOutcome:
+    """Everything the rest of the pipeline needs to know about a renamed micro-op."""
+
+    src_pregs: tuple[int, ...]
+    dest_preg: int | None
+    old_preg: int | None
+    allocated: bool
+    eliminated: bool
+    bypassed: bool
+    bypass_producer: ProducerInfo | None
+    bypass_value_matches: bool
+    share_recorded: bool = False
+
+    @property
+    def shared(self) -> bool:
+        """``True`` when the destination mapping references a shared physical register."""
+        return self.eliminated or self.bypassed
+
+
+#: Callback the pipeline provides to locate a bypass producer by sequence number.
+ProducerResolver = Callable[[int], ProducerInfo | None]
+
+
+class Renamer:
+    """Per-micro-op renaming with ME/SMB and a pluggable sharing tracker."""
+
+    def __init__(self, rename_map: RenameMap, int_free_list: FreeList, fp_free_list: FreeList,
+                 tracker: SharingTracker, move_policy: MoveEliminationPolicy,
+                 smb_engine: SmbEngine | None = None) -> None:
+        self.rename_map = rename_map
+        self.int_free_list = int_free_list
+        self.fp_free_list = fp_free_list
+        self.tracker = tracker
+        self.move_policy = move_policy
+        self.smb_engine = smb_engine
+        self.move_stats = MoveEliminationStats()
+
+    # -- helpers ------------------------------------------------------------------
+
+    def free_list_for(self, reg_class: RegClass) -> FreeList:
+        """The free list serving ``reg_class``."""
+        return self.int_free_list if reg_class is RegClass.INT else self.fp_free_list
+
+    def can_rename(self, op: DynamicOp) -> bool:
+        """Cheap resource check: is a physical register available if one is needed?
+
+        Move elimination or SMB may end up not needing the register, but a
+        conservative check keeps the rename stage simple (a real renamer
+        stalls the same way when the free list runs dry).
+        """
+        if op.dest is None:
+            return True
+        return not self.free_list_for(op.dest.reg_class).is_empty()
+
+    # -- main entry point ---------------------------------------------------------
+
+    def rename_op(self, op: DynamicOp, history: int = 0, path: int = 0,
+                  resolve_producer: ProducerResolver | None = None,
+                  smb_prediction=None) -> RenameOutcome:
+        """Rename one micro-op and return the resulting mappings.
+
+        ``history`` / ``path`` are the front-end history values captured
+        when the op was fetched (used only for statistics here; the SMB
+        prediction itself is supplied by the pipeline through
+        ``smb_prediction`` so that prediction and training use identical
+        state).
+        """
+        src_pregs = tuple(self.rename_map.lookup(src) for src in op.srcs)
+        self.move_stats.renamed_instructions += 1
+
+        if op.dest is None:
+            return RenameOutcome(
+                src_pregs=src_pregs, dest_preg=None, old_preg=None, allocated=False,
+                eliminated=False, bypassed=False, bypass_producer=None,
+                bypass_value_matches=True,
+            )
+
+        # 1. Move elimination.
+        outcome = self._try_move_elimination(op, src_pregs)
+        if outcome is not None:
+            return outcome
+
+        # 2. Speculative memory bypassing.
+        outcome = self._try_memory_bypass(op, src_pregs, resolve_producer, smb_prediction)
+        if outcome is not None:
+            return outcome
+
+        # 3. Conventional allocation from the free list.
+        free_list = self.free_list_for(op.dest.reg_class)
+        new_preg = free_list.allocate()
+        old_preg = self.rename_map.define(op.dest, new_preg)
+        return RenameOutcome(
+            src_pregs=src_pregs, dest_preg=new_preg, old_preg=old_preg, allocated=True,
+            eliminated=False, bypassed=False, bypass_producer=None, bypass_value_matches=True,
+        )
+
+    # -- move elimination ---------------------------------------------------------
+
+    def _try_move_elimination(self, op: DynamicOp,
+                              src_pregs: tuple[int, ...]) -> RenameOutcome | None:
+        if not self.move_policy.is_candidate(op):
+            return None
+        self.move_stats.candidates += 1
+        if not self.tracker.supports_move_elimination:
+            return None
+        source_preg = src_pregs[0]
+        if self.rename_map.lookup(op.dest) == source_preg:
+            # The destination already maps to the source's register (e.g. a
+            # repeated move): the mapping set does not change, so no new
+            # reference needs to be recorded.
+            self.move_stats.eliminated += 1
+            return RenameOutcome(
+                src_pregs=src_pregs, dest_preg=source_preg, old_preg=source_preg,
+                allocated=False, eliminated=True, bypassed=False, bypass_producer=None,
+                bypass_value_matches=True, share_recorded=False,
+            )
+        granted = self.tracker.try_share(
+            source_preg,
+            dest_arch=op.dest.flat_index,
+            src_arch=op.srcs[0].flat_index,
+            memory_bypass=False,
+        )
+        if not granted:
+            self.move_stats.rejected_by_tracker += 1
+            return None
+        old_preg = self.rename_map.define(op.dest, source_preg)
+        self.move_stats.eliminated += 1
+        return RenameOutcome(
+            src_pregs=src_pregs, dest_preg=source_preg, old_preg=old_preg, allocated=False,
+            eliminated=True, bypassed=False, bypass_producer=None, bypass_value_matches=True,
+            share_recorded=True,
+        )
+
+    # -- speculative memory bypassing ----------------------------------------------
+
+    def _try_memory_bypass(self, op: DynamicOp, src_pregs: tuple[int, ...],
+                           resolve_producer: ProducerResolver | None,
+                           smb_prediction) -> RenameOutcome | None:
+        if (self.smb_engine is None or smb_prediction is None or resolve_producer is None
+                or not op.is_load or op.dest is None):
+            return None
+        if not self.tracker.supports_memory_bypass:
+            return None
+        producer_seq = op.seq - smb_prediction.distance
+        if producer_seq < 0:
+            self.smb_engine.note_rejection("no_producer")
+            return None
+        producer = resolve_producer(producer_seq)
+        if producer is None:
+            self.smb_engine.note_rejection("no_producer")
+            return None
+        if producer.preg is None or producer.preg < 0:
+            self.smb_engine.note_rejection("no_producer")
+            return None
+        if op.dest.reg_class is not self._preg_class(producer.preg):
+            # Bypassing across register classes would need a cross-file copy;
+            # treat it as an unusable producer.
+            self.smb_engine.note_rejection("no_producer")
+            return None
+        if self.rename_map.lookup(op.dest) == producer.preg:
+            # The destination already maps to the producer's register; no new
+            # reference is needed, the bypass is effectively free.
+            self.smb_engine.note_bypass(producer.is_load, producer.is_committed)
+            matches = producer.value is not None and producer.value == op.result
+            return RenameOutcome(
+                src_pregs=src_pregs, dest_preg=producer.preg, old_preg=producer.preg,
+                allocated=False, eliminated=False, bypassed=True, bypass_producer=producer,
+                bypass_value_matches=matches, share_recorded=False,
+            )
+        granted = self.tracker.try_share(
+            producer.preg,
+            dest_arch=op.dest.flat_index,
+            src_arch=None,
+            memory_bypass=True,
+        )
+        if not granted:
+            self.smb_engine.note_rejection("tracker")
+            return None
+        old_preg = self.rename_map.define(op.dest, producer.preg)
+        self.smb_engine.note_bypass(producer.is_load, producer.is_committed)
+        matches = producer.value is not None and producer.value == op.result
+        return RenameOutcome(
+            src_pregs=src_pregs, dest_preg=producer.preg, old_preg=old_preg, allocated=False,
+            eliminated=False, bypassed=True, bypass_producer=producer,
+            bypass_value_matches=matches, share_recorded=True,
+        )
+
+    def _preg_class(self, preg: int) -> RegClass:
+        """Register class a global physical register number belongs to."""
+        return RegClass.INT if self.int_free_list.contains(preg) else RegClass.FP

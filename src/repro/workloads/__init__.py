@@ -1,0 +1,72 @@
+"""Synthetic workload suite standing in for the paper's SPEC benchmarks.
+
+The public surface is small:
+
+* :func:`list_workloads` -- names of every registered workload.
+* :func:`workload_specs` -- full :class:`~repro.workloads.base.WorkloadSpec`
+  metadata (category, description, SPEC behaviour analog).
+* :func:`build_workload` -- construct the program + initial state for a
+  workload.
+* :func:`generate_trace` -- functionally execute a workload into the dynamic
+  micro-op trace consumed by the core model.
+* ``DEFAULT_SUITE`` -- the ordered list of workloads the benchmark harness
+  sweeps by default (integer first, then floating point, as in the paper's
+  figures).
+"""
+
+from __future__ import annotations
+
+# Importing the workload modules populates the registry.
+from repro.workloads import floating as _floating  # noqa: F401
+from repro.workloads import integer as _integer  # noqa: F401
+from repro.workloads.base import (
+    WorkloadImage,
+    WorkloadSpec,
+    get_workload,
+    register_workload,
+    workload_registry,
+)
+from repro.isa.executor import Trace
+
+
+def list_workloads(category: str | None = None) -> list[str]:
+    """Return the registered workload names, optionally filtered by category."""
+    specs = workload_registry()
+    names = [name for name, spec in specs.items()
+             if category is None or spec.category == category]
+    # Keep a stable, paper-like ordering: integer workloads first.
+    names.sort(key=lambda name: (specs[name].category != "int", name))
+    return names
+
+
+def workload_specs() -> list[WorkloadSpec]:
+    """Return every registered workload spec in suite order."""
+    registry = workload_registry()
+    return [registry[name] for name in list_workloads()]
+
+
+def build_workload(name: str, seed: int = 1) -> WorkloadImage:
+    """Build the program and initial architectural state for workload ``name``."""
+    return get_workload(name).build(seed)
+
+
+def generate_trace(name: str, max_ops: int = 20_000, seed: int = 1) -> Trace:
+    """Functionally execute workload ``name`` and return its dynamic trace."""
+    return build_workload(name, seed=seed).execute(max_ops=max_ops)
+
+
+#: Workloads swept by the benchmark harness, in presentation order.
+DEFAULT_SUITE: tuple[str, ...] = tuple(list_workloads())
+
+__all__ = [
+    "WorkloadImage",
+    "WorkloadSpec",
+    "register_workload",
+    "workload_registry",
+    "get_workload",
+    "list_workloads",
+    "workload_specs",
+    "build_workload",
+    "generate_trace",
+    "DEFAULT_SUITE",
+]

@@ -1,0 +1,120 @@
+"""Workload abstraction and registry.
+
+The paper evaluates on 36 SPEC CPU2000/2006 Simpoint slices.  SPEC binaries
+and traces are not redistributable and an x86_64 front end is out of scope
+for this reproduction, so the evaluation substrate is a suite of *synthetic
+workloads* written directly in the micro-op ISA.  Each workload is designed
+to exhibit one of the behaviour classes that drive the paper's results:
+
+* density of (eliminable and non-eliminable) register-to-register moves,
+* store-to-load pairs whose distance fits inside the instruction window
+  (compiler spills, stack argument passing, memory-carried recurrences),
+* load-to-load redundancy (repeatedly reading the same location),
+* memory dependences that the Store Sets predictor mis-handles (aliasing
+  that appears and disappears, producing traps and false dependencies),
+* branch predictability (from fully biased loops to data-dependent coins).
+
+A workload is registered with :func:`register_workload` and produces a
+:class:`WorkloadImage` (program + initial architectural state).  The
+:func:`repro.workloads.generate_trace` helper functionally executes the
+image into a :class:`~repro.isa.executor.Trace` that the core model replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.isa.executor import Executor, Trace
+from repro.isa.program import Program
+from repro.isa.registers import ArchReg
+
+
+@dataclass
+class WorkloadImage:
+    """A program plus the initial architectural state it expects."""
+
+    program: Program
+    initial_regs: dict[ArchReg, int] = field(default_factory=dict)
+    initial_memory: dict[int, int] = field(default_factory=dict)
+
+    def execute(self, max_ops: int) -> Trace:
+        """Run the image functionally and return its dynamic trace."""
+        executor = Executor(
+            self.program,
+            initial_regs=self.initial_regs,
+            initial_memory=self.initial_memory,
+        )
+        return executor.run(max_ops=max_ops)
+
+
+#: Signature of a workload builder: ``build(seed) -> WorkloadImage``.
+WorkloadBuilder = Callable[[int], WorkloadImage]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of one registered synthetic workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also used in benchmark output rows).
+    category:
+        ``"int"`` or ``"fp"``; the paper groups results the same way.
+    description:
+        One-line summary of the behaviour the workload models.
+    spec_analog:
+        The SPEC benchmark(s) whose relevant behaviour class this workload
+        stands in for (documentation only; no SPEC code is used).
+    builder:
+        Callable creating the :class:`WorkloadImage` for a seed.
+    """
+
+    name: str
+    category: str
+    description: str
+    spec_analog: str
+    builder: WorkloadBuilder
+
+    def build(self, seed: int = 1) -> WorkloadImage:
+        """Construct the workload image for ``seed``."""
+        return self.builder(seed)
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register_workload(name: str, category: str, description: str,
+                      spec_analog: str) -> Callable[[WorkloadBuilder], WorkloadBuilder]:
+    """Class/function decorator registering a workload builder under ``name``."""
+    if category not in ("int", "fp"):
+        raise ValueError(f"workload category must be 'int' or 'fp', got {category!r}")
+
+    def decorator(builder: WorkloadBuilder) -> WorkloadBuilder:
+        if name in _REGISTRY:
+            raise ValueError(f"workload {name!r} registered twice")
+        _REGISTRY[name] = WorkloadSpec(
+            name=name,
+            category=category,
+            description=description,
+            spec_analog=spec_analog,
+            builder=builder,
+        )
+        return builder
+
+    return decorator
+
+
+def workload_registry() -> dict[str, WorkloadSpec]:
+    """Return the registry of all known workloads (name -> spec)."""
+    return dict(_REGISTRY)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Return the spec for workload ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}") from exc

@@ -1,0 +1,279 @@
+"""Floating-point synthetic workloads.
+
+These model the behaviour classes of the paper's SPEC FP benchmarks:
+long-latency FP dependence chains, array stencils that re-read neighbouring
+elements, memory-carried recurrences and register-blocked kernels whose
+accumulators spill to memory.  Addressing is done with integer registers as
+in real x86_64 FP code.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import fp_reg, int_reg
+from repro.workloads.base import WorkloadImage, register_workload
+
+_LOOP_COUNTER = int_reg(15)
+_LOOP_BOUND = int_reg(14)
+_LOOP_TEST = int_reg(13)
+_ARRAY_A = int_reg(12)
+_ARRAY_B = int_reg(11)
+_LCG_STATE = int_reg(10)
+
+_A_BASE = 0x0040_0000
+_B_BASE = 0x0048_0000
+_SPILL_BASE = 0x0002_0000
+_HUGE_BOUND = 1 << 40
+_LCG_ADD = 0x9E37
+
+
+def _loop_prologue(builder: ProgramBuilder) -> None:
+    """Initialise loop counter/bound and the two array base pointers."""
+    builder.movi(_LOOP_COUNTER, 0)
+    builder.movi(_LOOP_BOUND, _HUGE_BOUND)
+    builder.movi(_ARRAY_A, _A_BASE)
+    builder.movi(_ARRAY_B, _B_BASE)
+
+
+def _loop_epilogue(builder: ProgramBuilder, label: str) -> None:
+    """Increment the loop counter and branch back to ``label``."""
+    builder.addi(_LOOP_COUNTER, _LOOP_COUNTER, 1)
+    builder.cmplt(_LOOP_TEST, _LOOP_COUNTER, _LOOP_BOUND)
+    builder.bnz(_LOOP_TEST, label)
+    builder.halt()
+
+
+def _random_table(rng: random.Random, base: int, words: int) -> dict[int, int]:
+    """A table of ``words`` random 64-bit values starting at ``base``."""
+    return {base + 8 * i: rng.getrandbits(63) for i in range(words)}
+
+
+@register_workload(
+    "fp_stencil",
+    category="fp",
+    description="1D stencil re-reading neighbouring elements every iteration",
+    spec_analog="mgrid / applu (stencils with heavy load-load redundancy)",
+)
+def build_fp_stencil(seed: int) -> WorkloadImage:
+    """Stencil kernel: a[i-1] and a[i] are reloaded by the next iteration (load-load pairs)."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("fp_stencil")
+    r, f = int_reg, fp_reg
+
+    _loop_prologue(builder)
+    builder.label("loop")
+    # i advances one element per iteration: a[i] and a[i+1] are re-read by
+    # the next iteration as a[i-1] and a[i] (stable load-load distances).
+    builder.shli(r(1), _LOOP_COUNTER, 3)
+    builder.andi(r(1), r(1), 0x7F8)
+    builder.fload(f(0), base=_ARRAY_A, index=r(1), offset=0)       # a[i-1]
+    builder.fload(f(1), base=_ARRAY_A, index=r(1), offset=8)       # a[i]
+    builder.fload(f(2), base=_ARRAY_A, index=r(1), offset=16)      # a[i+1]
+    builder.fadd(f(3), f(0), f(1))
+    builder.fadd(f(4), f(3), f(2))
+    builder.fmul(f(5), f(4), f(1))
+    builder.fstore(f(5), base=_ARRAY_B, index=r(1), offset=8)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory={**_random_table(rng, _A_BASE, 512), **_random_table(rng, _B_BASE, 512)},
+    )
+
+
+@register_workload(
+    "fp_recurrence",
+    category="fp",
+    description="memory-carried recurrence: each iteration reloads the value stored by the last",
+    spec_analog="wupwise / swim (short store-to-load recurrences)",
+)
+def build_fp_recurrence(seed: int) -> WorkloadImage:
+    """Store-to-load recurrence with a stable in-window distance (prime store-load SMB)."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("fp_recurrence")
+    r, f = int_reg, fp_reg
+
+    _loop_prologue(builder)
+    builder.movi(r(9), _SPILL_BASE)
+    builder.label("loop")
+    builder.fload(f(0), base=r(9), offset=0)              # reload last iteration's value
+    builder.andi(r(1), _LOOP_COUNTER, 0x1F8)
+    builder.fload(f(1), base=_ARRAY_A, index=r(1), offset=0)
+    builder.fadd(f(2), f(0), f(1))
+    builder.fmul(f(3), f(2), f(1))
+    builder.fadd(f(4), f(3), f(0))
+    builder.fstore(f(4), base=r(9), offset=0)              # store for the next iteration
+    builder.fstore(f(3), base=_ARRAY_B, index=r(1), offset=0)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory={**_random_table(rng, _A_BASE, 256),
+                        **_random_table(rng, _SPILL_BASE, 8)},
+    )
+
+
+@register_workload(
+    "fp_moves",
+    category="fp",
+    description="FP arithmetic with FP and integer register shuffling moves",
+    spec_analog="namd / povray (moves on the scalar critical path)",
+)
+def build_fp_moves(seed: int) -> WorkloadImage:
+    """FP kernel whose integer address computation goes through eliminable moves."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("fp_moves")
+    r, f = int_reg, fp_reg
+
+    _loop_prologue(builder)
+    builder.movi(r(9), 3)
+    builder.label("loop")
+    builder.andi(r(1), _LOOP_COUNTER, 0x7F8)
+    builder.mov(r(2), r(1))                                # eliminable (address critical path)
+    builder.addi(r(2), r(2), 8)
+    builder.mov(r(3), r(2))                                # eliminable
+    builder.fload(f(0), base=_ARRAY_A, index=r(3), offset=0)
+    builder.fmov(f(1), f(0))                               # FP move (kept as a real micro-op)
+    builder.fmul(f(2), f(1), f(0))
+    builder.fmov(f(3), f(2))                               # FP move
+    builder.fadd(f(4), f(3), f(1))
+    builder.fstore(f(4), base=_ARRAY_B, index=r(1), offset=0)
+    builder.mov(r(4), r(3))                                # eliminable
+    builder.add(r(5), r(4), r(9))
+    builder.store(r(5), base=_ARRAY_B, index=r(1), offset=0x4000)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory={**_random_table(rng, _A_BASE, 512), **_random_table(rng, _B_BASE, 512)},
+    )
+
+
+@register_workload(
+    "fp_gather_alias",
+    category="fp",
+    description="indexed FP loads disturbed by intermittently aliasing stores",
+    spec_analog="gamess / gromacs (gather/scatter with rare in-window aliasing)",
+)
+def build_fp_gather_alias(seed: int) -> WorkloadImage:
+    """Gather/scatter with occasional aliasing: traps without SMB, clean with it."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("fp_gather_alias")
+    r, f = int_reg, fp_reg
+
+    _loop_prologue(builder)
+    builder.movi(_LCG_STATE, rng.getrandbits(31) | 1)
+    builder.movi(r(9), 2654435761)
+    builder.label("loop")
+    builder.mul(_LCG_STATE, _LCG_STATE, r(9))
+    builder.addi(_LCG_STATE, _LCG_STATE, _LCG_ADD)
+    builder.shri(r(1), _LCG_STATE, 40)
+    builder.andi(r(1), r(1), 0x38)                       # scatter bucket (8 buckets)
+    builder.mul(r(2), r(1), r(9))                        # late-resolving scatter address input
+    builder.andi(r(2), r(2), 0x38)
+    builder.andi(r(3), _LOOP_COUNTER, 0x1F8)
+    builder.fload(f(0), base=_ARRAY_A, index=r(3), offset=0)
+    builder.fmul(f(1), f(0), f(0))
+    builder.fstore(f(1), base=_ARRAY_B, index=r(2), offset=0)   # scatter (late address)
+    builder.fload(f(2), base=_ARRAY_B, offset=0x10)             # gathers bucket 2: aliases 1/8
+    builder.fadd(f(3), f(2), f(1))
+    builder.fstore(f(3), base=_ARRAY_B, index=r(3), offset=0x2000)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory={**_random_table(rng, _A_BASE, 256), **_random_table(rng, _B_BASE, 2048)},
+    )
+
+
+@register_workload(
+    "fp_blocked_mm",
+    category="fp",
+    description="register-blocked kernel whose accumulators spill and reload",
+    spec_analog="gromacs / calculix (blocked linear algebra with spills)",
+)
+def build_fp_blocked_mm(seed: int) -> WorkloadImage:
+    """Register-blocked multiply-accumulate tile with accumulator spills to memory."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("fp_blocked_mm")
+    r, f = int_reg, fp_reg
+
+    _loop_prologue(builder)
+    builder.movi(r(9), _SPILL_BASE)
+    builder.label("loop")
+    builder.andi(r(1), _LOOP_COUNTER, 0x1F8)
+    # Load a 2x2 tile of operands.
+    builder.fload(f(0), base=_ARRAY_A, index=r(1), offset=0)
+    builder.fload(f(1), base=_ARRAY_A, index=r(1), offset=8)
+    builder.fload(f(2), base=_ARRAY_B, index=r(1), offset=0)
+    builder.fload(f(3), base=_ARRAY_B, index=r(1), offset=8)
+    # Multiply-accumulate into four accumulators.
+    builder.fmul(f(4), f(0), f(2))
+    builder.fmul(f(5), f(0), f(3))
+    builder.fmul(f(6), f(1), f(2))
+    builder.fmul(f(7), f(1), f(3))
+    # Spill two accumulators (register pressure), keep computing, reload them.
+    builder.fstore(f(4), base=r(9), offset=0)
+    builder.fstore(f(5), base=r(9), offset=8)
+    builder.fadd(f(8), f(6), f(7))
+    builder.fmul(f(9), f(8), f(2))
+    builder.fload(f(10), base=r(9), offset=0)          # reload accumulator 0
+    builder.fload(f(11), base=r(9), offset=8)          # reload accumulator 1
+    builder.fadd(f(12), f(10), f(11))
+    builder.fadd(f(13), f(12), f(9))
+    builder.fstore(f(13), base=_ARRAY_B, index=r(1), offset=0x2000)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory={**_random_table(rng, _A_BASE, 512),
+                        **_random_table(rng, _B_BASE, 2048),
+                        **_random_table(rng, _SPILL_BASE, 8)},
+    )
+
+
+@register_workload(
+    "fp_mixed",
+    category="fp",
+    description="mixed FP/integer loop with moderate moves, spills and branches",
+    spec_analog="sphinx3 / soplex (balanced FP code)",
+)
+def build_fp_mixed(seed: int) -> WorkloadImage:
+    """A balanced FP workload combining every behaviour in moderation."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("fp_mixed")
+    r, f = int_reg, fp_reg
+
+    _loop_prologue(builder)
+    builder.movi(r(9), _SPILL_BASE)
+    builder.movi(_LCG_STATE, rng.getrandbits(31) | 1)
+    builder.movi(r(8), 48271)
+    builder.label("loop")
+    builder.andi(r(1), _LOOP_COUNTER, 0x3F8)
+    builder.fload(f(0), base=_ARRAY_A, index=r(1), offset=0)
+    builder.mov(r(2), r(1))                              # eliminable move
+    builder.addi(r(2), r(2), 16)
+    builder.fload(f(1), base=_ARRAY_A, index=r(2), offset=0)
+    builder.fmul(f(2), f(0), f(1))
+    builder.fstore(f(2), base=r(9), offset=16)           # short spill
+    builder.mul(_LCG_STATE, _LCG_STATE, r(8))
+    builder.addi(_LCG_STATE, _LCG_STATE, 7)
+    builder.shri(r(3), _LCG_STATE, 34)
+    builder.andi(r(3), r(3), 1)
+    builder.bz(r(3), "skip")
+    builder.fadd(f(3), f(2), f(0))
+    builder.fstore(f(3), base=_ARRAY_B, index=r(1), offset=0)
+    builder.label("skip")
+    builder.fload(f(4), base=r(9), offset=16)            # reload of the short spill
+    builder.fadd(f(5), f(4), f(1))
+    builder.fstore(f(5), base=_ARRAY_B, index=r(1), offset=0x2000)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory={**_random_table(rng, _A_BASE, 512),
+                        **_random_table(rng, _B_BASE, 2048),
+                        **_random_table(rng, _SPILL_BASE, 8)},
+    )

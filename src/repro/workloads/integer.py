@@ -1,0 +1,547 @@
+"""Integer synthetic workloads.
+
+Each workload models a behaviour class of the SPEC integer benchmarks the
+paper evaluates on (the ``spec_analog`` field says which one); none of them
+contain SPEC code.  All workloads are infinite loops -- the trace length is
+controlled by the ``max_ops`` budget passed to the functional executor.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import int_reg
+from repro.workloads.base import WorkloadImage, register_workload
+
+# Register allocation conventions shared by the integer workloads:
+#   r15 : loop iteration counter
+#   r14 : loop bound (a huge constant; traces are truncated by max_ops)
+#   r13 : scratch used for the loop-back comparison
+#   r12 : primary data-structure base pointer
+#   r11 : stack / spill area base pointer
+#   r10 : LCG state for data-dependent (unpredictable) branches
+_LOOP_COUNTER = int_reg(15)
+_LOOP_BOUND = int_reg(14)
+_LOOP_TEST = int_reg(13)
+_BASE_PTR = int_reg(12)
+_STACK_PTR = int_reg(11)
+_LCG_STATE = int_reg(10)
+
+_STACK_BASE = 0x0001_0000
+_HEAP_BASE = 0x0010_0000
+_TABLE_BASE = 0x0020_0000
+_HUGE_BOUND = 1 << 40
+
+_LCG_MUL = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+
+
+def _loop_prologue(builder: ProgramBuilder) -> None:
+    """Initialise the loop counter and bound registers."""
+    builder.movi(_LOOP_COUNTER, 0)
+    builder.movi(_LOOP_BOUND, _HUGE_BOUND)
+
+
+def _loop_epilogue(builder: ProgramBuilder, label: str) -> None:
+    """Increment the loop counter and branch back to ``label``."""
+    builder.addi(_LOOP_COUNTER, _LOOP_COUNTER, 1)
+    builder.cmplt(_LOOP_TEST, _LOOP_COUNTER, _LOOP_BOUND)
+    builder.bnz(_LOOP_TEST, label)
+    builder.halt()
+
+
+def _lcg_step(builder: ProgramBuilder, mul_reg) -> None:
+    """Advance the LCG state register (used for data-dependent branches)."""
+    builder.mul(_LCG_STATE, _LCG_STATE, mul_reg)
+    builder.addi(_LCG_STATE, _LCG_STATE, _LCG_ADD & 0xFFFF)
+
+
+def _random_table(rng: random.Random, base: int, words: int) -> dict[int, int]:
+    """A table of ``words`` random 64-bit values starting at ``base``."""
+    return {base + 8 * i: rng.getrandbits(63) for i in range(words)}
+
+
+@register_workload(
+    "move_chain",
+    category="int",
+    description="dependent chains of 64/32-bit register moves between ALU ops",
+    spec_analog="crafty / vortex (move-dense integer code)",
+)
+def build_move_chain(seed: int) -> WorkloadImage:
+    """Move-heavy integer workload: about one in five micro-ops is an eliminable move."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("move_chain")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _HEAP_BASE)
+    builder.movi(r(9), 3)
+    builder.movi(r(8), 0xFF)
+    _loop_prologue(builder)
+    builder.label("loop")
+    # Walk a small table, copying values through register-to-register moves
+    # the way destructive two-operand x86 code does before each arithmetic op.
+    for block in range(4):
+        offset = 8 * rng.randrange(0, 64)
+        builder.andi(r(1), _LOOP_COUNTER, 0x1F8)
+        builder.load(r(2), base=_BASE_PTR, index=r(1), offset=offset)
+        builder.mov(r(3), r(2))                     # eliminable 64-bit move
+        builder.addi(r(3), r(3), block + 1)
+        builder.mov(r(4), r(3), width=32)           # eliminable 32-bit move
+        builder.add(r(5), r(4), r(9))
+        builder.mov(r(6), r(5))                     # eliminable 64-bit move
+        builder.shri(r(6), r(6), 1)
+        builder.and_(r(7), r(6), r(8))
+        builder.store(r(7), base=_BASE_PTR, index=r(1), offset=offset)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _HEAP_BASE, 1024),
+    )
+
+
+@register_workload(
+    "partial_moves",
+    category="int",
+    description="mixture of eliminable and non-eliminable (8/16-bit merge) moves",
+    spec_analog="gcc / perlbench (byte/sub-word manipulation)",
+)
+def build_partial_moves(seed: int) -> WorkloadImage:
+    """Sub-word move workload exercising the x86_64 ME eligibility rules."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("partial_moves")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _TABLE_BASE)
+    builder.movi(r(9), 0x7F8)
+    _loop_prologue(builder)
+    builder.label("loop")
+    for _ in range(3):
+        builder.andi(r(1), _LOOP_COUNTER, 0x3F8)
+        builder.load(r(2), base=_BASE_PTR, index=r(1), offset=8 * rng.randrange(0, 32))
+        builder.mov(r(3), r(2))                      # eliminable
+        builder.movzx8(r(4), r(3))                   # eliminable zero-extending byte move
+        builder.mov(r(5), r(2), width=16)            # merge move: NOT eliminable
+        builder.movzx8(r(6), r(3), src_high8=True)   # high-8 source: NOT eliminable
+        builder.mov(r(7), r(4), width=8)             # merge move: NOT eliminable
+        builder.add(r(5), r(5), r(4))
+        builder.xor(r(6), r(6), r(7))
+        builder.add(r(8), r(5), r(6))
+        builder.and_(r(8), r(8), r(9))
+        builder.store(r(8), base=_BASE_PTR, index=r(1), offset=0)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _TABLE_BASE, 512),
+    )
+
+
+@register_workload(
+    "spill_reload",
+    category="int",
+    description="compiler-style register spills reloaded a few instructions later",
+    spec_analog="perlbench / vortex (register-pressure spills)",
+)
+def build_spill_reload(seed: int) -> WorkloadImage:
+    """Store-to-load pairs with short, stable distances: prime SMB territory."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("spill_reload")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _HEAP_BASE)
+    builder.movi(_STACK_PTR, _STACK_BASE)
+    builder.movi(r(9), 7)
+    _loop_prologue(builder)
+    builder.label("loop")
+    # Produce two temporaries, spill them, do unrelated work, reload them.
+    builder.andi(r(1), _LOOP_COUNTER, 0x3F8)
+    builder.load(r(2), base=_BASE_PTR, index=r(1), offset=0)
+    builder.addi(r(3), r(2), 17)
+    builder.mul(r(4), r(2), r(9))
+    builder.store(r(3), base=_STACK_PTR, offset=0)       # spill t0
+    builder.store(r(4), base=_STACK_PTR, offset=8)       # spill t1
+    # Unrelated work that creates register pressure (the reason for the spill).
+    for step in range(rng.randrange(4, 7)):
+        builder.addi(r(5), _LOOP_COUNTER, step)
+        builder.xor(r(6), r(5), r(2))
+        builder.shri(r(6), r(6), 2)
+        builder.add(r(7), r(6), r(5))
+    builder.load(r(2), base=_STACK_PTR, offset=0)        # reload t0
+    builder.load(r(8), base=_STACK_PTR, offset=8)        # reload t1
+    builder.add(r(5), r(2), r(8))
+    builder.store(r(5), base=_BASE_PTR, index=r(1), offset=0)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _HEAP_BASE, 1024),
+    )
+
+
+@register_workload(
+    "stack_args",
+    category="int",
+    description="argument passing through the stack around leaf calls",
+    spec_analog="astar (latency-bound loads fed by recent stores)",
+)
+def build_stack_args(seed: int) -> WorkloadImage:
+    """Calls whose arguments and results travel through memory (STLF on the critical path)."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("stack_args")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _HEAP_BASE)
+    builder.movi(_STACK_PTR, _STACK_BASE)
+    builder.movi(r(9), 5)
+    _loop_prologue(builder)
+    builder.jmp("loop")
+
+    # Leaf function: reads two stack arguments, writes one stack result.
+    builder.label("leaf")
+    builder.load(r(1), base=_STACK_PTR, offset=0)
+    builder.load(r(2), base=_STACK_PTR, offset=8)
+    builder.add(r(3), r(1), r(2))
+    builder.shri(r(4), r(3), 3)
+    builder.xor(r(3), r(3), r(4))
+    builder.store(r(3), base=_STACK_PTR, offset=16)
+    # Independent bookkeeping work inside the leaf (keeps the call from
+    # being a pure memory-latency chain).
+    builder.addi(r(4), _LOOP_COUNTER, 13)
+    builder.shri(r(4), r(4), 1)
+    builder.xor(r(4), r(4), _LOOP_COUNTER)
+    builder.ret()
+
+    builder.label("loop")
+    builder.andi(r(5), _LOOP_COUNTER, 0x7F8)
+    builder.load(r(6), base=_BASE_PTR, index=r(5), offset=0)
+    builder.addi(r(7), r(6), rng.randrange(1, 64))
+    builder.store(r(6), base=_STACK_PTR, offset=0)   # argument 0
+    builder.store(r(7), base=_STACK_PTR, offset=8)   # argument 1
+    builder.call("leaf")
+    builder.load(r(8), base=_STACK_PTR, offset=16)   # result (critical path)
+    builder.mul(r(8), r(8), r(9))
+    builder.store(r(8), base=_BASE_PTR, index=r(5), offset=0)
+    # Independent caller-side work overlapping the next call.
+    builder.addi(r(6), r(6), 3)
+    builder.shri(r(7), r(6), 2)
+    builder.add(r(6), r(6), r(7))
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _HEAP_BASE, 2048),
+    )
+
+
+@register_workload(
+    "alias_trap",
+    category="int",
+    description="pointer stores that intermittently alias later loads",
+    spec_analog="mcf / gamess (memory-order violations and false dependencies)",
+)
+def build_alias_trap(seed: int) -> WorkloadImage:
+    """Intermittent aliasing: Store Sets oscillates between traps and false dependencies."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("alias_trap")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _HEAP_BASE)
+    builder.movi(_LCG_STATE, rng.getrandbits(32) | 1)
+    builder.movi(r(9), _LCG_MUL & 0xFFFFFFFF)
+    _loop_prologue(builder)
+    builder.label("loop")
+    # The store address depends on a long-latency multiply, so the store's
+    # address is resolved late; the following load to a possibly identical
+    # address can issue first unless a predictor intervenes.
+    _lcg_step(builder, r(9))
+    builder.shri(r(1), _LCG_STATE, 33)
+    builder.andi(r(1), r(1), 0x18)            # 0, 8, 16 or 24: aliases offset 8 sometimes
+    builder.mul(r(2), r(1), r(9))
+    builder.xor(r(2), r(2), _LCG_STATE)
+    builder.store(r(2), base=_BASE_PTR, index=r(1), offset=0)
+    builder.load(r(3), base=_BASE_PTR, offset=8)     # aliases the store 1 time in 4
+    builder.addi(r(4), r(3), 3)
+    builder.shri(r(5), r(4), 5)
+    builder.add(r(6), r(4), r(5))
+    builder.store(r(6), base=_BASE_PTR, offset=256)
+    builder.load(r(7), base=_BASE_PTR, offset=256)   # always-aliasing short pair
+    builder.add(r(8), r(7), r(3))
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _HEAP_BASE, 256),
+    )
+
+
+@register_workload(
+    "hash_update",
+    category="int",
+    description="read-modify-write bursts on a small hash table",
+    spec_analog="hmmer / bzip2 (table updates with occasional in-window collisions)",
+)
+def build_hash_update(seed: int) -> WorkloadImage:
+    """Hash-table updates whose buckets occasionally collide inside the window."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("hash_update")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _TABLE_BASE)
+    builder.movi(_LCG_STATE, rng.getrandbits(32) | 1)
+    builder.movi(r(9), 2654435761 & 0xFFFFFFFF)
+    _loop_prologue(builder)
+    builder.label("loop")
+    for slot in range(3):
+        _lcg_step(builder, r(9))
+        builder.shri(r(1), _LCG_STATE, 30)
+        builder.andi(r(1), r(1), 0x78)               # 16 buckets -> frequent collisions
+        builder.load(r(2), base=_BASE_PTR, index=r(1), offset=0)
+        builder.addi(r(2), r(2), slot + 1)
+        builder.mov(r(3), r(2))
+        builder.store(r(3), base=_BASE_PTR, index=r(1), offset=0)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _TABLE_BASE, 64),
+    )
+
+
+@register_workload(
+    "branchy",
+    category="int",
+    description="data-dependent branches with moderate move density",
+    spec_analog="gobmk / sjeng (hard-to-predict control flow)",
+)
+def build_branchy(seed: int) -> WorkloadImage:
+    """Unpredictable branches: stresses recovery latency of the sharing tracker."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("branchy")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _HEAP_BASE)
+    builder.movi(_LCG_STATE, rng.getrandbits(32) | 1)
+    builder.movi(r(9), _LCG_MUL & 0xFFFFFFFF)
+    _loop_prologue(builder)
+    builder.label("loop")
+    _lcg_step(builder, r(9))
+    builder.shri(r(1), _LCG_STATE, 35)
+    builder.andi(r(1), r(1), 1)
+    builder.bnz(r(1), "then_side")
+    # else side: a short move + ALU burst
+    builder.andi(r(2), _LOOP_COUNTER, 0x1F8)
+    builder.load(r(3), base=_BASE_PTR, index=r(2), offset=0)
+    builder.mov(r(4), r(3))
+    builder.addi(r(4), r(4), 11)
+    builder.store(r(4), base=_BASE_PTR, index=r(2), offset=0)
+    builder.jmp("join")
+    builder.label("then_side")
+    builder.andi(r(2), _LOOP_COUNTER, 0x1F8)
+    builder.load(r(5), base=_BASE_PTR, index=r(2), offset=8)
+    builder.mov(r(6), r(5))
+    builder.shri(r(6), r(6), 2)
+    builder.xor(r(6), r(6), _LCG_STATE)
+    builder.store(r(6), base=_BASE_PTR, index=r(2), offset=8)
+    builder.label("join")
+    builder.nop()
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _HEAP_BASE, 512),
+    )
+
+
+@register_workload(
+    "stream_reduce",
+    category="int",
+    description="streaming loads feeding a reduction; almost no moves or aliasing",
+    spec_analog="libquantum / gzip inner loops (little to gain from sharing)",
+)
+def build_stream_reduce(seed: int) -> WorkloadImage:
+    """Control workload: neither ME nor SMB should find much to improve here."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("stream_reduce")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _HEAP_BASE)
+    builder.movi(r(9), 0)
+    _loop_prologue(builder)
+    builder.label("loop")
+    for lane in range(4):
+        builder.andi(r(1), _LOOP_COUNTER, 0xFF8)
+        builder.load(r(2), base=_BASE_PTR, index=r(1), offset=8 * lane)
+        builder.shri(r(3), r(2), lane + 1)
+        builder.add(r(9), r(9), r(3))
+    builder.store(r(9), base=_BASE_PTR, offset=0x7FF8)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _HEAP_BASE, 4096),
+    )
+
+
+@register_workload(
+    "load_load",
+    category="int",
+    description="serialised pointer chase around a small circular structure",
+    spec_analog="mcf / omnetpp inner loops (latency-bound redundant loads)",
+)
+def build_load_load(seed: int) -> WorkloadImage:
+    """A circular pointer chase: every address is re-loaded one lap later.
+
+    The chase loads are serialised (each address is the previous load's
+    result), so the baseline is bound by the L1 latency.  Because the
+    structure is never written, load-load bypassing collapses the chain into
+    register dependences -- the behaviour the paper's load-load
+    generalisation targets -- while store-only SMB finds nothing.
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder("load_load")
+    r = int_reg
+
+    node_count = 4
+    node_stride = 32
+    builder.movi(r(1), _TABLE_BASE)      # r1 = current node pointer
+    builder.movi(r(9), 0)                # accumulator
+    _loop_prologue(builder)
+    builder.label("loop")
+    builder.load(r(1), base=r(1), offset=0)      # p = p->next (serialised chase)
+    builder.load(r(2), base=r(1), offset=8)      # value = p->payload
+    builder.add(r(9), r(9), r(2))
+    builder.shri(r(3), r(9), 7)
+    builder.xor(r(9), r(9), r(3))
+    _loop_epilogue(builder, "loop")
+
+    memory: dict[int, int] = {}
+    for index in range(node_count):
+        node = _TABLE_BASE + index * node_stride
+        successor = _TABLE_BASE + ((index + 1) % node_count) * node_stride
+        memory[node] = successor
+        memory[node + 8] = rng.getrandbits(48)
+    return WorkloadImage(program=builder.build(), initial_memory=memory)
+
+
+@register_workload(
+    "long_reuse",
+    category="int",
+    description="values produced early in an iteration and reloaded ~200 instructions later",
+    spec_analog="gcc / fortran common-block reuse (producers at the edge of the window)",
+)
+def build_long_reuse(seed: int) -> WorkloadImage:
+    """Store-to-load pairs whose distance (~200 micro-ops) reaches the edge of the ROB.
+
+    By the time the reload renames, its producer has often already
+    committed, so this workload distinguishes eager register reclaiming
+    (bypass impossible) from the lazy ``release_head`` scheme of Section 3.3
+    (bypass still possible from the retained ROB entry).
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder("long_reuse")
+    r = int_reg
+    inner_reg = int_reg(8)
+    inner_bound = int_reg(7)
+
+    builder.movi(_BASE_PTR, _HEAP_BASE)
+    builder.movi(_STACK_PTR, _STACK_BASE)
+    builder.movi(r(9), 3)
+    builder.movi(r(0), 48271)
+    builder.movi(_LCG_STATE, rng.getrandbits(31) | 1)
+    _loop_prologue(builder)
+    builder.label("loop")
+    # Produce two values and spill them.
+    builder.andi(r(1), _LOOP_COUNTER, 0x3F8)
+    builder.load(r(2), base=_BASE_PTR, index=r(1), offset=0)
+    builder.addi(r(3), r(2), rng.randrange(3, 40))
+    builder.store(r(2), base=_STACK_PTR, offset=0)
+    builder.store(r(3), base=_STACK_PTR, offset=8)
+    # A long stretch of independent work (an inner loop of ~8 x 24 micro-ops)
+    # that pushes the producers towards (and past) the commit point.
+    builder.movi(inner_reg, 0)
+    builder.movi(inner_bound, 8)
+    builder.label("inner")
+    for step in range(5):
+        builder.addi(r(4), inner_reg, step + 1)
+        builder.shli(r(5), r(4), 2)
+        builder.xor(r(6), r(5), _LOOP_COUNTER)
+        builder.add(r(4), r(6), r(9))
+    builder.addi(inner_reg, inner_reg, 1)
+    builder.cmplt(r(4), inner_reg, inner_bound)
+    builder.bnz(r(4), "inner")
+    # A data-dependent branch keeps the window from staying permanently
+    # full, so committed producers can actually be *retained* in the ROB.
+    builder.mul(_LCG_STATE, _LCG_STATE, r(0))
+    builder.addi(_LCG_STATE, _LCG_STATE, 12345)
+    builder.shri(r(4), _LCG_STATE, 33)
+    builder.andi(r(4), r(4), 1)
+    builder.bz(r(4), "skip_extra")
+    builder.addi(r(6), _LOOP_COUNTER, 7)
+    builder.shri(r(6), r(6), 1)
+    builder.label("skip_extra")
+    # Reload the two values produced ~200 micro-ops ago.
+    builder.load(r(5), base=_STACK_PTR, offset=0)
+    builder.load(r(6), base=_STACK_PTR, offset=8)
+    builder.add(r(5), r(5), r(6))
+    builder.store(r(5), base=_BASE_PTR, index=r(1), offset=0)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _HEAP_BASE, 1024),
+    )
+
+
+@register_workload(
+    "call_ret",
+    category="int",
+    description="short functions with caller/callee register shuffling",
+    spec_analog="perlbench / xalancbmk (call-heavy code with save/restore moves)",
+)
+def build_call_ret(seed: int) -> WorkloadImage:
+    """Call-heavy workload: moves for register shuffling plus stack save/restore pairs."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder("call_ret")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _HEAP_BASE)
+    builder.movi(_STACK_PTR, _STACK_BASE)
+    builder.movi(r(9), 3)
+    _loop_prologue(builder)
+    builder.jmp("loop")
+
+    # Callee: saves a register to the stack, shuffles arguments, restores.
+    builder.label("callee")
+    builder.store(r(6), base=_STACK_PTR, offset=32)   # save callee-saved register
+    builder.mov(r(6), r(1))                           # argument shuffle (eliminable)
+    builder.addi(r(6), r(6), 21)
+    builder.mov(r(2), r(6))                           # return value shuffle (eliminable)
+    # Callee-local work independent of the argument chain.
+    builder.addi(r(7), _LOOP_COUNTER, 5)
+    builder.shri(r(8), r(7), 2)
+    builder.xor(r(7), r(7), r(8))
+    builder.add(r(8), r(7), r(9))
+    builder.load(r(6), base=_STACK_PTR, offset=32)    # restore
+    builder.ret()
+
+    builder.label("loop")
+    builder.andi(r(3), _LOOP_COUNTER, 0x3F8)
+    builder.load(r(4), base=_BASE_PTR, index=r(3), offset=0)
+    builder.mov(r(1), r(4))                           # argument setup (eliminable)
+    builder.call("callee")
+    builder.mov(r(5), r(2))                           # consume return value (eliminable)
+    builder.mul(r(5), r(5), r(9))
+    builder.store(r(5), base=_BASE_PTR, index=r(3), offset=0)
+    # Caller-side independent work between calls.
+    builder.addi(r(6), r(6), rng.randrange(1, 8))
+    builder.shri(r(7), r(4), 3)
+    builder.add(r(7), r(7), r(3))
+    builder.xor(r(7), r(7), r(4))
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _HEAP_BASE, 1024),
+    )
