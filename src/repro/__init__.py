@@ -18,11 +18,32 @@ Typical usage::
     best = simulate("spill_reload", optimised, max_ops=20_000)
     print(best.speedup_over(base))
 
+Whole evaluation matrices (the paper's Figures 7--9) run through the
+experiment harness instead of one ``simulate`` call at a time::
+
+    from repro import SweepSpec, run_sweep
+
+    spec = SweepSpec(schemes=("isrb", "refcount_checkpoint"), max_ops=20_000)
+    report = run_sweep(spec, workers=4, cache_dir=".trace_cache")
+    print(report.to_markdown())
+
+or, equivalently, ``python -m repro sweep --schemes isrb,refcount_checkpoint``.
+
 The subpackages are documented in DESIGN.md; the most useful entry points
 are re-exported here.
 """
 
 from repro.core.isrb import InflightSharedRegisterBuffer, IsrbConfig
+from repro.experiments import (
+    Job,
+    JobResult,
+    SweepReport,
+    SweepSpec,
+    TraceCache,
+    build_report,
+    run_jobs,
+    run_sweep,
+)
 from repro.core.move_elim import MoveEliminationPolicy
 from repro.core.smb import SmbConfig
 from repro.core.tracker import TrackerConfig, make_tracker
@@ -31,10 +52,18 @@ from repro.pipeline.core import Core, simulate, simulate_trace
 from repro.pipeline.result import SimulationResult
 from repro.workloads import DEFAULT_SUITE, generate_trace, list_workloads
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "SweepSpec",
+    "Job",
+    "JobResult",
+    "TraceCache",
+    "run_jobs",
+    "run_sweep",
+    "SweepReport",
+    "build_report",
     "CoreConfig",
     "Core",
     "SimulationResult",

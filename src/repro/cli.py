@@ -1,0 +1,12 @@
+"""Console-script shim: ``repro = repro.cli:main`` (see pyproject.toml).
+
+The implementation lives in :mod:`repro.experiments.cli`; this module only
+gives the packaging metadata a stable import path.
+"""
+
+from repro.experiments.cli import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

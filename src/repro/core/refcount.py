@@ -35,11 +35,11 @@ class ReferenceCounterTracker(InflightSharedRegisterBuffer):
     checkpoint_recovery = False
 
     def __init__(self, config: TrackerConfig | None = None) -> None:
-        base = config or TrackerConfig(scheme="refcount")
+        base = config or TrackerConfig(scheme=type(self).name)
         # Every physical register has a counter, so capacity never limits
         # sharing; only the counter width matters functionally.
         unlimited = TrackerConfig(
-            scheme="refcount",
+            scheme=type(self).name,
             entries=None,
             counter_bits=base.counter_bits,
             checkpoints=base.checkpoints,
@@ -65,3 +65,19 @@ class ReferenceCounterTracker(InflightSharedRegisterBuffer):
         """
         counter_bits = self.config.counter_bits if self.config.counter_bits is not None else 32
         return self.config.num_phys_regs * counter_bits
+
+
+class CheckpointedReferenceCounterTracker(ReferenceCounterTracker):
+    """Reference counters made recoverable by checkpointing every counter.
+
+    This is the comparison point Section 4.2 dismisses on storage grounds:
+    recovery becomes single cycle (like the ISRB), but each in-flight
+    checkpoint must copy one counter per physical register, so the
+    per-checkpoint storage is the full :meth:`checkpoint_bits` figure
+    instead of the ISRB's 96 bits.  Functionally it behaves like an
+    unlimited tracker; only the recovery latency and the cost model differ
+    from :class:`ReferenceCounterTracker`.
+    """
+
+    name = "refcount_checkpoint"
+    checkpoint_recovery = True

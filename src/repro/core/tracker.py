@@ -47,8 +47,9 @@ class TrackerConfig:
     Attributes
     ----------
     scheme:
-        One of ``"isrb"``, ``"unlimited"``, ``"refcount"``, ``"rda"``,
-        ``"mit"``, ``"matrix"`` or ``"battle"``.
+        One of ``"isrb"``, ``"unlimited"``, ``"refcount"``,
+        ``"refcount_checkpoint"``, ``"rda"``, ``"mit"``, ``"matrix"`` or
+        ``"battle"``.
     entries:
         Capacity of the tracking structure for limited schemes (ISRB, MIT,
         RDA).  ``None`` means unlimited.
@@ -204,7 +205,10 @@ def make_tracker(config: TrackerConfig) -> SharingTracker:
     from repro.core.matrix import BattleMatrixTracker, RothMatrixTracker
     from repro.core.mit import MultipleInstantiationTable
     from repro.core.rda import RegisterDuplicateArray
-    from repro.core.refcount import ReferenceCounterTracker
+    from repro.core.refcount import (
+        CheckpointedReferenceCounterTracker,
+        ReferenceCounterTracker,
+    )
 
     scheme = config.scheme.lower()
     if scheme == "isrb":
@@ -222,6 +226,8 @@ def make_tracker(config: TrackerConfig) -> SharingTracker:
         return InflightSharedRegisterBuffer(unlimited)
     if scheme == "refcount":
         return ReferenceCounterTracker(config)
+    if scheme == "refcount_checkpoint":
+        return CheckpointedReferenceCounterTracker(config)
     if scheme == "rda":
         return RegisterDuplicateArray(config)
     if scheme == "mit":
@@ -232,5 +238,6 @@ def make_tracker(config: TrackerConfig) -> SharingTracker:
         return BattleMatrixTracker(config)
     raise ValueError(
         f"unknown sharing tracker scheme {config.scheme!r}; expected one of "
-        "'isrb', 'unlimited', 'refcount', 'rda', 'mit', 'matrix', 'battle'"
+        "'isrb', 'unlimited', 'refcount', 'refcount_checkpoint', 'rda', 'mit', "
+        "'matrix', 'battle'"
     )

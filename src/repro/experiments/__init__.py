@@ -1,0 +1,35 @@
+"""Batch experiment harness: sweep grids, parallel runner, trace cache, reports.
+
+The subsystem turns the single-run ``simulate()`` API into the paper's
+evaluation methodology:
+
+* :mod:`repro.experiments.grid` -- declarative :class:`SweepSpec` expansion
+  into ``(workload, CoreConfig)`` job lists;
+* :mod:`repro.experiments.cache` -- on-disk :class:`TraceCache` so the
+  functional executor runs once per ``(workload, max_ops, seed)``;
+* :mod:`repro.experiments.runner` -- :func:`run_jobs` / :func:`run_sweep`
+  on a ``multiprocessing`` pool with timeouts and partial-failure handling;
+* :mod:`repro.experiments.report` -- speedup-over-baseline tables with
+  geomean rows and markdown/CSV/JSON export;
+* :mod:`repro.experiments.cli` -- the ``python -m repro`` / ``repro``
+  command line gluing it all together.
+"""
+
+from repro.experiments.cache import TraceCache
+from repro.experiments.grid import SCHEME_PRESETS, Job, SweepSpec, known_schemes
+from repro.experiments.report import SweepReport, build_report, geomean
+from repro.experiments.runner import JobResult, run_jobs, run_sweep
+
+__all__ = [
+    "SCHEME_PRESETS",
+    "known_schemes",
+    "Job",
+    "SweepSpec",
+    "TraceCache",
+    "JobResult",
+    "run_jobs",
+    "run_sweep",
+    "SweepReport",
+    "build_report",
+    "geomean",
+]

@@ -1,0 +1,158 @@
+"""On-disk trace cache.
+
+Every job of a sweep that shares a workload replays the *identical* dynamic
+trace (traces are deterministic in ``(workload, max_ops, seed)``), so the
+functional executor only needs to run once per workload -- not once per
+job.  :class:`TraceCache` materialises traces as pickle files under a cache
+directory; the sweep runner warms it in the parent process and the worker
+processes then read the trace from disk instead of re-executing the
+workload.
+
+The cache can also be *installed* as a global trace provider (see
+:func:`repro.workloads.install_trace_provider`), which makes every
+``generate_trace`` / ``simulate`` call in the process transparently
+read-through-cache.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.isa.executor import Trace
+from repro.workloads import build_workload, install_trace_provider
+
+#: Bumped whenever the trace layout changes; stale files are regenerated.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`TraceCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    generated: int = 0
+    invalid: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "generated": self.generated, "invalid": self.invalid}
+
+
+class TraceCache:
+    """Pickle-file trace cache keyed by ``(workload, max_ops, seed)``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._uninstall = None
+
+    # -- keys and paths -------------------------------------------------------------
+
+    @staticmethod
+    def key(workload: str, max_ops: int, seed: int) -> str:
+        """Stable, filesystem-safe cache key."""
+        return f"{workload}__ops{max_ops}__seed{seed}"
+
+    def path(self, workload: str, max_ops: int, seed: int) -> Path:
+        """Path of the cache file for one key (whether or not it exists)."""
+        return self.root / f"{self.key(workload, max_ops, seed)}.trace.pkl"
+
+    # -- read/write -----------------------------------------------------------------
+
+    def get(self, workload: str, max_ops: int, seed: int) -> Trace | None:
+        """Return the cached trace, or ``None`` on a miss (counted)."""
+        path = self.path(workload, max_ops, seed)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Torn write or a stale format: treat as a miss and regenerate.
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("version") != CACHE_FORMAT_VERSION
+                or len(payload.get("trace", ())) == 0):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload["trace"]
+
+    def put(self, workload: str, max_ops: int, seed: int, trace: Trace) -> Path:
+        """Atomically persist ``trace`` under its key; returns the file path."""
+        path = self.path(workload, max_ops, seed)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "workload": workload,
+            "max_ops": max_ops,
+            "seed": seed,
+            "trace": trace,
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_or_generate(self, workload: str, max_ops: int, seed: int) -> Trace:
+        """Read-through lookup: functionally execute and persist on a miss."""
+        trace = self.get(workload, max_ops, seed)
+        if trace is not None:
+            return trace
+        trace = build_workload(workload, seed=seed).execute(max_ops=max_ops)
+        self.stats.generated += 1
+        self.put(workload, max_ops, seed, trace)
+        return trace
+
+    def warm(self, keys) -> tuple[int, int]:
+        """Materialise every distinct ``(workload, max_ops, seed)`` in ``keys``.
+
+        Returns ``(generated, reused)`` counts -- the acceptance check for
+        "the executor ran once per workload" in sweeps.
+        """
+        generated = reused = 0
+        for workload, max_ops, seed in dict.fromkeys(keys):
+            before = self.stats.generated
+            self.get_or_generate(workload, max_ops, seed)
+            if self.stats.generated > before:
+                generated += 1
+            else:
+                reused += 1
+        return generated, reused
+
+    # -- provider hook --------------------------------------------------------------
+
+    def install(self) -> None:
+        """Make every ``generate_trace`` call in this process go through the cache."""
+        self._uninstall = install_trace_provider(
+            lambda name, max_ops, seed: self.get_or_generate(name, max_ops, seed))
+
+    def uninstall(self) -> None:
+        """Restore the trace provider that was active before :meth:`install`."""
+        install_trace_provider(self._uninstall)
+        self._uninstall = None
+
+    def __enter__(self) -> "TraceCache":
+        self.install()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()

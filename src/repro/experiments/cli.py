@@ -1,0 +1,208 @@
+"""``python -m repro`` -- the reproduction command line.
+
+Subcommands::
+
+    repro list                 # workloads and tracker schemes
+    repro run WORKLOAD [...]   # one (workload, config) simulation
+    repro sweep [...]          # parallel evaluation matrix + report artifacts
+    repro report SWEEP.json    # re-render tables from a saved artifact
+
+``sweep`` is the paper-table entry point: it expands a
+:class:`~repro.experiments.grid.SweepSpec` from the flags, runs it on a
+worker pool with a warm trace cache, prints the markdown speedup table and
+writes ``sweep.md`` / ``sweep.csv`` / ``sweep.json`` under ``--out-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.grid import SCHEME_PRESETS, SweepSpec, known_schemes
+from repro.experiments.report import SweepReport
+from repro.experiments.runner import JobResult, run_sweep
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.workloads import workload_specs
+
+
+def _csv_list(text: str) -> tuple[str, ...]:
+    """Parse a comma-separated flag value into a tuple of names."""
+    return tuple(item.strip() for item in text.split(",") if item.strip())
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPCA'16 physical-register-sharing reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and tracker schemes")
+
+    run = sub.add_parser("run", help="simulate one (workload, config) pair")
+    run.add_argument("workload")
+    run.add_argument("--scheme", default="isrb", choices=known_schemes())
+    run.add_argument("--max-ops", type=int, default=20_000)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--no-move-elim", action="store_true",
+                     help="disable move elimination")
+    run.add_argument("--no-smb", action="store_true",
+                     help="disable speculative memory bypassing")
+    run.add_argument("--baseline", action="store_true",
+                     help="run the no-sharing Table-1 baseline instead")
+    run.add_argument("--json", action="store_true",
+                     help="print the full result as JSON")
+
+    sweep = sub.add_parser("sweep", help="run an evaluation matrix in parallel")
+    sweep.add_argument("--schemes", type=_csv_list, default=("isrb",),
+                       help="comma-separated tracker schemes "
+                            f"(known: {','.join(known_schemes())})")
+    sweep.add_argument("--workloads", type=_csv_list, default=(),
+                       help="comma-separated workloads (default: full suite)")
+    sweep.add_argument("--max-ops", type=int, default=20_000)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default 1 = in-process)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds")
+    sweep.add_argument("--move-elim-ablation", action="store_true",
+                       help="cross in move-elim off/on instead of always-on")
+    sweep.add_argument("--smb-ablation", action="store_true",
+                       help="cross in SMB off/on instead of always-on")
+    sweep.add_argument("--entries", type=str, default="",
+                       help="comma-separated tracker sizes overriding the "
+                            "per-scheme preset (e.g. 8,16,32; 'unl' = unlimited)")
+    sweep.add_argument("--cache-dir", default=".trace_cache",
+                       help="trace cache directory ('' disables caching)")
+    sweep.add_argument("--out-dir", default="sweep_out",
+                       help="directory for sweep.md / sweep.csv / sweep.json")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+
+    report = sub.add_parser("report", help="re-render a saved sweep artifact")
+    report.add_argument("artifact", help="path to a sweep.json file")
+    report.add_argument("--format", choices=("markdown", "csv", "json"),
+                        default="markdown")
+    return parser
+
+
+# -- subcommands --------------------------------------------------------------------
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for spec in workload_specs():
+        print(f"  {spec.name:16s} [{spec.category}] {spec.description}")
+    print("\ntracker schemes:")
+    for name in known_schemes():
+        preset = SCHEME_PRESETS[name]
+        entries = preset["entries"] if preset["entries"] is not None else "unlimited"
+        bits = preset["counter_bits"] if preset["counter_bits"] is not None else "unbounded"
+        print(f"  {name:20s} entries={entries} counter_bits={bits}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.baseline:
+        config = CoreConfig()
+    else:
+        preset = SCHEME_PRESETS[args.scheme]
+        config = CoreConfig().with_tracker(
+            scheme=preset["scheme"], entries=preset["entries"],
+            counter_bits=preset["counter_bits"])
+        if not args.no_move_elim:
+            config = config.with_move_elimination()
+        if not args.no_smb:
+            config = config.with_smb()
+    try:
+        result = simulate(args.workload, config, max_ops=args.max_ops, seed=args.seed)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+    return 0
+
+
+def _parse_entries(text: str) -> tuple[int | None, ...]:
+    if not text:
+        return ()
+    values: list[int | None] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        values.append(None if token in ("unl", "unlimited", "none") else int(token))
+    return tuple(values)
+
+
+def _progress_printer(completed: int, total: int, job_result: JobResult) -> None:
+    status = "ok" if job_result.ok else "FAILED"
+    ipc = f" ipc={job_result.result.ipc:.2f}" if job_result.result else ""
+    print(f"[{completed}/{total}] {job_result.job.job_id:48s} {status}"
+          f"{ipc} ({job_result.elapsed:.1f}s)", file=sys.stderr)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = SweepSpec(
+            schemes=tuple(args.schemes),
+            workloads=tuple(args.workloads),
+            move_elim=(False, True) if args.move_elim_ablation else (True,),
+            smb=(False, True) if args.smb_ablation else (True,),
+            entries=_parse_entries(args.entries),
+            max_ops=args.max_ops,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(spec.describe(), file=sys.stderr)
+    cache_dir = args.cache_dir or None
+    progress = None if args.quiet else _progress_printer
+    report = run_sweep(spec, workers=args.jobs, cache_dir=cache_dir,
+                       timeout=args.timeout, progress=progress)
+
+    stats = report.cache_stats
+    if stats:
+        print(f"trace cache: {stats.get('traces_generated', 0)} generated, "
+              f"{stats.get('traces_reused', 0)} reused for {spec.job_count()} jobs",
+              file=sys.stderr)
+    paths = report.save(args.out_dir)
+    print(report.to_markdown())
+    print(f"\nartifacts: {paths['markdown']}  {paths['csv']}  {paths['json']}",
+          file=sys.stderr)
+    return 1 if report.failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        data = json.loads(Path(args.artifact).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read sweep artifact {args.artifact}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = SweepReport.from_dict(data)
+    if args.format == "markdown":
+        print(report.to_markdown())
+    elif args.format == "csv":
+        print(report.to_csv(), end="")
+    else:
+        print(report.to_json())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (also installed as the ``repro`` console script)."""
+    args = _build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run,
+                "sweep": _cmd_sweep, "report": _cmd_report}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

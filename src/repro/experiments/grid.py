@@ -1,0 +1,217 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` describes the paper's evaluation matrix in one value:
+which sharing-tracker schemes to compare, which optimisations (move
+elimination, SMB) to toggle, which sizing points to visit, and which
+workloads to run them on.  :meth:`SweepSpec.expand` turns the spec into a
+flat list of :class:`Job` objects -- one ``(workload, CoreConfig)`` pair
+per cell of the matrix, plus one shared-nothing *baseline* job per workload
+that every speedup in the report is measured against (the shape of the
+paper's Figures 7--9).
+
+Scheme names accepted in a spec are the :data:`SCHEME_PRESETS` keys; each
+preset fixes the tracker sizing the paper uses for that scheme (e.g. the
+32-entry / 3-bit ISRB of Section 6.3) while ``entries`` / ``counter_bits``
+on the spec override it for sizing studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.config import CoreConfig
+from repro.workloads import DEFAULT_SUITE, workload_registry
+
+#: Paper-default tracker sizing per scheme name.  ``entries``/``counter_bits``
+#: of ``None`` mean unlimited/unbounded, matching :class:`TrackerConfig`.
+#: ``sizeable`` marks capacity-limited structures the ``entries`` sweep axis
+#: applies to; ``counters`` marks schemes whose ``counter_bits`` width is
+#: functional.  Overrides on the other schemes are pinned to the preset --
+#: the tracker would ignore them, and sweeping would produce distinctly
+#: named but identical runs.
+SCHEME_PRESETS: dict[str, dict] = {
+    "isrb": {"scheme": "isrb", "entries": 32, "counter_bits": 3,
+             "sizeable": True, "counters": True},
+    "unlimited": {"scheme": "unlimited", "entries": None, "counter_bits": None,
+                  "sizeable": False, "counters": False},
+    "refcount": {"scheme": "refcount", "entries": None, "counter_bits": 3,
+                 "sizeable": False, "counters": True},
+    "refcount_checkpoint": {
+        "scheme": "refcount_checkpoint", "entries": None, "counter_bits": 3,
+        "sizeable": False, "counters": True},
+    "rda": {"scheme": "rda", "entries": 32, "counter_bits": None,
+            "sizeable": True, "counters": False},
+    "mit": {"scheme": "mit", "entries": 32, "counter_bits": None,
+            "sizeable": True, "counters": False},
+    "matrix": {"scheme": "matrix", "entries": None, "counter_bits": None,
+               "sizeable": False, "counters": False},
+    "battle": {"scheme": "battle", "entries": None, "counter_bits": None,
+               "sizeable": False, "counters": False},
+}
+
+
+def known_schemes() -> list[str]:
+    """Scheme names accepted by :class:`SweepSpec`, in a stable order."""
+    return list(SCHEME_PRESETS)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One runnable ``(workload, config)`` cell of an expanded sweep."""
+
+    job_id: str
+    workload: str
+    config: CoreConfig
+    max_ops: int
+    seed: int
+    is_baseline: bool = False
+
+    @property
+    def variant(self) -> str:
+        """Report-column key for this job's configuration."""
+        return "baseline" if self.is_baseline else self.config.variant_name()
+
+    @property
+    def trace_key(self) -> tuple[str, int, int]:
+        """The trace-cache key this job will replay."""
+        return (self.workload, self.max_ops, self.seed)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of one experiment sweep.
+
+    Attributes
+    ----------
+    schemes:
+        Tracker schemes to compare (keys of :data:`SCHEME_PRESETS`).
+    workloads:
+        Workload names; empty means the full ``DEFAULT_SUITE``.
+    move_elim:
+        Move-elimination settings to cross in (``(True,)`` reproduces the
+        paper's headline configuration; ``(False, True)`` adds an ablation).
+    smb:
+        Speculative-memory-bypassing settings to cross in.
+    entries / counter_bits:
+        Optional sizing sweeps.  Empty tuples use each scheme's preset; a
+        non-empty tuple overrides the preset for *every* scheme (the
+        Section 6.3 sensitivity studies).
+    max_ops / seed:
+        Trace length and workload seed, shared by every job so all configs
+        replay the identical dynamic trace.
+    base_config:
+        The machine everything is built on (Table 1 by default).
+    """
+
+    schemes: tuple[str, ...] = ("isrb",)
+    workloads: tuple[str, ...] = ()
+    move_elim: tuple[bool, ...] = (True,)
+    smb: tuple[bool, ...] = (True,)
+    entries: tuple[int | None, ...] = ()
+    counter_bits: tuple[int | None, ...] = ()
+    max_ops: int = 20_000
+    seed: int = 1
+    base_config: CoreConfig = field(default_factory=CoreConfig)
+
+    def __post_init__(self) -> None:
+        if not self.schemes:
+            raise ValueError("a sweep needs at least one tracker scheme")
+        unknown = [name for name in self.schemes if name not in SCHEME_PRESETS]
+        if unknown:
+            raise ValueError(
+                f"unknown scheme(s) {unknown}; known schemes: {known_schemes()}")
+        registry = workload_registry()
+        bad = [name for name in self.resolved_workloads() if name not in registry]
+        if bad:
+            raise ValueError(
+                f"unknown workload(s) {bad}; known workloads: {sorted(registry)}")
+        if self.max_ops < 1:
+            raise ValueError("max_ops must be >= 1")
+        if not self.move_elim or not self.smb:
+            raise ValueError("move_elim and smb option tuples must be non-empty")
+
+    # -- expansion ------------------------------------------------------------------
+
+    def resolved_workloads(self) -> tuple[str, ...]:
+        """The workloads this sweep runs (spec order, or the default suite)."""
+        return self.workloads if self.workloads else tuple(DEFAULT_SUITE)
+
+    def _sizing_points(self, preset: dict) -> list[tuple[int | None, int | None]]:
+        entries_axis = (self.entries if self.entries and preset["sizeable"]
+                        else (preset["entries"],))
+        bits_axis = (self.counter_bits if self.counter_bits and preset["counters"]
+                     else (preset["counter_bits"],))
+        return [(entries, bits) for entries in entries_axis for bits in bits_axis]
+
+    def variant_configs(self) -> list[CoreConfig]:
+        """Every non-baseline configuration of the sweep, in expansion order.
+
+        The ``(move_elim=False, smb=False)`` cell is skipped -- without
+        either optimisation no register is ever shared, so the run would be
+        cycle-identical to the baseline regardless of tracker scheme.
+        """
+        configs: list[CoreConfig] = []
+        seen: set[str] = set()
+        for scheme_name in self.schemes:
+            preset = SCHEME_PRESETS[scheme_name]
+            for entries, bits in self._sizing_points(preset):
+                for use_me in self.move_elim:
+                    for use_smb in self.smb:
+                        if not use_me and not use_smb:
+                            continue
+                        config = self.base_config.with_tracker(
+                            scheme=preset["scheme"], entries=entries,
+                            counter_bits=bits)
+                        if use_me:
+                            config = config.with_move_elimination()
+                        if use_smb:
+                            config = config.with_smb()
+                        name = config.variant_name()
+                        if name not in seen:
+                            seen.add(name)
+                            configs.append(config)
+        return configs
+
+    def expand(self) -> list[Job]:
+        """Expand into the job list: baseline first, then every variant, per workload."""
+        jobs: list[Job] = []
+        variants = self.variant_configs()
+        for workload in self.resolved_workloads():
+            jobs.append(Job(
+                job_id=f"{workload}__baseline",
+                workload=workload,
+                config=self.base_config,
+                max_ops=self.max_ops,
+                seed=self.seed,
+                is_baseline=True,
+            ))
+            for config in variants:
+                jobs.append(Job(
+                    job_id=f"{workload}__{config.variant_name()}",
+                    workload=workload,
+                    config=config,
+                    max_ops=self.max_ops,
+                    seed=self.seed,
+                ))
+        return jobs
+
+    def job_count(self) -> int:
+        """Number of jobs :meth:`expand` will produce."""
+        return len(self.resolved_workloads()) * (1 + len(self.variant_configs()))
+
+    def trace_count(self) -> int:
+        """Number of distinct traces the sweep needs (one per workload)."""
+        return len(self.resolved_workloads())
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary used by ``repro sweep``."""
+        variants = self.variant_configs()
+        lines = [
+            f"schemes   : {', '.join(self.schemes)}",
+            f"workloads : {', '.join(self.resolved_workloads())}",
+            f"variants  : {', '.join(c.variant_name() for c in variants)}",
+            f"jobs      : {self.job_count()} "
+            f"({self.trace_count()} traces x {1 + len(variants)} configs)",
+            f"trace     : max_ops={self.max_ops} seed={self.seed}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Parallel sweep execution.
+
+:func:`run_jobs` executes an expanded job list on a
+:class:`multiprocessing.Pool`, with per-job timeouts, deterministic
+per-job seeds (carried by the :class:`~repro.experiments.grid.Job` itself)
+and graceful partial failure: a job that raises or times out becomes a
+failed :class:`JobResult` instead of aborting the sweep, so a 100-job
+matrix with one pathological cell still yields 99 rows.
+
+Workers never re-run the functional executor when a trace cache directory
+is provided: the parent warms the cache (one execution per distinct
+``(workload, max_ops, seed)``), and each worker memory-maps the pickled
+trace from disk.  :func:`run_sweep` is the one-call entry point gluing
+grid -> cache -> pool -> report together.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.cache import TraceCache
+from repro.experiments.grid import Job, SweepSpec
+from repro.experiments.report import SweepReport, build_report
+from repro.pipeline.core import simulate_trace
+from repro.pipeline.result import SimulationResult
+from repro.workloads import build_workload
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: either a :class:`SimulationResult` or an error."""
+
+    job: Job
+    ok: bool
+    result: SimulationResult | None = None
+    error: str | None = None
+    elapsed: float = 0.0
+
+
+#: Progress callback signature: ``(completed_count, total, job_result)``.
+ProgressCallback = Callable[[int, int, JobResult], None]
+
+
+def _load_trace(job: Job, cache_root: str | None):
+    if cache_root is not None:
+        # Read-through: a miss (e.g. run_jobs called without a prior warm)
+        # is generated once and persisted for the other jobs on the same
+        # workload.  Writes are atomic, so concurrent workers are safe.
+        return TraceCache(cache_root).get_or_generate(*job.trace_key)
+    return build_workload(job.workload, seed=job.seed).execute(max_ops=job.max_ops)
+
+
+def _execute_job(payload: tuple[Job, str | None]) -> tuple[bool, SimulationResult | None,
+                                                           str | None, float]:
+    """Worker entry point (module-level so it pickles under every start method)."""
+    job, cache_root = payload
+    start = time.perf_counter()
+    try:
+        trace = _load_trace(job, cache_root)
+        result = simulate_trace(trace, job.config)
+        return True, result, None, time.perf_counter() - start
+    except Exception:
+        return False, None, traceback.format_exc(), time.perf_counter() - start
+
+
+def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
+             cache_dir: str | None = None,
+             progress: ProgressCallback | None = None) -> list[JobResult]:
+    """Run every job; returns one :class:`JobResult` per job, in input order.
+
+    ``workers`` <= 1 runs in-process (easier to debug, no fork overhead for
+    tiny sweeps).  ``timeout`` is a per-job wall-clock budget in seconds,
+    measured from the moment the runner starts waiting on that job; a job
+    exceeding it is marked failed and the pool is torn down once every
+    other job has been collected.
+    """
+    cache_root = str(cache_dir) if cache_dir is not None else None
+    total = len(jobs)
+    results: list[JobResult] = []
+
+    if workers <= 1 or total <= 1:
+        for index, job in enumerate(jobs):
+            ok, result, error, elapsed = _execute_job((job, cache_root))
+            job_result = JobResult(job=job, ok=ok, result=result, error=error,
+                                   elapsed=elapsed)
+            results.append(job_result)
+            if progress is not None:
+                progress(index + 1, total, job_result)
+        return results
+
+    timed_out = False
+    pool = multiprocessing.Pool(processes=min(workers, total))
+    try:
+        pending = [pool.apply_async(_execute_job, ((job, cache_root),))
+                   for job in jobs]
+        for index, (job, handle) in enumerate(zip(jobs, pending)):
+            try:
+                ok, result, error, elapsed = handle.get(timeout=timeout)
+                job_result = JobResult(job=job, ok=ok, result=result,
+                                       error=error, elapsed=elapsed)
+            except multiprocessing.TimeoutError:
+                timed_out = True
+                job_result = JobResult(
+                    job=job, ok=False,
+                    error=f"timed out after {timeout:.1f}s", elapsed=timeout or 0.0)
+            except Exception as exc:  # worker died (e.g. OOM kill)
+                job_result = JobResult(job=job, ok=False,
+                                       error=f"worker failed: {exc!r}")
+            results.append(job_result)
+            if progress is not None:
+                progress(index + 1, total, job_result)
+    finally:
+        if timed_out:
+            # A timed-out worker may still be grinding; don't wait for it.
+            pool.terminate()
+        else:
+            pool.close()
+        pool.join()
+    return results
+
+
+def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
+              timeout: float | None = None,
+              progress: ProgressCallback | None = None) -> SweepReport:
+    """Expand ``spec``, warm the trace cache, run the pool, aggregate the report.
+
+    When ``cache_dir`` is given, the parent process materialises each
+    distinct trace exactly once before any worker starts; the report's
+    ``cache_stats`` records how many traces were generated versus reused so
+    callers can verify the executor-once-per-workload property.
+    """
+    jobs = spec.expand()
+    cache_stats: dict[str, int] = {}
+    if cache_dir is not None:
+        cache = TraceCache(cache_dir)
+        generated, reused = cache.warm(job.trace_key for job in jobs)
+        cache_stats = {"traces_generated": generated, "traces_reused": reused,
+                       **cache.stats.as_dict()}
+    results = run_jobs(jobs, workers=workers, timeout=timeout,
+                       cache_dir=cache_dir, progress=progress)
+    meta = {
+        "schemes": list(spec.schemes),
+        "workloads": list(spec.resolved_workloads()),
+        "max_ops": spec.max_ops,
+        "seed": spec.seed,
+        "workers": workers,
+        "jobs": len(jobs),
+    }
+    return build_report(results, cache_stats=cache_stats, meta=meta)

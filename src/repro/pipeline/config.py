@@ -129,6 +129,62 @@ class CoreConfig:
         lazy = bypass_from_committed or self.lazy_reclaim
         return self.replace(smb=smb, lazy_reclaim=lazy)
 
+    def variant_name(self) -> str:
+        """Filesystem- and table-safe name for this configuration variant.
+
+        Unlike :meth:`label` (free-form, for humans) the variant name only
+        uses ``[a-z0-9._-]`` so the experiment harness can key artifact
+        files, report columns and cache entries on it.
+        """
+        tracker = self.tracker
+        entries = "unl" if tracker.entries is None else str(tracker.entries)
+        bits = "unl" if tracker.counter_bits is None else str(tracker.counter_bits)
+        parts = [f"{tracker.scheme}-e{entries}-c{bits}"]
+        if self.move_elimination.enabled:
+            parts.append("me")
+        if self.smb.enabled:
+            smb = f"smb.{self.smb.predictor}"
+            if self.smb.bypass_from_committed:
+                smb += ".committed"
+            parts.append(smb)
+        if len(parts) == 1:
+            parts.append("base")
+        return "_".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary of the knobs the experiment grid varies.
+
+        This is deliberately not a full round-trippable dump of every
+        sub-configuration: it records the sweep-relevant knobs (tracker,
+        optimisations, window/register sizing) so report artifacts are
+        self-describing.
+        """
+        return {
+            "label": self.label(),
+            "variant": self.variant_name(),
+            "tracker": {
+                "scheme": self.tracker.scheme,
+                "entries": self.tracker.entries,
+                "counter_bits": self.tracker.counter_bits,
+                "checkpoints": self.tracker.checkpoints,
+            },
+            "move_elimination": {
+                "enabled": self.move_elimination.enabled,
+                "fp_moves": self.move_elimination.fp_moves,
+            },
+            "smb": {
+                "enabled": self.smb.enabled,
+                "predictor": self.smb.predictor,
+                "allow_load_load": self.smb.allow_load_load,
+                "bypass_from_committed": self.smb.bypass_from_committed,
+            },
+            "rob_entries": self.rob_entries,
+            "iq_entries": self.iq_entries,
+            "num_int_pregs": self.num_int_pregs,
+            "num_fp_pregs": self.num_fp_pregs,
+            "lazy_reclaim": self.lazy_reclaim,
+        }
+
     def label(self) -> str:
         """Short human-readable description of the optimisation configuration."""
         parts = []

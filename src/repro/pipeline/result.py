@@ -56,6 +56,30 @@ class SimulationResult:
         """Return one statistic (0 when absent)."""
         return self.stats.get(key, default)
 
+    # -- serialization (used by the experiment harness artifacts) -------------------
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serialisable representation of this result."""
+        return {
+            "workload": self.workload,
+            "config_label": self.config_label,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (``ipc`` is derived)."""
+        return cls(
+            workload=data["workload"],
+            config_label=data["config_label"],
+            cycles=int(data["cycles"]),
+            instructions=int(data["instructions"]),
+            stats=dict(data.get("stats", {})),
+        )
+
     def summary(self) -> str:
         """One-line summary used by the examples."""
         return (f"{self.workload:18s} [{self.config_label}] "

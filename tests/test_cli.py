@@ -1,0 +1,45 @@
+"""CLI subcommand tests (in-process, via main(argv))."""
+
+import json
+
+from repro.experiments.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "spill_reload" in out
+    assert "refcount_checkpoint" in out
+
+
+def test_run_json(capsys):
+    assert main(["run", "move_chain", "--max-ops", "500", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["workload"] == "move_chain"
+    assert data["instructions"] == 500
+
+
+def test_sweep_and_report(tmp_path, capsys):
+    code = main([
+        "sweep", "--schemes", "isrb", "--workloads", "move_chain",
+        "--max-ops", "500", "--jobs", "1", "--quiet",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--out-dir", str(tmp_path / "out"),
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "**geomean**" in captured.out
+    assert "1 generated" in captured.err
+
+    artifact = tmp_path / "out" / "sweep.json"
+    assert artifact.exists()
+    assert main(["report", str(artifact), "--format", "csv"]) == 0
+    assert capsys.readouterr().out.startswith("workload,")
+
+
+def test_sweep_rejects_unknown_scheme(tmp_path, capsys):
+    code = main(["sweep", "--schemes", "bogus",
+                 "--out-dir", str(tmp_path / "out"),
+                 "--cache-dir", str(tmp_path / "cache")])
+    assert code == 2
+    assert "unknown scheme" in capsys.readouterr().err

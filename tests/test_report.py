@@ -1,0 +1,125 @@
+"""Report aggregation math and export tests."""
+
+import json
+
+import pytest
+
+from repro.experiments.grid import Job
+from repro.experiments.report import SweepReport, build_report, geomean
+from repro.experiments.runner import JobResult
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.result import SimulationResult
+
+
+def fake_result(workload, label, cycles, instructions=1_000):
+    return SimulationResult(workload=workload, config_label=label,
+                            cycles=cycles, instructions=instructions)
+
+
+def fake_job(workload, variant="isrb", baseline=False):
+    config = CoreConfig() if baseline else CoreConfig().with_move_elimination()
+    return Job(job_id=f"{workload}__{'baseline' if baseline else variant}",
+               workload=workload, config=config, max_ops=1_000, seed=1,
+               is_baseline=baseline)
+
+
+def ok(job, result):
+    return JobResult(job=job, ok=True, result=result)
+
+
+def test_geomean():
+    assert geomean([2.0, 0.5]) == pytest.approx(1.0)
+    assert geomean([1.2, 1.2, 1.2]) == pytest.approx(1.2)
+    assert geomean([]) == 0.0
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+def test_speedup_table_and_geomean_row():
+    variant = CoreConfig().with_move_elimination().variant_name()
+    results = []
+    for workload, base_cycles, opt_cycles in (
+            ("w1", 2_000, 1_000), ("w2", 1_000, 800)):
+        results.append(ok(fake_job(workload, baseline=True),
+                          fake_result(workload, "baseline", base_cycles)))
+        results.append(ok(fake_job(workload),
+                          fake_result(workload, "opt", opt_cycles)))
+    report = build_report(results)
+    assert report.workloads == ["w1", "w2"]
+    assert report.speedups["w1"][variant] == pytest.approx(2.0)
+    assert report.speedups["w2"][variant] == pytest.approx(1.25)
+    assert report.geomean_speedups()[variant] == pytest.approx(
+        (2.0 * 1.25) ** 0.5)
+
+
+def test_missing_baseline_becomes_a_failure_not_a_crash():
+    results = [ok(fake_job("w1"), fake_result("w1", "opt", 900))]
+    report = build_report(results)
+    assert report.speedups == {}
+    assert len(report.failures) == 1
+    assert report.failures[0]["error"] == "baseline run missing or failed"
+
+
+def test_failed_jobs_are_reported():
+    job = fake_job("w1")
+    results = [JobResult(job=job, ok=False, error="boom")]
+    report = build_report(results)
+    assert report.failures[0]["job_id"] == job.job_id
+    assert "boom" in report.failures[0]["error"]
+
+
+def test_fully_failed_workload_still_gets_a_table_row():
+    ok_results = [
+        ok(fake_job("w1", baseline=True), fake_result("w1", "baseline", 2_000)),
+        ok(fake_job("w1"), fake_result("w1", "opt", 1_000)),
+    ]
+    failed = [JobResult(job=fake_job("w2", baseline=True), ok=False, error="x"),
+              JobResult(job=fake_job("w2"), ok=False, error="x")]
+    report = build_report(ok_results + failed)
+    assert report.workloads == ["w1", "w2"]
+    markdown = report.to_markdown()
+    assert "| w2 | FAIL |" in markdown
+    assert "2 job(s) failed" in markdown
+
+
+def test_incomparable_baseline_becomes_a_failure_not_a_crash():
+    results = [
+        ok(fake_job("w1", baseline=True),
+           fake_result("w1", "baseline", 2_000, instructions=500)),
+        ok(fake_job("w1"), fake_result("w1", "opt", 1_000, instructions=900)),
+    ]
+    report = build_report(results)
+    assert report.speedups == {}
+    assert "not comparable" in report.failures[0]["error"]
+
+
+def test_markdown_and_csv_shape():
+    variant = CoreConfig().with_move_elimination().variant_name()
+    results = [
+        ok(fake_job("w1", baseline=True), fake_result("w1", "baseline", 2_000)),
+        ok(fake_job("w1"), fake_result("w1", "opt", 1_000)),
+    ]
+    report = build_report(results)
+    markdown = report.to_markdown()
+    assert f"| workload | {variant} |" in markdown
+    assert "| w1 | 2.000 |" in markdown
+    assert "**geomean**" in markdown
+    csv_text = report.to_csv()
+    assert csv_text.splitlines()[0] == f"workload,{variant}"
+    assert csv_text.splitlines()[-1].startswith("geomean,2.0")
+
+
+def test_json_roundtrip(tmp_path):
+    results = [
+        ok(fake_job("w1", baseline=True), fake_result("w1", "baseline", 2_000)),
+        ok(fake_job("w1"), fake_result("w1", "opt", 1_000)),
+    ]
+    report = build_report(results, cache_stats={"traces_generated": 1},
+                          meta={"max_ops": 1_000})
+    paths = report.save(tmp_path, stem="sweep")
+    data = json.loads(paths["json"].read_text())
+    rebuilt = SweepReport.from_dict(data)
+    assert rebuilt.speedups == report.speedups
+    assert rebuilt.cache_stats == {"traces_generated": 1}
+    assert rebuilt.results[0].cycles == 2_000
+    assert rebuilt.to_markdown() == report.to_markdown()

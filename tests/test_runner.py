@@ -1,0 +1,74 @@
+"""Parallel runner round-trip and partial-failure tests."""
+
+import dataclasses
+
+from repro.experiments.grid import SweepSpec
+from repro.experiments.runner import run_jobs, run_sweep
+
+
+def small_spec(**overrides):
+    defaults = dict(schemes=("isrb",), workloads=("move_chain",), max_ops=800)
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def test_two_job_parallel_round_trip(tmp_path):
+    jobs = small_spec().expand()
+    assert len(jobs) == 2
+    serial = run_jobs(jobs, workers=1, cache_dir=str(tmp_path))
+    parallel = run_jobs(jobs, workers=2, cache_dir=str(tmp_path))
+    assert all(result.ok for result in parallel)
+    # Input order is preserved and parallel execution is cycle-identical.
+    for one, two in zip(serial, parallel):
+        assert one.job.job_id == two.job.job_id
+        assert one.result.cycles == two.result.cycles
+        assert one.result.stats == two.result.stats
+
+
+def test_partial_failure_does_not_abort_the_sweep(tmp_path):
+    jobs = small_spec().expand()
+    broken = dataclasses.replace(jobs[0], workload="no_such_workload",
+                                 job_id="broken__job")
+    results = run_jobs([broken, jobs[1]], workers=2, cache_dir=str(tmp_path))
+    assert results[0].ok is False
+    assert "no_such_workload" in results[0].error
+    assert results[1].ok is True
+
+
+def test_run_sweep_uses_the_trace_cache_once_per_workload(tmp_path):
+    spec = SweepSpec(schemes=("isrb", "refcount_checkpoint"),
+                     workloads=("spill_reload", "move_chain"), max_ops=800)
+    report = run_sweep(spec, workers=2, cache_dir=str(tmp_path / "cache"))
+    # 6 jobs, but only one functional execution per workload.
+    assert report.meta["jobs"] == 6
+    assert report.cache_stats["traces_generated"] == 2
+    assert report.cache_stats["traces_reused"] == 0
+    assert not report.failures
+    assert set(report.speedups) == {"spill_reload", "move_chain"}
+    for workload in report.speedups:
+        for speedup in report.speedups[workload].values():
+            assert speedup > 0.5
+    # Re-running the same sweep reuses every trace.
+    again = run_sweep(spec, workers=1, cache_dir=str(tmp_path / "cache"))
+    assert again.cache_stats["traces_generated"] == 0
+    assert again.cache_stats["traces_reused"] == 2
+    assert again.speedups == report.speedups
+
+
+def test_run_jobs_with_cold_cache_writes_the_trace_back(tmp_path):
+    from repro.experiments.cache import TraceCache
+
+    jobs = small_spec().expand()
+    cache = TraceCache(tmp_path / "cold")
+    assert cache.get(*jobs[0].trace_key) is None
+    run_jobs(jobs, workers=1, cache_dir=str(tmp_path / "cold"))
+    # The first job's miss was persisted, so later jobs (and runs) hit.
+    assert TraceCache(tmp_path / "cold").get(*jobs[0].trace_key) is not None
+
+
+def test_progress_callback_sees_every_job(tmp_path):
+    jobs = small_spec().expand()
+    seen = []
+    run_jobs(jobs, workers=1, cache_dir=str(tmp_path),
+             progress=lambda done, total, result: seen.append((done, total)))
+    assert seen == [(1, 2), (2, 2)]

@@ -1,0 +1,50 @@
+"""Reclaim-decision and cost-model tests across the tracker schemes."""
+
+import pytest
+
+from repro.core.refcount import (
+    CheckpointedReferenceCounterTracker,
+    ReferenceCounterTracker,
+)
+from repro.core.tracker import ReclaimDecision, TrackerConfig, make_tracker
+
+
+def test_unshared_register_frees_immediately():
+    tracker = make_tracker(TrackerConfig(scheme="isrb"))
+    assert tracker.reclaim(42, arch_reg=0) is ReclaimDecision.FREE
+
+
+def test_shared_register_is_kept_until_sharers_commit():
+    tracker = make_tracker(TrackerConfig(scheme="refcount"))
+    assert tracker.try_share(10, dest_arch=1)
+    assert tracker.reclaim(10, arch_reg=1) is ReclaimDecision.KEEP
+    tracker.on_share_commit(10)
+    assert tracker.reclaim(10, arch_reg=5) is ReclaimDecision.FREE
+
+
+def test_make_tracker_schemes():
+    assert make_tracker(TrackerConfig(scheme="refcount")).name == "refcount"
+    tracker = make_tracker(TrackerConfig(scheme="refcount_checkpoint"))
+    assert isinstance(tracker, CheckpointedReferenceCounterTracker)
+    assert tracker.name == "refcount_checkpoint"
+    with pytest.raises(ValueError):
+        make_tracker(TrackerConfig(scheme="bogus"))
+
+
+def test_refcount_recovery_is_a_walk_but_checkpointed_is_single_cycle():
+    walk = ReferenceCounterTracker(TrackerConfig(scheme="refcount"))
+    ckpt = CheckpointedReferenceCounterTracker(
+        TrackerConfig(scheme="refcount_checkpoint"))
+    # Section 4.2: walking 100 squashed instructions 8-wide takes 13 cycles.
+    assert walk.recovery_cycles(100, walk_width=8) == 13
+    assert ckpt.recovery_cycles(100, walk_width=8) == 1
+    # Checkpointing counters costs one counter per physical register.
+    assert ckpt.checkpoint_bits() == ckpt.config.num_phys_regs * 3
+
+
+def test_refcount_capacity_never_limits_sharing():
+    tracker = ReferenceCounterTracker(
+        TrackerConfig(scheme="refcount", entries=4, counter_bits=None))
+    for preg in range(64):
+        assert tracker.try_share(preg, dest_arch=preg % 32)
+    assert tracker.occupancy() == 64
