@@ -52,7 +52,7 @@ from repro.pipeline.core import Core, simulate, simulate_trace
 from repro.pipeline.result import SimulationResult
 from repro.workloads import DEFAULT_SUITE, generate_trace, list_workloads
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

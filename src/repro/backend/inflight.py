@@ -19,11 +19,13 @@ class InflightOp:
 
     __slots__ = (
         "op", "seq", "fetch_cycle", "rename_cycle", "history", "path",
+        "is_load", "is_store", "is_branch", "mem_addr", "mem_size",
         "predicted_taken", "branch_mispredicted",
         "src_pregs", "dest_preg", "old_preg", "allocated", "eliminated", "bypassed",
         "share_recorded", "bypass_producer", "bypass_value_matches", "smb_prediction",
         "store_set_wait_seq", "false_dependency", "stlf_forwarded",
         "needs_execution", "issued", "issue_cycle", "completed", "complete_cycle",
+        "fu_pool", "exec_latency",
         "violation", "committed", "commit_cycle", "released",
     )
 
@@ -34,6 +36,13 @@ class InflightOp:
         self.rename_cycle = -1
         self.history = history
         self.path = path
+        # Classification and memory footprint, copied from the dynamic op so
+        # the scheduler and LSQ never chase ``self.op`` on their hot loops.
+        self.is_load = op.is_load
+        self.is_store = op.is_store
+        self.is_branch = op.is_branch
+        self.mem_addr = op.mem_addr
+        self.mem_size = op.mem_size
         self.predicted_taken: bool | None = None
         self.branch_mispredicted = False
         # Renaming outcome.
@@ -57,38 +66,17 @@ class InflightOp:
         self.issue_cycle = -1
         self.completed = False
         self.complete_cycle = -1
+        # Precomputed at dispatch: the functional unit pool this op executes
+        # on and (for non-memory ops) its fixed execution latency.
+        self.fu_pool = None
+        self.exec_latency = 0
         # Commit state.
         self.violation = False
         self.committed = False
         self.commit_cycle = -1
         self.released = False
 
-    # -- convenience passthroughs -------------------------------------------------
-
-    @property
-    def is_load(self) -> bool:
-        """``True`` for load micro-ops."""
-        return self.op.is_load
-
-    @property
-    def is_store(self) -> bool:
-        """``True`` for store micro-ops."""
-        return self.op.is_store
-
-    @property
-    def is_branch(self) -> bool:
-        """``True`` for control-flow micro-ops."""
-        return self.op.is_branch
-
-    @property
-    def mem_addr(self) -> int | None:
-        """Byte address of a memory micro-op."""
-        return self.op.mem_addr
-
-    @property
-    def mem_size(self) -> int:
-        """Access size of a memory micro-op in bytes."""
-        return self.op.mem_size
+    # -- convenience views --------------------------------------------------------
 
     @property
     def shared(self) -> bool:

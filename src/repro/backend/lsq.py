@@ -30,7 +30,7 @@ class ForwardingState(enum.Enum):
     PARTIAL_OVERLAP = "partial"    # overlapping but not contained: must wait
 
 
-@dataclass
+@dataclass(slots=True)
 class ForwardingDecision:
     """Result of a store-queue search for a load."""
 
@@ -40,6 +40,8 @@ class ForwardingDecision:
 
 class LoadStoreQueue:
     """The combined load queue / store queue model."""
+
+    __slots__ = ("lq_capacity", "sq_capacity", "_loads", "_stores", "peak_lq", "peak_sq")
 
     def __init__(self, lq_capacity: int = 72, sq_capacity: int = 48) -> None:
         if lq_capacity < 1 or sq_capacity < 1:

@@ -24,6 +24,9 @@ from repro.backend.inflight import InflightOp
 class ReorderBuffer:
     """An in-order window of in-flight (plus optionally retained committed) micro-ops."""
 
+    __slots__ = ("capacity", "lazy_reclaim", "_inflight", "_retained", "_by_seq",
+                 "peak_occupancy")
+
     def __init__(self, capacity: int = 192, lazy_reclaim: bool = False) -> None:
         if capacity < 1:
             raise ValueError("ROB capacity must be >= 1")
@@ -45,11 +48,11 @@ class ReorderBuffer:
 
     def is_full(self) -> bool:
         """``True`` when no new instruction can be dispatched."""
-        return self.occupancy() >= self.capacity
+        return len(self._inflight) + len(self._retained) >= self.capacity
 
     def free_slots(self) -> int:
         """Number of instructions that can still be dispatched."""
-        return self.capacity - self.occupancy()
+        return self.capacity - len(self._inflight) - len(self._retained)
 
     def retained_count(self) -> int:
         """Number of committed entries not yet released (lazy reclaim only)."""
@@ -59,13 +62,13 @@ class ReorderBuffer:
 
     def append(self, entry: InflightOp) -> None:
         """Dispatch an instruction into the ROB."""
-        if self.is_full():
+        occupancy = len(self._inflight) + len(self._retained)
+        if occupancy >= self.capacity:
             raise OverflowError("reorder buffer is full")
         self._inflight.append(entry)
         self._by_seq[entry.seq] = entry
-        occupancy = self.occupancy()
-        if occupancy > self.peak_occupancy:
-            self.peak_occupancy = occupancy
+        if occupancy + 1 > self.peak_occupancy:
+            self.peak_occupancy = occupancy + 1
 
     def head(self) -> InflightOp | None:
         """The oldest in-flight instruction (``None`` when the window is empty)."""

@@ -28,6 +28,9 @@ class FunctionalUnitPool:
     latency of the operation it accepted.
     """
 
+    __slots__ = ("name", "count", "pipelined", "_issued_this_cycle",
+                 "_current_cycle", "_busy_until", "operations")
+
     def __init__(self, name: str, count: int, pipelined: bool = True) -> None:
         if count < 1:
             raise ValueError(f"functional unit pool {name!r} needs at least one unit")
@@ -108,6 +111,8 @@ class FunctionalUnits:
 class IssueQueue:
     """A unified, age-ordered issue queue."""
 
+    __slots__ = ("capacity", "_entries", "peak_occupancy", "issued_total")
+
     def __init__(self, capacity: int = 60) -> None:
         if capacity < 1:
             raise ValueError("issue queue capacity must be >= 1")
@@ -134,6 +139,20 @@ class IssueQueue:
         self._entries.append(entry)
         if len(self._entries) > self.peak_occupancy:
             self.peak_occupancy = len(self._entries)
+
+    def entries(self) -> list[InflightOp]:
+        """The queued instructions, oldest first (the queue's own storage).
+
+        Exposed for the pipeline's inlined issue scan; callers must not
+        mutate the list directly -- they hand back the survivors through
+        :meth:`replace_entries`.
+        """
+        return self._entries
+
+    def replace_entries(self, remaining: list[InflightOp], issued: int) -> None:
+        """Install the post-selection queue contents and account for issues."""
+        self._entries = remaining
+        self.issued_total += issued
 
     def remove(self, entries: list[InflightOp]) -> None:
         """Remove specific entries (used when squashing)."""

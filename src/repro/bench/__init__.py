@@ -1,0 +1,29 @@
+"""The benchmark subsystem: a repeatable performance baseline for the simulator.
+
+The paper's evaluation needs thousands of (workload x scheme x sizing)
+simulations, so the *throughput of the simulator itself* is a first-class
+concern.  This package measures it at three grains:
+
+* **trace generation** -- the functional executor, per workload;
+* **simulation** -- the cycle-level core, per tracker scheme over a
+  representative workload set;
+* **end-to-end sweep** -- a small ``run_sweep`` including cache warming,
+  job execution and report aggregation.
+
+``python -m repro bench`` runs the suite and writes ``BENCH_core.json``
+(machine-readable: ops/sec, cycles simulated/sec, wall seconds, geomeans)
+so that every PR can be compared against the committed baseline;
+``--smoke`` re-runs a reduced suite and fails when a benchmark errors or a
+summary metric regresses beyond tolerance.
+"""
+
+from repro.bench.report import BenchReport, BenchResult, compare_reports
+from repro.bench.suite import BenchConfig, run_benchmarks
+
+__all__ = [
+    "BenchConfig",
+    "BenchReport",
+    "BenchResult",
+    "compare_reports",
+    "run_benchmarks",
+]

@@ -1,0 +1,190 @@
+"""Benchmark case definitions and the suite runner.
+
+The suite has three tiers, mirroring where simulator time actually goes:
+
+* ``trace_gen/<workload>`` -- the functional executor, one case per
+  benchmarked workload;
+* ``sim/<scheme>/<workload>`` -- the cycle-level core, one case per
+  (tracker scheme, workload) cell, replaying a pre-generated trace so only
+  the timing model is measured;
+* ``sweep/small`` -- an end-to-end :func:`~repro.experiments.runner.run_sweep`
+  over a tiny matrix (grid expansion + trace cache + in-process pool +
+  report aggregation), measured in jobs/second.
+
+Wall time per case is best-of-``repeat`` (scheduler noise only ever adds
+time).  The clock is injectable for unit tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.report import BenchReport, BenchResult, default_meta
+from repro.experiments.grid import SCHEME_PRESETS, SweepSpec
+from repro.experiments.runner import run_sweep
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate_trace
+from repro.workloads import generate_trace, list_workloads
+
+#: Workloads the default suite times: a sharing-heavy one, a spill/STLF one,
+#: a branchy one, a pointer chase and a streaming kernel -- small enough to
+#: finish in seconds, diverse enough that a hot-path regression in any
+#: pipeline stage moves at least one of them.
+DEFAULT_BENCH_WORKLOADS: tuple[str, ...] = (
+    "move_chain", "spill_reload", "branchy", "load_load", "stride_stream",
+)
+
+#: Tracker schemes the default suite times (the paper's headline scheme, the
+#: unlimited reference, a walk-recovery scheme and the no-sharing baseline).
+DEFAULT_BENCH_SCHEMES: tuple[str, ...] = ("baseline", "isrb", "refcount", "matrix")
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """What to benchmark and how hard.
+
+    ``smoke`` presets (see :meth:`smoke`) shrink everything so the suite
+    finishes in a few seconds on CI while still touching every tier.
+    """
+
+    workloads: tuple[str, ...] = DEFAULT_BENCH_WORKLOADS
+    schemes: tuple[str, ...] = DEFAULT_BENCH_SCHEMES
+    max_ops: int = 20_000
+    seed: int = 1
+    repeat: int = 2
+    sweep: bool = True
+    sweep_workloads: tuple[str, ...] = ("spill_reload", "move_chain")
+    sweep_schemes: tuple[str, ...] = ("isrb", "refcount_checkpoint")
+
+    def __post_init__(self) -> None:
+        if self.max_ops < 1:
+            raise ValueError("max_ops must be >= 1")
+        if self.repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        known = list_workloads()
+        bad = [name for name in (*self.workloads, *self.sweep_workloads)
+               if name not in known]
+        if bad:
+            raise ValueError(f"unknown workload(s) {bad}; known: {known}")
+        bad = [name for name in (*self.schemes, *self.sweep_schemes)
+               if name != "baseline" and name not in SCHEME_PRESETS]
+        if bad:
+            raise ValueError(
+                f"unknown scheme(s) {bad}; known: baseline, {list(SCHEME_PRESETS)}")
+
+    @classmethod
+    def smoke(cls) -> "BenchConfig":
+        """The reduced CI gate configuration (a few seconds end to end)."""
+        return cls(
+            workloads=("move_chain", "spill_reload"),
+            schemes=("baseline", "isrb"),
+            max_ops=4_000,
+            repeat=1,
+        )
+
+    def config_for_scheme(self, scheme: str) -> CoreConfig:
+        """The core configuration a scheme name benches under.
+
+        ``"baseline"`` is the no-sharing Table-1 machine; every real scheme
+        runs with its preset sizing plus move elimination and SMB enabled
+        (the configuration whose hot path the optimisations target).
+        """
+        if scheme == "baseline":
+            return CoreConfig()
+        preset = SCHEME_PRESETS[scheme]
+        return (CoreConfig()
+                .with_tracker(scheme=preset["scheme"], entries=preset["entries"],
+                              counter_bits=preset["counter_bits"])
+                .with_move_elimination()
+                .with_smb())
+
+
+@dataclass
+class _Timer:
+    """Best-of-N stopwatch around a thunk."""
+
+    clock: object = field(default=time.perf_counter)
+
+    def best_of(self, repeat: int, thunk) -> tuple[float, object]:
+        best = None
+        value = None
+        for _ in range(repeat):
+            start = self.clock()
+            value = thunk()
+            elapsed = self.clock() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, value
+
+
+def run_benchmarks(config: BenchConfig | None = None, clock=None,
+                   progress=None) -> BenchReport:
+    """Run the benchmark suite and return its report.
+
+    ``clock`` overrides the wall-clock source (tests inject a fake);
+    ``progress(case_name)`` is called before each case starts.
+    """
+    config = config or BenchConfig()
+    timer = _Timer(clock or time.perf_counter)
+    report = BenchReport(meta=default_meta(
+        max_ops=config.max_ops,
+        seed=config.seed,
+        repeat=config.repeat,
+        workloads=list(config.workloads),
+        schemes=list(config.schemes),
+    ))
+
+    # Tier 1: trace generation (the functional executor), and keep the
+    # traces so the simulation tier measures only the timing model.
+    traces = {}
+    for workload in config.workloads:
+        name = f"trace_gen/{workload}"
+        if progress is not None:
+            progress(name)
+        wall, trace = timer.best_of(
+            config.repeat,
+            lambda workload=workload: generate_trace(
+                workload, max_ops=config.max_ops, seed=config.seed))
+        traces[workload] = trace
+        report.results.append(BenchResult(
+            name=name, kind="trace_gen", ops=len(trace), wall_seconds=wall))
+
+    # Tier 2: cycle-level simulation per (scheme, workload).
+    for scheme in config.schemes:
+        core_config = config.config_for_scheme(scheme)
+        for workload in config.workloads:
+            name = f"sim/{scheme}/{workload}"
+            if progress is not None:
+                progress(name)
+            trace = traces[workload]
+            wall, result = timer.best_of(
+                config.repeat, lambda trace=trace: simulate_trace(trace, core_config))
+            report.results.append(BenchResult(
+                name=name, kind="sim", ops=result.instructions, wall_seconds=wall,
+                cycles=result.cycles,
+                detail={"ipc": result.ipc, "variant": core_config.variant_name()}))
+
+    # Tier 3: a small end-to-end sweep (grid -> cache-less run -> report).
+    if config.sweep:
+        name = "sweep/small"
+        if progress is not None:
+            progress(name)
+        spec = SweepSpec(
+            schemes=config.sweep_schemes,
+            workloads=config.sweep_workloads,
+            max_ops=min(config.max_ops, 4_000),
+            seed=config.seed,
+        )
+        wall, sweep_report = timer.best_of(
+            1, lambda: run_sweep(spec, workers=1, cache_dir=None))
+        report.results.append(BenchResult(
+            name=name, kind="sweep", ops=spec.job_count(), wall_seconds=wall,
+            detail={"failures": len(sweep_report.failures),
+                    "variants": list(sweep_report.variants)}))
+        if sweep_report.failures:
+            raise RuntimeError(
+                f"bench sweep had {len(sweep_report.failures)} failed job(s): "
+                + ", ".join(f["job_id"] for f in sweep_report.failures))
+
+    return report

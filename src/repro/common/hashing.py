@@ -9,7 +9,16 @@ across runs.
 
 from __future__ import annotations
 
+from functools import lru_cache
 
+# The three helpers below are pure functions of their integer arguments and
+# sit on the hottest prediction paths (every TAGE component lookup folds the
+# history twice).  Loop-dominated workloads revisit the same
+# (pc, history, path) tuples for thousands of iterations, so memoisation
+# turns most folds into a dict hit without changing any result.
+
+
+@lru_cache(maxsize=1 << 16)
 def fold_bits(value: int, input_bits: int, output_bits: int) -> int:
     """Fold ``input_bits`` of ``value`` down to ``output_bits`` by XOR.
 
@@ -29,6 +38,7 @@ def fold_bits(value: int, input_bits: int, output_bits: int) -> int:
     return folded & mask
 
 
+@lru_cache(maxsize=1 << 16)
 def mix_hash(pc: int, history: int, history_bits: int, path: int, path_bits: int,
              output_bits: int) -> int:
     """Compute a table index from PC, folded global history and folded path history.
@@ -50,6 +60,7 @@ def mix_hash(pc: int, history: int, history_bits: int, path: int, path_bits: int
     return (pc_low ^ pc_high ^ folded_hist ^ rotated_path) & mask
 
 
+@lru_cache(maxsize=1 << 16)
 def tag_hash(pc: int, history: int, history_bits: int, tag_bits: int) -> int:
     """Compute a partial tag from the PC and folded global history.
 

@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from repro.core.tracker import ReclaimDecision, SharingTracker, TrackerConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class IsrbEntry:
     """One ISRB entry: the two up-counters plus the committed image of ``referenced``."""
 

@@ -203,8 +203,8 @@ class SmbEngine:
         if not self.config.enabled:
             return
         if op.is_store and op.mem_addr is not None and op.srcs:
-            data_arch = op.srcs[0]
-            producer = self.csn_table.producer_of(data_arch.flat_index)
+            data_arch_flat = op.src_flats[0]
+            producer = self.csn_table.producer_of(data_arch_flat)
             if producer is not None:
                 self.ddt.update(op.mem_addr, producer)
         if op.is_load and op.mem_addr is not None:
@@ -226,7 +226,7 @@ class SmbEngine:
                 # this address, enabling load-load bypassing.
                 self.ddt.update(op.mem_addr, csn)
         if op.writes_register:
-            self.csn_table.define(op.dest.flat_index, csn)
+            self.csn_table.define(op.dest_flat, csn)
 
     # -- reporting ----------------------------------------------------------------
 

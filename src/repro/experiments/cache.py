@@ -26,7 +26,8 @@ from repro.isa.executor import Trace
 from repro.workloads import build_workload, install_trace_provider
 
 #: Bumped whenever the trace layout changes; stale files are regenerated.
-CACHE_FORMAT_VERSION = 1
+#: v2: ``DynamicOp`` gained slots and precomputed classification fields.
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclass

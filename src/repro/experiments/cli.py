@@ -6,6 +6,7 @@ Subcommands::
     repro run WORKLOAD [...]   # one (workload, config) simulation
     repro sweep [...]          # parallel evaluation matrix + report artifacts
     repro report SWEEP.json    # re-render tables from a saved artifact
+    repro bench [...]          # simulator throughput benchmarks -> BENCH_core.json
 
 ``sweep`` is the paper-table entry point: it expands a
 :class:`~repro.experiments.grid.SweepSpec` from the flags, runs it on a
@@ -85,6 +86,42 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("artifact", help="path to a sweep.json file")
     report.add_argument("--format", choices=("markdown", "csv", "json"),
                         default="markdown")
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulator itself (trace gen, per-scheme "
+             "simulation, end-to-end sweep)")
+    bench.add_argument("--workloads", type=_csv_list, default=(),
+                       help="comma-separated workloads to time "
+                            "(default: the standard bench set)")
+    bench.add_argument("--schemes", type=_csv_list, default=(),
+                       help="comma-separated tracker schemes to time; "
+                            "'baseline' means the no-sharing machine "
+                            "(default: baseline,isrb,refcount,matrix)")
+    bench.add_argument("--max-ops", type=int, default=None,
+                       help="trace length per benchmarked workload "
+                            "(default: 20000, or 4000 with --smoke)")
+    bench.add_argument("--repeat", type=int, default=None,
+                       help="repeats per case; best wall time is reported "
+                            "(default: 2, or 1 with --smoke)")
+    bench.add_argument("--no-sweep", action="store_true",
+                       help="skip the end-to-end sweep tier")
+    bench.add_argument("--out", default="BENCH_core.json",
+                       help="output artifact path ('' = don't write)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="reduced CI suite; with --baseline, fail on "
+                            "errors or regressions beyond --tolerance")
+    bench.add_argument("--baseline", default=None, metavar="BENCH.json",
+                       help="committed baseline artifact to compare against")
+    bench.add_argument("--check", default=None, metavar="BENCH.json",
+                       help="compare an existing artifact against --baseline "
+                            "instead of running benchmarks (CI gate between "
+                            "two saved runs)")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional slowdown vs the baseline "
+                            "(default 0.30)")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress per-case progress lines")
     return parser
 
 
@@ -196,11 +233,95 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gate_against_baseline(report, baseline_path: str, tolerance: float) -> int:
+    from repro.bench import BenchReport, compare_reports
+
+    try:
+        baseline = BenchReport.load(baseline_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+    regressions = compare_reports(report, baseline, tolerance=tolerance)
+    if regressions:
+        print("\nperformance regressions vs baseline:", file=sys.stderr)
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions vs {baseline_path} "
+          f"(tolerance {tolerance * 100:.0f}%)", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.bench import BenchConfig, BenchReport, run_benchmarks
+
+    if args.check:
+        if not args.baseline:
+            print("error: --check requires --baseline", file=sys.stderr)
+            return 2
+        try:
+            report = BenchReport.load(args.check)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read artifact {args.check}: {exc}", file=sys.stderr)
+            return 2
+        return _gate_against_baseline(report, args.baseline, args.tolerance)
+
+    config = BenchConfig.smoke() if args.smoke else BenchConfig()
+    overrides = {}
+    if args.workloads:
+        overrides["workloads"] = tuple(args.workloads)
+    if args.schemes:
+        overrides["schemes"] = tuple(args.schemes)
+    # None means "not passed": explicit --max-ops/--repeat always win, the
+    # preset (smoke or full) supplies the default otherwise.
+    if args.max_ops is not None:
+        overrides["max_ops"] = args.max_ops
+    if args.repeat is not None:
+        overrides["repeat"] = args.repeat
+    if args.no_sweep:
+        overrides["sweep"] = False
+    try:
+        config = replace(config, **overrides) if overrides else config
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    progress = None
+    if not args.quiet:
+        progress = lambda name: print(f"bench: {name}", file=sys.stderr)  # noqa: E731
+    try:
+        report = run_benchmarks(config, progress=progress)
+    except Exception as exc:
+        print(f"error: benchmark failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.to_text())
+    if args.out:
+        # Never clobber the baseline being gated against: `bench --smoke
+        # --baseline BENCH_core.json` with the default --out would first
+        # overwrite the committed artifact with smoke numbers and then
+        # compare the report against its own copy (a gate that can never
+        # fail).  Skip the write and keep the comparison honest.
+        if args.baseline and Path(args.out).resolve() == Path(args.baseline).resolve():
+            print(f"note: not overwriting baseline {args.baseline}; "
+                  "pass a different --out to save this run", file=sys.stderr)
+        else:
+            path = report.save(args.out)
+            print(f"\nartifact: {path}", file=sys.stderr)
+
+    if args.baseline:
+        return _gate_against_baseline(report, args.baseline, args.tolerance)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also installed as the ``repro`` console script)."""
     args = _build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
-                "sweep": _cmd_sweep, "report": _cmd_report}
+                "sweep": _cmd_sweep, "report": _cmd_report,
+                "bench": _cmd_bench}
     return handlers[args.command](args)
 
 

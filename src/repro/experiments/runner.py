@@ -142,12 +142,14 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
                        **cache.stats.as_dict()}
     results = run_jobs(jobs, workers=workers, timeout=timeout,
                        cache_dir=cache_dir, progress=progress)
+    # Note: deliberately free of execution details (worker count, wall
+    # times) -- the artifact must be byte-identical however the sweep was
+    # scheduled, which the determinism regression tests enforce.
     meta = {
         "schemes": list(spec.schemes),
         "workloads": list(spec.resolved_workloads()),
         "max_ops": spec.max_ops,
         "seed": spec.seed,
-        "workers": workers,
         "jobs": len(jobs),
     }
     return build_report(results, cache_stats=cache_stats, meta=meta)

@@ -33,7 +33,35 @@ class ExecutionLimitExceeded(RuntimeError):
     """Raised when a program does not halt within the configured budgets."""
 
 
-@dataclass(frozen=True)
+#: Names of the derived classification fields on :class:`DynamicOp`, in the
+#: order :func:`derive_classification` produces them.
+_DERIVED_FIELD_NAMES = (
+    "is_load", "is_store", "is_branch", "is_conditional_branch",
+    "is_move", "writes_register", "dest_flat", "src_flats",
+)
+
+
+def derive_classification(opcode, op_class, dest, srcs) -> tuple:
+    """Compute the derived classification fields of a micro-op.
+
+    The single source of truth shared by :meth:`DynamicOp.__post_init__`
+    (hand-constructed ops) and the executor's per-static-instruction cache
+    (generated traces), so the two paths can never classify differently.
+    Returns values in ``_DERIVED_FIELD_NAMES`` order.
+    """
+    return (
+        op_class is OpClass.LOAD,
+        op_class is OpClass.STORE,
+        op_class is OpClass.BRANCH,
+        opcode in (Opcode.BNZ, Opcode.BZ),
+        opcode in (Opcode.MOV, Opcode.MOVZX8, Opcode.FMOV),
+        dest is not None,
+        dest.flat_index if dest is not None else -1,
+        tuple(src.flat_index for src in srcs),
+    )
+
+
+@dataclass(frozen=True, slots=True)
 class DynamicOp:
     """One dynamic micro-op of a trace.
 
@@ -41,6 +69,13 @@ class DynamicOp:
     dependence tracking, the result value for sharing validation, the memory
     address/size for the data cache, store queue and DDT, and the resolved
     branch behaviour for the front end.
+
+    The trailing block of non-init fields (``is_load`` ... ``src_flats``)
+    is *derived* from the others in ``__post_init__``.  The timing model
+    replays the same micro-op once per (scheme x sizing) configuration, so
+    classification and flat-register-index lookups are paid once at trace
+    generation time instead of on every replay (they used to be properties
+    on the pipeline's hottest paths).
     """
 
     seq: int
@@ -60,26 +95,30 @@ class DynamicOp:
     next_pc: int = 0
     taken: bool = False
     target_pc: int | None = None
+    # -- derived, precomputed classification (see class docstring).  The
+    # executor passes these in from its per-static-instruction cache; when
+    # constructed by hand (tests, tools) they are derived automatically.
+    is_load: bool = None
+    is_store: bool = None
+    is_branch: bool = None
+    is_conditional_branch: bool = None
+    is_move: bool = None
+    writes_register: bool = None
+    dest_flat: int = None
+    src_flats: tuple[int, ...] = None
 
-    @property
-    def is_load(self) -> bool:
-        """``True`` for load micro-ops."""
-        return self.op_class is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        """``True`` for store micro-ops."""
-        return self.op_class is OpClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        """``True`` for control-flow micro-ops."""
-        return self.op_class is OpClass.BRANCH
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        """``True`` for conditional branches."""
-        return self.opcode in (Opcode.BNZ, Opcode.BZ)
+    def __post_init__(self) -> None:
+        supplied = (self.is_load, self.is_store, self.is_branch,
+                    self.is_conditional_branch, self.is_move,
+                    self.writes_register, self.dest_flat, self.src_flats)
+        if all(value is not None for value in supplied):
+            return
+        # Derive everything unless the caller supplied the complete set (a
+        # partial set would leave None flags that read as falsy downstream).
+        set_ = object.__setattr__
+        values = derive_classification(self.opcode, self.op_class, self.dest, self.srcs)
+        for name, value in zip(_DERIVED_FIELD_NAMES, values):
+            set_(self, name, value)
 
     @property
     def is_call(self) -> bool:
@@ -90,16 +129,6 @@ class DynamicOp:
     def is_return(self) -> bool:
         """``True`` for return micro-ops."""
         return self.opcode is Opcode.RET
-
-    @property
-    def is_move(self) -> bool:
-        """``True`` for register-to-register moves."""
-        return self.opcode in (Opcode.MOV, Opcode.MOVZX8, Opcode.FMOV)
-
-    @property
-    def writes_register(self) -> bool:
-        """``True`` when the micro-op produces an architectural register value."""
-        return self.dest is not None
 
     def __repr__(self) -> str:
         dest = self.dest.name if self.dest else "-"
@@ -160,6 +189,8 @@ class Executor:
         self._fp_regs = [0] * NUM_FP_REGS
         self._memory: dict[int, int] = {}
         self._call_stack: list[int] = []
+        self._statics = [_precompute_static(program, index, instruction)
+                         for index, instruction in enumerate(program.instructions)]
         if initial_regs:
             for reg, value in initial_regs.items():
                 self._write_reg(reg, value)
@@ -186,6 +217,27 @@ class Executor:
         else:
             self._fp_regs[reg.index] = value
 
+    def state_digest(self) -> str:
+        """SHA-256 digest of the full architectural state (registers + memory).
+
+        The differential test layer uses this to pin the functional
+        semantics of a workload: every tracker scheme replays the same
+        trace, so the committed architectural state must be independent of
+        the timing configuration, and hot-path optimisations must not
+        change it.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for value in self._int_regs:
+            digest.update(value.to_bytes(8, "little"))
+        for value in self._fp_regs:
+            digest.update(value.to_bytes(8, "little"))
+        for address in sorted(self._memory):
+            digest.update(address.to_bytes(8, "little"))
+            digest.update(self._memory[address].to_bytes(1, "little"))
+        return digest.hexdigest()
+
     def read_memory(self, address: int, size: int = 8) -> int:
         """Read ``size`` bytes of memory (little endian, missing bytes are zero)."""
         value = 0
@@ -210,101 +262,58 @@ class Executor:
         trace = Trace(name=self.program.name, program=self.program)
         index = 0
         instructions = self.program.instructions
-        while len(trace.ops) < max_ops:
-            if index >= len(instructions):
+        statics = self._statics
+        limit = len(instructions)
+        base_pc = self.program.BASE_PC
+        bytes_per_op = self.program.BYTES_PER_OP
+        ops = trace.ops
+        append = ops.append
+        write_reg = self._write_reg
+        while len(ops) < max_ops:
+            if index >= limit:
                 raise ExecutionLimitExceeded(
                     f"program {self.program.name!r} ran past its last instruction; "
                     "add an explicit halt() or loop"
                 )
-            instruction = instructions[index]
-            if instruction.opcode is Opcode.HALT:
+            static = statics[index]
+            if static is None:  # HALT
                 break
-            dynamic, next_index = self._step(instruction, index, len(trace.ops))
-            trace.ops.append(dynamic)
+            pc, opcode, op_cls, dest, srcs, width, src_high8, imm, derived, handler = static
+            instruction = instructions[index]
+            result, mem_addr, mem_size, store_value, taken, target_pc, next_index = \
+                handler(self, instruction, index)
+            if dest is not None and result is not None:
+                write_reg(dest, result)
+            next_pc = (base_pc + next_index * bytes_per_op) if next_index < limit else pc + 4
+            append(DynamicOp(
+                len(ops), pc, index, opcode, op_cls, dest, srcs, width, src_high8,
+                imm, result, mem_addr, mem_size, store_value, next_pc, taken,
+                target_pc, *derived,
+            ))
             index = next_index
         return trace
 
     def _step(self, instruction: Instruction, index: int, seq: int) -> tuple[DynamicOp, int]:
-        """Execute one static instruction, returning its dynamic form and the next index."""
-        opcode = instruction.opcode
-        pc = self.program.pc_of(index)
-        next_index = index + 1
-        result: int | None = None
-        mem_addr: int | None = None
-        mem_size = 8
-        store_value: int | None = None
-        taken = False
-        target_pc: int | None = None
+        """Execute one static instruction, returning its dynamic form and the next index.
 
-        if opcode in _ALU_HANDLERS:
-            result = _ALU_HANDLERS[opcode](self, instruction)
-        elif opcode is Opcode.MOVI:
-            result = instruction.imm & _MASK64
-        elif opcode in (Opcode.MOV, Opcode.FMOV):
-            result = self._execute_move(instruction)
-        elif opcode is Opcode.MOVZX8:
-            source = self.read_reg(instruction.srcs[0])
-            byte = (source >> 8) & 0xFF if instruction.src_high8 else source & 0xFF
-            result = byte
-        elif opcode in (Opcode.LOAD, Opcode.FLOAD):
-            mem_addr, mem_size = self._effective_address(instruction)
-            result = self.read_memory(mem_addr, mem_size)
-        elif opcode in (Opcode.STORE, Opcode.FSTORE):
-            mem_addr, mem_size = self._effective_address(instruction)
-            store_value = self.read_reg(instruction.srcs[0])
-            if mem_size == 4:
-                store_value &= 0xFFFFFFFF
-            self._write_memory(mem_addr, store_value, mem_size)
-        elif opcode in (Opcode.BNZ, Opcode.BZ):
-            value = self.read_reg(instruction.srcs[0])
-            taken = (value != 0) if opcode is Opcode.BNZ else (value == 0)
-            target_index = self.program.target_index(instruction.target)
-            target_pc = self.program.pc_of(target_index)
-            if taken:
-                next_index = target_index
-        elif opcode is Opcode.JMP:
-            taken = True
-            next_index = self.program.target_index(instruction.target)
-            target_pc = self.program.pc_of(next_index)
-        elif opcode is Opcode.CALL:
-            taken = True
-            self._call_stack.append(index + 1)
-            next_index = self.program.target_index(instruction.target)
-            target_pc = self.program.pc_of(next_index)
-        elif opcode is Opcode.RET:
-            taken = True
-            if not self._call_stack:
-                raise ExecutionLimitExceeded(
-                    f"return without a matching call in program {self.program.name!r}"
-                )
-            next_index = self._call_stack.pop()
-            target_pc = self.program.pc_of(next_index)
-        elif opcode is Opcode.NOP:
-            result = None
-        else:  # pragma: no cover - defensive; HALT is handled by run()
-            raise NotImplementedError(f"unhandled opcode {opcode}")
-
-        if instruction.dest is not None and result is not None:
-            self._write_reg(instruction.dest, result)
-
+        This is the single-step twin of the inlined loop in :meth:`run`
+        (kept for tools and tests that drive the executor one instruction
+        at a time).
+        """
+        static = self._statics[index]
+        if static is None:
+            raise ValueError("cannot step a HALT instruction")
+        pc, opcode, op_cls, dest, srcs, width, src_high8, imm, derived, handler = static
+        result, mem_addr, mem_size, store_value, taken, target_pc, next_index = \
+            handler(self, instruction, index)
+        if dest is not None and result is not None:
+            self._write_reg(dest, result)
+        limit = len(self.program)
+        next_pc = self.program.pc_of(next_index) if next_index < limit else pc + 4
         dynamic = DynamicOp(
-            seq=seq,
-            pc=pc,
-            static_index=index,
-            opcode=opcode,
-            op_class=op_class(opcode),
-            dest=instruction.dest,
-            srcs=instruction.source_registers(),
-            width=instruction.width,
-            src_high8=instruction.src_high8,
-            imm=instruction.imm,
-            result=result,
-            mem_addr=mem_addr,
-            mem_size=mem_size,
-            store_value=store_value,
-            next_pc=self.program.pc_of(next_index) if next_index < len(self.program) else pc + 4,
-            taken=taken,
-            target_pc=target_pc,
+            seq, pc, index, opcode, op_cls, dest, srcs, width, src_high8,
+            imm, result, mem_addr, mem_size, store_value, next_pc, taken,
+            target_pc, *derived,
         )
         return dynamic, next_index
 
@@ -387,3 +396,139 @@ _ALU_HANDLERS = {
     Opcode.I2F: _unary(lambda a: a),
     Opcode.F2I: _unary(lambda a: a),
 }
+
+
+# ---------------------------------------------------------------------------
+# Per-opcode dispatch table
+# ---------------------------------------------------------------------------
+#
+# Every handler computes the full dynamic effect of one static instruction:
+# ``(result, mem_addr, mem_size, store_value, taken, target_pc, next_index)``.
+# :meth:`Executor._step` indexes this table directly instead of walking an
+# if/elif chain, which keeps the per-micro-op cost flat across opcodes.
+
+#: Precomputed opcode -> OpClass mapping (avoids a function call per micro-op).
+_CLASS_OF = {opcode: op_class(opcode) for opcode in Opcode if opcode is not Opcode.HALT}
+
+
+def _step_alu(handler):
+    """Adapt a result-only ALU handler to the full-effect signature."""
+
+    def step(executor: Executor, instruction: Instruction, index: int):
+        return handler(executor, instruction), None, 8, None, False, None, index + 1
+
+    return step
+
+
+def _step_movi(executor: Executor, instruction: Instruction, index: int):
+    return instruction.imm & _MASK64, None, 8, None, False, None, index + 1
+
+
+def _step_move(executor: Executor, instruction: Instruction, index: int):
+    return executor._execute_move(instruction), None, 8, None, False, None, index + 1
+
+
+def _step_movzx8(executor: Executor, instruction: Instruction, index: int):
+    source = executor.read_reg(instruction.srcs[0])
+    byte = (source >> 8) & 0xFF if instruction.src_high8 else source & 0xFF
+    return byte, None, 8, None, False, None, index + 1
+
+
+def _step_load(executor: Executor, instruction: Instruction, index: int):
+    mem_addr, mem_size = executor._effective_address(instruction)
+    return (executor.read_memory(mem_addr, mem_size), mem_addr, mem_size, None,
+            False, None, index + 1)
+
+
+def _step_store(executor: Executor, instruction: Instruction, index: int):
+    mem_addr, mem_size = executor._effective_address(instruction)
+    store_value = executor.read_reg(instruction.srcs[0])
+    if mem_size == 4:
+        store_value &= 0xFFFFFFFF
+    executor._write_memory(mem_addr, store_value, mem_size)
+    return None, mem_addr, mem_size, store_value, False, None, index + 1
+
+
+def _step_bnz(executor: Executor, instruction: Instruction, index: int):
+    taken = executor.read_reg(instruction.srcs[0]) != 0
+    target_index = executor.program.target_index(instruction.target)
+    target_pc = executor.program.pc_of(target_index)
+    return None, None, 8, None, taken, target_pc, target_index if taken else index + 1
+
+
+def _step_bz(executor: Executor, instruction: Instruction, index: int):
+    taken = executor.read_reg(instruction.srcs[0]) == 0
+    target_index = executor.program.target_index(instruction.target)
+    target_pc = executor.program.pc_of(target_index)
+    return None, None, 8, None, taken, target_pc, target_index if taken else index + 1
+
+
+def _step_jmp(executor: Executor, instruction: Instruction, index: int):
+    next_index = executor.program.target_index(instruction.target)
+    return None, None, 8, None, True, executor.program.pc_of(next_index), next_index
+
+
+def _step_call(executor: Executor, instruction: Instruction, index: int):
+    executor._call_stack.append(index + 1)
+    next_index = executor.program.target_index(instruction.target)
+    return None, None, 8, None, True, executor.program.pc_of(next_index), next_index
+
+
+def _step_ret(executor: Executor, instruction: Instruction, index: int):
+    if not executor._call_stack:
+        raise ExecutionLimitExceeded(
+            f"return without a matching call in program {executor.program.name!r}"
+        )
+    next_index = executor._call_stack.pop()
+    return None, None, 8, None, True, executor.program.pc_of(next_index), next_index
+
+
+def _step_nop(executor: Executor, instruction: Instruction, index: int):
+    return None, None, 8, None, False, None, index + 1
+
+
+_DISPATCH = {opcode: _step_alu(handler) for opcode, handler in _ALU_HANDLERS.items()}
+_DISPATCH.update({
+    Opcode.MOVI: _step_movi,
+    Opcode.MOV: _step_move,
+    Opcode.FMOV: _step_move,
+    Opcode.MOVZX8: _step_movzx8,
+    Opcode.LOAD: _step_load,
+    Opcode.FLOAD: _step_load,
+    Opcode.STORE: _step_store,
+    Opcode.FSTORE: _step_store,
+    Opcode.BNZ: _step_bnz,
+    Opcode.BZ: _step_bz,
+    Opcode.JMP: _step_jmp,
+    Opcode.CALL: _step_call,
+    Opcode.RET: _step_ret,
+    Opcode.NOP: _step_nop,
+})
+
+
+def _precompute_static(program: Program, index: int, instruction: Instruction):
+    """Precompute everything about a static instruction that its dynamic
+    instances share: decoded fields, classification flags, flat register
+    indices and the dispatch handler.  Returns ``None`` for ``HALT`` (the
+    run loop's stop marker).  An opcode missing from the dispatch table is
+    a table bug and raises ``KeyError`` here, at decode time.
+    """
+    opcode = instruction.opcode
+    if opcode is Opcode.HALT:
+        return None
+    op_cls = _CLASS_OF[opcode]
+    dest = instruction.dest
+    srcs = instruction.source_registers()
+    derived = derive_classification(opcode, op_cls, dest, srcs)
+    return (
+        program.BASE_PC + index * program.BYTES_PER_OP,
+        opcode,
+        op_cls,
+        dest,
+        srcs,
+        instruction.width,
+        instruction.src_high8,
+        instruction.imm,
+        derived,
+        _DISPATCH[opcode],
+    )

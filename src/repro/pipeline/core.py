@@ -26,7 +26,7 @@ Instruction Distance predictor at commit through the
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
 
 from repro.backend.inflight import InflightOp
 from repro.backend.lsq import ForwardingState, LoadStoreQueue
@@ -51,6 +51,11 @@ from repro.rename.renamer import ProducerInfo, Renamer
 _NEVER = 1 << 60
 
 
+def _by_seq(entry: InflightOp) -> int:
+    """Sort key for same-cycle writeback ordering."""
+    return entry.seq
+
+
 class Core:
     """A configurable out-of-order core simulator."""
 
@@ -67,8 +72,7 @@ class Core:
         self.fetch_index = 0
         self.fetch_blocked_until = 0
         self.pending_redirect: InflightOp | None = None
-        self.frontend_queue: list[InflightOp] = []
-        self.epoch = 0
+        self.frontend_queue: deque[InflightOp] = deque()
         self._last_fetch_line = -1
 
         # Front end.
@@ -104,8 +108,29 @@ class Core:
         self.store_sets = StoreSetsPredictor(config.store_sets)
         self.memory = MemoryHierarchy(config.memory)
 
-        self.preg_ready: dict[int, int] = {}
-        self.execution_heap: list[tuple[int, int, int, InflightOp]] = []
+        # Physical register ready times, indexed by global preg number.  A
+        # flat list beats a dict here: the issue stage probes it for every
+        # source of every queued instruction every cycle.
+        self.preg_ready: list[int] = [0] * config.num_phys_regs
+        # Writeback event wheel: completion cycle -> ops finishing that
+        # cycle.  The run loop advances one cycle at a time, so the
+        # writeback stage pops exactly one bucket per cycle (O(1)) instead
+        # of paying heapq's O(log n) per scheduled op.
+        self.execution_wheel: dict[int, list[InflightOp]] = {}
+        # Fixed execution latency per op class (FDIV is special-cased).
+        self._latency_of_class = {
+            OpClass.INT_ALU: config.int_alu_latency,
+            OpClass.INT_MOVE: config.int_alu_latency,
+            OpClass.INT_MUL: config.int_mul_latency,
+            OpClass.INT_DIV: config.int_div_latency,
+            OpClass.FP_ALU: config.fp_alu_latency,
+            OpClass.FP_MOVE: config.fp_alu_latency,
+            OpClass.FP_MULDIV: config.fp_mul_latency,
+            OpClass.BRANCH: config.branch_latency,
+            OpClass.NOP: config.int_alu_latency,
+            OpClass.LOAD: config.int_alu_latency,
+            OpClass.STORE: config.store_latency,
+        }
 
         # Statistics.
         self.counters: dict[str, float] = {
@@ -123,6 +148,10 @@ class Core:
         self._last_reclaim_check_seq: int | None = None
         self._reclaim_check_gaps = 0.0
         self._reclaim_check_count = 0
+        # Move-elimination candidacy depends only on the static instruction,
+        # so the per-op share-attempt statistics can look it up by static
+        # index instead of re-evaluating the policy every rename.
+        self._me_candidate_cache: dict[int, bool] = {}
 
     # -------------------------------------------------------------------- run --
 
@@ -132,12 +161,18 @@ class Core:
             raise ValueError("cannot simulate an empty trace")
         self._reset(trace)
         limit = max_cycles or self.config.max_cycles_per_instruction * len(trace)
-        while self.committed < len(trace.ops):
-            self._do_commit()
-            self._do_complete()
-            self._do_issue()
-            self._do_rename()
-            self._do_fetch()
+        total = len(trace.ops)
+        do_commit = self._do_commit
+        do_complete = self._do_complete
+        do_issue = self._do_issue
+        do_rename = self._do_rename
+        do_fetch = self._do_fetch
+        while self.committed < total:
+            do_commit()
+            do_complete()
+            do_issue()
+            do_rename()
+            do_fetch()
             self.cycle += 1
             if self.cycle > limit:
                 raise RuntimeError(
@@ -155,23 +190,32 @@ class Core:
             return
         fetched = 0
         taken_branches = 0
-        while (fetched < config.fetch_width
-               and self.fetch_index < len(self.trace.ops)
-               and len(self.frontend_queue) < config.frontend_queue_entries):
-            op = self.trace.ops[self.fetch_index]
+        ops = self.trace.ops
+        total_ops = len(ops)
+        queue = self.frontend_queue
+        fetch_width = config.fetch_width
+        queue_limit = config.frontend_queue_entries
+        line_bytes = self.memory.config.l1i.line_bytes
+        hit_latency = self.memory.config.l1i.hit_latency
+        history = self.history
+        path = self.path
+        while (fetched < fetch_width
+               and self.fetch_index < total_ops
+               and len(queue) < queue_limit):
+            op = ops[self.fetch_index]
             # Instruction cache: one access per new line.
-            line = op.pc // self.memory.config.l1i.line_bytes
+            line = op.pc // line_bytes
             if line != self._last_fetch_line:
                 latency = self.memory.access_instruction(op.pc, self.cycle)
                 self._last_fetch_line = line
-                if latency > self.memory.config.l1i.hit_latency:
+                if latency > hit_latency:
                     self.fetch_blocked_until = self.cycle + latency
                     break
-            entry = InflightOp(op, self.cycle, self.history.bits(64), self.path.bits(32))
+            entry = InflightOp(op, self.cycle, history.bits(64), path.bits(32))
             stop_fetching = False
             if op.is_branch:
                 stop_fetching, taken_branches = self._fetch_branch(entry, taken_branches)
-            self.frontend_queue.append(entry)
+            queue.append(entry)
             self.fetch_index += 1
             fetched += 1
             if entry.branch_mispredicted:
@@ -235,27 +279,38 @@ class Core:
     def _do_rename(self) -> None:
         config = self.config
         renamed = 0
-        while renamed < config.rename_width and self.frontend_queue:
-            entry = self.frontend_queue[0]
-            if entry.fetch_cycle + config.frontend_depth > self.cycle:
+        queue = self.frontend_queue
+        rename_width = config.rename_width
+        frontend_depth = config.frontend_depth
+        cycle = self.cycle
+        smb_active = config.smb.enabled and self.tracker.supports_memory_bypass
+        smb_predict = self.smb_engine.predict
+        rename_op = self.renamer.rename_op
+        resolve_producer = self._resolve_producer
+        rob = self.rob
+        iq = self.iq
+        lsq = self.lsq
+        preg_ready = self.preg_ready
+        while renamed < rename_width and queue:
+            entry = queue[0]
+            if entry.fetch_cycle + frontend_depth > cycle:
                 break
             op = entry.op
             if not self._rename_resources_available(entry):
                 self.counters["rename_stall_cycles"] += 1
                 break
-            self.frontend_queue.pop(0)
+            queue.popleft()
 
             smb_prediction = None
-            if (config.smb.enabled and op.is_load
-                    and self.tracker.supports_memory_bypass):
-                smb_prediction = self.smb_engine.predict(op, entry.history, entry.path)
+            if smb_active and op.is_load:
+                smb_prediction = smb_predict(op, entry.history, entry.path)
             self._note_share_attempt(entry, smb_prediction)
-            outcome = self.renamer.rename_op(
+            outcome = rename_op(
                 op, entry.history, entry.path,
-                resolve_producer=self._resolve_producer,
+                resolve_producer=resolve_producer,
                 smb_prediction=smb_prediction,
             )
-            entry.rename_cycle = self.cycle
+            entry.rename_cycle = cycle
             entry.smb_prediction = smb_prediction
             entry.src_pregs = outcome.src_pregs
             entry.dest_preg = outcome.dest_preg
@@ -268,16 +323,24 @@ class Core:
             entry.bypass_value_matches = outcome.bypass_value_matches
 
             if outcome.allocated and outcome.dest_preg is not None:
-                self.preg_ready[outcome.dest_preg] = _NEVER
+                preg_ready[outcome.dest_preg] = _NEVER
 
             entry.needs_execution = not (
                 outcome.eliminated or op.op_class is OpClass.NOP)
+            if entry.needs_execution:
+                # Precompute scheduling constants so the issue stage never
+                # re-derives them on its every-cycle wakeup scan.
+                entry.fu_pool = self.fus.pool_for(op.op_class)
+                if op.opcode is Opcode.FDIV:
+                    entry.exec_latency = config.fp_div_latency
+                else:
+                    entry.exec_latency = self._latency_of_class[op.op_class]
 
             # Memory dependence prediction (Store Sets).
             if op.is_load:
                 wait_seq = self.store_sets.lookup_load(op.pc)
                 if wait_seq is not None and wait_seq < op.seq:
-                    waiting_for = self.rob.lookup(wait_seq)
+                    waiting_for = rob.lookup(wait_seq)
                     if waiting_for is not None and waiting_for.is_store \
                             and not waiting_for.committed:
                         entry.store_set_wait_seq = wait_seq
@@ -285,15 +348,15 @@ class Core:
                 self.store_sets.store_renamed(op.pc, op.seq)
 
             # Dispatch.
-            self.rob.append(entry)
+            rob.append(entry)
             if op.is_load or op.is_store:
-                self.lsq.add(entry)
+                lsq.add(entry)
             if entry.needs_execution:
-                self.iq.add(entry)
+                iq.add(entry)
             else:
                 entry.issued = True
                 entry.completed = True
-                entry.complete_cycle = self.cycle
+                entry.complete_cycle = cycle
             renamed += 1
 
     def _rename_resources_available(self, entry: InflightOp) -> bool:
@@ -338,7 +401,12 @@ class Core:
 
     def _note_share_attempt(self, entry: InflightOp, smb_prediction) -> None:
         """Track the inter-arrival distance of ISRB allocation attempts (Section 6.3)."""
-        is_me_candidate = self.config.move_elimination.is_candidate(entry.op)
+        cache = self._me_candidate_cache
+        static_index = entry.op.static_index
+        is_me_candidate = cache.get(static_index)
+        if is_me_candidate is None:
+            is_me_candidate = self.config.move_elimination.is_candidate(entry.op)
+            cache[static_index] = is_me_candidate
         is_smb_candidate = smb_prediction is not None
         if not (is_me_candidate or is_smb_candidate):
             return
@@ -350,51 +418,67 @@ class Core:
     # ------------------------------------------------------------------ issue --
 
     def _do_issue(self) -> None:
-        config = self.config
+        """Oldest-first wakeup/select over the issue queue.
+
+        This is the simulator's hottest loop -- every queued instruction is
+        examined every cycle -- so it scans the queue storage directly with
+        locally cached state instead of going through a per-entry callback
+        (the callback-based :meth:`IssueQueue.issue` remains for unit tests
+        and alternative cores).
+        """
+        entries = self.iq.entries()
+        if not entries:
+            return
         cycle = self.cycle
-
-        def try_issue(entry: InflightOp) -> bool:
-            for preg in entry.src_pregs:
-                if self.preg_ready.get(preg, 0) > cycle:
-                    return False
-            pool = self.fus.pool_for(entry.op.op_class)
-            if not pool.can_accept(cycle):
-                return False
-            if entry.is_load:
-                latency = self._load_issue_latency(entry)
-                if latency is None:
-                    return False
-            elif entry.is_store:
-                latency = config.store_latency
-            else:
-                latency = self._execution_latency(entry.op)
-            pool.accept(cycle, latency)
-            entry.issued = True
-            entry.issue_cycle = cycle
-            entry.complete_cycle = cycle + latency
-            heapq.heappush(self.execution_heap,
-                           (entry.complete_cycle, entry.seq, self.epoch, entry))
-            return True
-
-        self.iq.issue(cycle, config.issue_width, try_issue)
-
-    def _execution_latency(self, op: DynamicOp) -> int:
-        """Fixed execution latency of a non-memory micro-op."""
-        config = self.config
-        op_class = op.op_class
-        if op_class in (OpClass.INT_ALU, OpClass.INT_MOVE):
-            return config.int_alu_latency
-        if op_class is OpClass.INT_MUL:
-            return config.int_mul_latency
-        if op_class is OpClass.INT_DIV:
-            return config.int_div_latency
-        if op_class in (OpClass.FP_ALU, OpClass.FP_MOVE):
-            return config.fp_alu_latency
-        if op_class is OpClass.FP_MULDIV:
-            return config.fp_div_latency if op.opcode is Opcode.FDIV else config.fp_mul_latency
-        if op_class is OpClass.BRANCH:
-            return config.branch_latency
-        return config.int_alu_latency
+        issue_width = self.config.issue_width
+        store_latency = self.config.store_latency
+        preg_ready = self.preg_ready
+        wheel = self.execution_wheel
+        load_issue_latency = self._load_issue_latency
+        issued = 0
+        # ``remaining`` is materialised lazily: on the (common) cycles where
+        # nothing issues, the scan allocates nothing and the queue keeps its
+        # existing storage.
+        remaining: list[InflightOp] | None = None
+        for position, entry in enumerate(entries):
+            if issued < issue_width:
+                for preg in entry.src_pregs:
+                    if preg_ready[preg] > cycle:
+                        break
+                else:
+                    pool = entry.fu_pool
+                    if pool.can_accept(cycle):
+                        if entry.is_load:
+                            latency = load_issue_latency(entry)
+                        elif entry.is_store:
+                            latency = store_latency
+                        else:
+                            latency = entry.exec_latency
+                        if latency is not None:
+                            pool.accept(cycle, latency)
+                            entry.issued = True
+                            entry.issue_cycle = cycle
+                            complete_cycle = cycle + latency
+                            entry.complete_cycle = complete_cycle
+                            # Writeback for this cycle already ran, so a
+                            # zero-latency op lands in the next cycle's
+                            # bucket -- exactly when the former heap (popped
+                            # with `<= cycle`) would have delivered it.
+                            bucket_key = (complete_cycle if complete_cycle > cycle
+                                          else cycle + 1)
+                            bucket = wheel.get(bucket_key)
+                            if bucket is None:
+                                wheel[bucket_key] = [entry]
+                            else:
+                                bucket.append(entry)
+                            issued += 1
+                            if remaining is None:
+                                remaining = entries[:position]
+                            continue
+            if remaining is not None:
+                remaining.append(entry)
+        if issued:
+            self.iq.replace_entries(remaining, issued)
 
     def _load_issue_latency(self, entry: InflightOp) -> int | None:
         """Memory-dependence checks and latency for a load; ``None`` means wait."""
@@ -433,10 +517,15 @@ class Core:
 
     def _do_complete(self) -> None:
         cycle = self.cycle
-        heap = self.execution_heap
-        while heap and heap[0][0] <= cycle:
-            _, _, epoch, entry = heapq.heappop(heap)
-            if epoch != self.epoch or entry.completed:
+        bucket = self.execution_wheel.pop(cycle, None)
+        if bucket is None:
+            return
+        # Same-cycle completions are processed oldest first (the order the
+        # former writeback heap produced); ops issued in different cycles
+        # can land in one bucket out of sequence order.
+        bucket.sort(key=_by_seq)
+        for entry in bucket:
+            if entry.completed:
                 continue
             entry.completed = True
             if entry.allocated and entry.dest_preg is not None:
@@ -514,7 +603,7 @@ class Core:
             self.tracker.on_share_commit(entry.dest_preg)
 
         if op.dest is not None and entry.dest_preg is not None:
-            arch_flat = op.dest.flat_index
+            arch_flat = op.dest_flat
             previous = self.commit_map.lookup_flat(arch_flat)
             self.commit_map.raw()[arch_flat] = entry.dest_preg
             if entry.allocated:
@@ -565,7 +654,7 @@ class Core:
             released_any = True
             if entry.op.dest is not None and entry.old_preg is not None \
                     and entry.old_preg >= 0 and entry.old_preg != entry.dest_preg:
-                self._reclaim_register(entry.old_preg, entry.op.dest.flat_index, entry.seq)
+                self._reclaim_register(entry.old_preg, entry.op.dest_flat, entry.seq)
         if released_any:
             self.counters["release_walks"] += 1
 
@@ -582,8 +671,7 @@ class Core:
         self.iq.clear()
         self.lsq.squash_all()
         self.frontend_queue.clear()
-        self.execution_heap.clear()
-        self.epoch += 1
+        self.execution_wheel.clear()
         self.pending_redirect = None
 
         # Restore the renamer to the committed state (Section 4.1).

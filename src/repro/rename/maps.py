@@ -26,6 +26,8 @@ from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS, ArchReg, RegClass
 class RenameMap:
     """Speculative architectural-to-physical register mappings."""
 
+    __slots__ = ("num_arch_regs", "_map")
+
     def __init__(self, num_arch_regs: int = NUM_INT_REGS + NUM_FP_REGS) -> None:
         self.num_arch_regs = num_arch_regs
         self._map: list[int] = [-1] * num_arch_regs
@@ -45,9 +47,19 @@ class RenameMap:
         self._map[index] = preg
         return old
 
+    def define_flat(self, arch_flat: int, preg: int) -> int:
+        """Map the flat architectural index to ``preg``; returns the previous mapping."""
+        old = self._map[arch_flat]
+        self._map[arch_flat] = preg
+        return old
+
     def copy_from(self, other: "RenameMap | CommitRenameMap") -> None:
-        """Overwrite all mappings with those of ``other`` (flush recovery)."""
-        self._map = list(other.raw())
+        """Overwrite all mappings with those of ``other`` (flush recovery).
+
+        The update is in place so that callers holding the :meth:`raw` list
+        (the renamer's hot path does) keep seeing current mappings.
+        """
+        self._map[:] = other.raw()
 
     def raw(self) -> list[int]:
         """The underlying mapping list (flat architectural index -> preg)."""
@@ -64,6 +76,8 @@ class RenameMap:
 class CommitRenameMap(RenameMap):
     """Non-speculative (committed) architectural-to-physical mappings."""
 
+    __slots__ = ()
+
 
 class FreeList:
     """Free physical registers of one register class, with a committed image.
@@ -74,6 +88,9 @@ class FreeList:
     committed set).  A commit-time flush simply re-derives the speculative
     list from the committed set.
     """
+
+    __slots__ = ("reg_class", "first_preg", "count", "_free", "_committed_free",
+                 "allocations", "frees", "empty_stalls")
 
     def __init__(self, reg_class: RegClass, first_preg: int, count: int,
                  initially_mapped: int) -> None:

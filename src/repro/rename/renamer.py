@@ -43,7 +43,7 @@ class ProducerInfo:
     is_committed: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class RenameOutcome:
     """Everything the rest of the pipeline needs to know about a renamed micro-op."""
 
@@ -111,7 +111,8 @@ class Renamer:
         ``smb_prediction`` so that prediction and training use identical
         state).
         """
-        src_pregs = tuple(self.rename_map.lookup(src) for src in op.srcs)
+        raw_map = self.rename_map.raw()
+        src_pregs = tuple(raw_map[flat] for flat in op.src_flats)
         self.move_stats.renamed_instructions += 1
 
         if op.dest is None:
@@ -134,7 +135,7 @@ class Renamer:
         # 3. Conventional allocation from the free list.
         free_list = self.free_list_for(op.dest.reg_class)
         new_preg = free_list.allocate()
-        old_preg = self.rename_map.define(op.dest, new_preg)
+        old_preg = self.rename_map.define_flat(op.dest_flat, new_preg)
         return RenameOutcome(
             src_pregs=src_pregs, dest_preg=new_preg, old_preg=old_preg, allocated=True,
             eliminated=False, bypassed=False, bypass_producer=None, bypass_value_matches=True,
@@ -150,7 +151,7 @@ class Renamer:
         if not self.tracker.supports_move_elimination:
             return None
         source_preg = src_pregs[0]
-        if self.rename_map.lookup(op.dest) == source_preg:
+        if self.rename_map.lookup_flat(op.dest_flat) == source_preg:
             # The destination already maps to the source's register (e.g. a
             # repeated move): the mapping set does not change, so no new
             # reference needs to be recorded.
@@ -162,14 +163,14 @@ class Renamer:
             )
         granted = self.tracker.try_share(
             source_preg,
-            dest_arch=op.dest.flat_index,
-            src_arch=op.srcs[0].flat_index,
+            dest_arch=op.dest_flat,
+            src_arch=op.src_flats[0],
             memory_bypass=False,
         )
         if not granted:
             self.move_stats.rejected_by_tracker += 1
             return None
-        old_preg = self.rename_map.define(op.dest, source_preg)
+        old_preg = self.rename_map.define_flat(op.dest_flat, source_preg)
         self.move_stats.eliminated += 1
         return RenameOutcome(
             src_pregs=src_pregs, dest_preg=source_preg, old_preg=old_preg, allocated=False,
@@ -203,7 +204,7 @@ class Renamer:
             # treat it as an unusable producer.
             self.smb_engine.note_rejection("no_producer")
             return None
-        if self.rename_map.lookup(op.dest) == producer.preg:
+        if self.rename_map.lookup_flat(op.dest_flat) == producer.preg:
             # The destination already maps to the producer's register; no new
             # reference is needed, the bypass is effectively free.
             self.smb_engine.note_bypass(producer.is_load, producer.is_committed)
@@ -215,14 +216,14 @@ class Renamer:
             )
         granted = self.tracker.try_share(
             producer.preg,
-            dest_arch=op.dest.flat_index,
+            dest_arch=op.dest_flat,
             src_arch=None,
             memory_bypass=True,
         )
         if not granted:
             self.smb_engine.note_rejection("tracker")
             return None
-        old_preg = self.rename_map.define(op.dest, producer.preg)
+        old_preg = self.rename_map.define_flat(op.dest_flat, producer.preg)
         self.smb_engine.note_bypass(producer.is_load, producer.is_committed)
         matches = producer.value is not None and producer.value == op.result
         return RenameOutcome(

@@ -277,3 +277,50 @@ def build_fp_mixed(seed: int) -> WorkloadImage:
                         **_random_table(rng, _B_BASE, 2048),
                         **_random_table(rng, _SPILL_BASE, 8)},
     )
+
+
+@register_workload(
+    "stride_stream",
+    category="fp",
+    description="streaming + strided FP kernel sweeping a multi-set footprint",
+    spec_analog="libquantum / lbm / milc (bandwidth-bound streaming loops)",
+)
+def build_stride_stream(seed: int) -> WorkloadImage:
+    """Streaming/strided kernel: the prefetcher's best and worst case at once.
+
+    Stream A walks sequential 8-byte elements (eight accesses per line, a
+    perfectly strided miss pattern the next-line prefetcher should cover);
+    stream B touches one element per line at a 64-byte stride (every access
+    a new line, prefetchable but with no reuse); the result streams out to
+    a third region.  Both footprints wrap far beyond the L1, so without
+    prefetching the loop is bandwidth-bound.  There is nothing here for
+    move elimination or SMB -- like ``stream_reduce`` it acts as a control
+    workload, but one whose bottleneck is the memory hierarchy model.
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder("stride_stream")
+    r = int_reg
+    f = fp_reg
+
+    out_base = int_reg(9)
+    builder.movi(out_base, _SPILL_BASE + 0x0010_0000)
+    _loop_prologue(builder)
+    builder.movi(f(0), 0)                                # running sum
+    builder.label("loop")
+    builder.shli(r(1), _LOOP_COUNTER, 3)                 # A: sequential 8B stride
+    builder.andi(r(1), r(1), 0x3_FFF8)                   # 256KB window
+    builder.fload(f(1), base=_ARRAY_A, index=r(1), offset=0)
+    builder.shli(r(2), _LOOP_COUNTER, 6)                 # B: one element per line
+    builder.andi(r(2), r(2), 0xF_FFC0)                   # 1MB window
+    builder.fload(f(2), base=_ARRAY_B, index=r(2), offset=0)
+    builder.fadd(f(3), f(1), f(2))
+    builder.fadd(f(0), f(0), f(3))
+    builder.fmul(f(4), f(3), f(1))
+    builder.fstore(f(4), base=out_base, index=r(1), offset=0)  # output stream
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory={**_random_table(rng, _A_BASE, 2048),
+                        **_random_table(rng, _B_BASE, 2048)},
+    )

@@ -495,6 +495,121 @@ def build_long_reuse(seed: int) -> WorkloadImage:
 
 
 @register_workload(
+    "list_traverse",
+    category="int",
+    description="serialised chase of a large randomly-linked list (cache-missing)",
+    spec_analog="mcf / xalancbmk (pointer-chasing over a heap-sized structure)",
+)
+def build_list_traverse(seed: int) -> WorkloadImage:
+    """Pointer-chasing over a list too large for the L1: latency dominated.
+
+    Unlike :func:`build_load_load` (a 4-node lap that stays L1-resident and
+    is prime load-load bypass territory), this list has hundreds of nodes
+    linked in a random permutation, so the chase misses the L1 regularly,
+    the next-line prefetcher gets no usable stride, and every scheme is
+    bound by the memory round trip.  A read-modify-write of each node's
+    payload adds store pressure without ever feeding the chase itself.
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder("list_traverse")
+    r = int_reg
+
+    node_count = 512
+    node_stride = 64  # one cache line per node
+    builder.movi(r(1), _HEAP_BASE)       # r1 = current node pointer
+    builder.movi(r(9), 0)                # accumulator
+    builder.movi(r(8), 0xFF)
+    _loop_prologue(builder)
+    builder.label("loop")
+    for _ in range(2):
+        builder.load(r(1), base=r(1), offset=0)      # p = p->next (serialised)
+        builder.load(r(2), base=r(1), offset=8)      # p->payload
+        builder.add(r(9), r(9), r(2))
+        builder.and_(r(3), r(2), r(8))
+        builder.addi(r(3), r(3), 1)
+        builder.store(r(3), base=r(1), offset=16)    # p->visits rmw slot
+        builder.load(r(4), base=r(1), offset=16)     # immediate reload (STLF pair)
+        builder.add(r(9), r(9), r(4))
+    builder.shri(r(5), r(9), 9)
+    builder.xor(r(9), r(9), r(5))
+    _loop_epilogue(builder, "loop")
+
+    # Link the nodes in a random permutation so consecutive hops jump
+    # across the whole structure instead of walking sequential lines.
+    order = list(range(1, node_count))
+    rng.shuffle(order)
+    order = [0] + order
+    memory: dict[int, int] = {}
+    for position, node_index in enumerate(order):
+        node = _HEAP_BASE + node_index * node_stride
+        successor_index = order[(position + 1) % node_count]
+        memory[node] = _HEAP_BASE + successor_index * node_stride
+        memory[node + 8] = rng.getrandbits(48)
+    return WorkloadImage(program=builder.build(), initial_memory=memory)
+
+
+@register_workload(
+    "deep_recursion",
+    category="int",
+    description="self-recursive calls 17-48 deep with per-frame stack spills",
+    spec_analog="perlbench / gcc recursive walks (RAS pressure + frame traffic)",
+)
+def build_deep_recursion(seed: int) -> WorkloadImage:
+    """Call-heavy recursion: RAS stress plus spill/reload pairs at every depth.
+
+    Each outer iteration draws a recursion depth between 17 and 48 from an
+    LCG, so roughly half the recursions overflow the 32-entry return
+    address stack and the unwind mispredicts its deepest returns.  Every
+    frame saves a callee-saved register to its own stack slot and reloads
+    it in the epilogue: the leaf sees a short store-to-load distance, while
+    outer frames reload across the entire subtree -- a spread of distances
+    the SMB distance predictor has to cope with.
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder("deep_recursion")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _HEAP_BASE)
+    builder.movi(_STACK_PTR, _STACK_BASE)
+    builder.movi(_LCG_STATE, rng.getrandbits(32) | 1)
+    builder.movi(r(9), _LCG_MUL & 0xFFFFFFFF)
+    _loop_prologue(builder)
+    builder.jmp("loop")
+
+    # rec(depth in r1): accumulate into r2, one stack frame per level.
+    builder.label("rec")
+    builder.store(r(6), base=_STACK_PTR, offset=0)   # save callee-saved reg
+    builder.mov(r(6), r(1))                          # argument shuffle (eliminable)
+    builder.addi(r(1), r(1), -1)
+    builder.bz(r(1), "rec_leaf")
+    builder.addi(_STACK_PTR, _STACK_PTR, 16)         # push frame
+    builder.call("rec")
+    builder.addi(_STACK_PTR, _STACK_PTR, -16)        # pop frame
+    builder.label("rec_leaf")
+    builder.add(r(2), r(2), r(6))
+    builder.load(r(6), base=_STACK_PTR, offset=0)    # reload the spill
+    builder.ret()
+
+    builder.label("loop")
+    _lcg_step(builder, r(9))
+    builder.shri(r(1), _LCG_STATE, 34)
+    builder.andi(r(1), r(1), 0x1F)
+    builder.addi(r(1), r(1), 17)                     # depth in [17, 48]
+    builder.movi(r(2), 0)
+    builder.call("rec")
+    builder.andi(r(3), _LOOP_COUNTER, 0x3F8)
+    builder.load(r(4), base=_BASE_PTR, index=r(3), offset=0)
+    builder.add(r(4), r(4), r(2))
+    builder.store(r(4), base=_BASE_PTR, index=r(3), offset=0)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _HEAP_BASE, 1024),
+    )
+
+
+@register_workload(
     "call_ret",
     category="int",
     description="short functions with caller/callee register shuffling",

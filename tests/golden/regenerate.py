@@ -1,0 +1,54 @@
+"""Regenerate the golden artifacts under ``tests/golden/``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Only regenerate when a workload's program or the sweep table format has
+*intentionally* changed; an unexpected diff in these files means functional
+semantics drifted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+def regenerate_state_digests(max_ops: int = 2_000, seed: int = 1) -> None:
+    from repro.isa.executor import Executor
+    from repro.workloads import build_workload, list_workloads
+
+    digests = {}
+    for workload in list_workloads():
+        image = build_workload(workload, seed=seed)
+        executor = Executor(image.program, initial_regs=image.initial_regs,
+                            initial_memory=image.initial_memory)
+        executor.run(max_ops=max_ops)
+        digests[workload] = executor.state_digest()
+    path = GOLDEN_DIR / "state_digests.json"
+    path.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path} ({len(digests)} workloads)")
+
+
+def regenerate_sweep_snapshot() -> None:
+    from repro.experiments.grid import SweepSpec
+    from repro.experiments.runner import run_sweep
+
+    spec = SweepSpec(
+        schemes=("isrb", "refcount_checkpoint"),
+        workloads=("spill_reload", "move_chain"),
+        max_ops=2_000,
+        seed=1,
+    )
+    report = run_sweep(spec, workers=1, cache_dir=None)
+    path = GOLDEN_DIR / "sweep_small.md"
+    path.write_text(report.to_markdown() + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    regenerate_state_digests()
+    regenerate_sweep_snapshot()

@@ -1,0 +1,276 @@
+"""Tests for the benchmark subsystem (suite, report, smoke gate, CLI)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    BenchReport,
+    BenchResult,
+    compare_reports,
+    run_benchmarks,
+)
+from repro.experiments.cli import main
+
+TINY = BenchConfig(
+    workloads=("move_chain",),
+    schemes=("baseline", "isrb"),
+    max_ops=300,
+    repeat=1,
+    sweep=True,
+    sweep_workloads=("move_chain",),
+    sweep_schemes=("isrb",),
+)
+
+
+class FakeClock:
+    """A deterministic perf_counter stand-in (1 ms per reading)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 0.001
+        return self.now
+
+
+# -- configuration -------------------------------------------------------------------
+
+
+def test_config_rejects_unknown_workload():
+    with pytest.raises(ValueError, match="unknown workload"):
+        BenchConfig(workloads=("no_such_workload",))
+
+
+def test_config_rejects_unknown_scheme():
+    with pytest.raises(ValueError, match="unknown scheme"):
+        BenchConfig(schemes=("isrb", "turbo"))
+
+
+def test_config_accepts_baseline_pseudo_scheme():
+    config = BenchConfig(schemes=("baseline",), workloads=("move_chain",))
+    assert config.config_for_scheme("baseline").variant_name().endswith("base")
+
+
+def test_smoke_preset_is_reduced():
+    smoke = BenchConfig.smoke()
+    full = BenchConfig()
+    assert smoke.max_ops < full.max_ops
+    assert len(smoke.workloads) < len(full.workloads)
+    assert len(smoke.schemes) < len(full.schemes)
+
+
+def test_scheme_config_enables_optimisations():
+    config = BenchConfig().config_for_scheme("isrb")
+    assert config.move_elimination.enabled
+    assert config.smb.enabled
+    assert config.tracker.scheme == "isrb"
+
+
+# -- suite ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_report() -> BenchReport:
+    return run_benchmarks(TINY, clock=FakeClock())
+
+
+def test_suite_produces_all_tiers(tiny_report):
+    names = [result.name for result in tiny_report.results]
+    assert "trace_gen/move_chain" in names
+    assert "sim/baseline/move_chain" in names
+    assert "sim/isrb/move_chain" in names
+    assert "sweep/small" in names
+
+
+def test_suite_counts_real_work(tiny_report):
+    by_name = {result.name: result for result in tiny_report.results}
+    assert by_name["trace_gen/move_chain"].ops == TINY.max_ops
+    sim = by_name["sim/baseline/move_chain"]
+    assert sim.ops == TINY.max_ops          # committed micro-ops
+    assert sim.cycles and sim.cycles > 0
+    assert sim.detail["ipc"] > 0
+    sweep = by_name["sweep/small"]
+    assert sweep.ops == 2                   # baseline + one variant job
+    assert sweep.detail["failures"] == 0
+
+
+def test_fake_clock_makes_throughput_deterministic(tiny_report):
+    again = run_benchmarks(TINY, clock=FakeClock())
+    assert [r.to_dict() for r in again.results] \
+        == [r.to_dict() for r in tiny_report.results]
+
+
+def test_summary_metrics_present_and_positive(tiny_report):
+    summary = tiny_report.summary()
+    for key in ("trace_gen_ops_per_sec_geomean", "sim_ops_per_sec_geomean",
+                "sim_cycles_per_sec_geomean", "sweep_jobs_per_sec"):
+        assert summary[key] > 0, key
+
+
+def test_progress_callback_sees_every_case():
+    seen: list[str] = []
+    run_benchmarks(TINY, clock=FakeClock(), progress=seen.append)
+    assert len(seen) == len(run_benchmarks(TINY, clock=FakeClock()).results)
+
+
+# -- report round trip ---------------------------------------------------------------
+
+
+def test_report_json_roundtrip(tiny_report, tmp_path):
+    path = tiny_report.save(tmp_path / "bench.json")
+    loaded = BenchReport.load(path)
+    assert loaded.summary() == tiny_report.summary()
+    assert [r.to_dict() for r in loaded.results] \
+        == [r.to_dict() for r in tiny_report.results]
+
+
+def test_report_text_mentions_every_case(tiny_report):
+    text = tiny_report.to_text()
+    for result in tiny_report.results:
+        assert result.name in text
+
+
+# -- the smoke gate ------------------------------------------------------------------
+
+
+def _report_with(sim_ops_per_sec: float) -> BenchReport:
+    return BenchReport(results=[BenchResult(
+        name="sim/isrb/move_chain", kind="sim",
+        ops=1000, wall_seconds=1000 / sim_ops_per_sec, cycles=500)])
+
+
+def test_compare_passes_within_tolerance():
+    assert compare_reports(_report_with(80.0), _report_with(100.0),
+                           tolerance=0.30) == []
+
+
+def test_compare_flags_regression_beyond_tolerance():
+    regressions = compare_reports(_report_with(60.0), _report_with(100.0),
+                                  tolerance=0.30)
+    assert len(regressions) >= 1
+    assert any("sim_ops_per_sec_geomean" in message for message in regressions)
+
+
+def test_compare_never_flags_improvements():
+    assert compare_reports(_report_with(500.0), _report_with(100.0),
+                           tolerance=0.0) == []
+
+
+def test_compare_ignores_metrics_missing_from_either_side():
+    empty = BenchReport()
+    assert compare_reports(empty, _report_with(100.0)) == []
+    assert compare_reports(_report_with(100.0), empty) == []
+
+
+def test_compare_uses_shared_cases_not_whole_suite_averages():
+    """A smoke subset is gated case-against-case, not against a full-suite
+    geomean that a fast subset would beat even while regressing."""
+    fast = BenchResult(name="sim/isrb/move_chain", kind="sim",
+                       ops=1000, wall_seconds=10.0, cycles=500)     # 100/s
+    slow = BenchResult(name="sim/isrb/load_load", kind="sim",
+                       ops=1000, wall_seconds=100.0, cycles=500)    # 10/s
+    baseline = BenchReport(results=[fast, slow])                    # geomean ~31.6/s
+    regressed = BenchReport(results=[BenchResult(
+        name="sim/isrb/move_chain", kind="sim",
+        ops=1000, wall_seconds=20.0, cycles=500)])                  # 50/s: -50%
+    # 50/s beats the whole-suite geomean, but is 50% below its own baseline
+    # case -- the gate must flag it.
+    assert compare_reports(regressed, baseline, tolerance=0.30)
+
+
+def test_compare_validates_tolerance():
+    with pytest.raises(ValueError, match="tolerance"):
+        compare_reports(_report_with(1.0), _report_with(1.0), tolerance=1.5)
+
+
+# -- CLI -----------------------------------------------------------------------------
+
+
+def test_cli_bench_writes_artifact(tmp_path, capsys):
+    out = tmp_path / "BENCH_core.json"
+    code = main(["bench", "--workloads", "move_chain", "--schemes", "baseline",
+                 "--max-ops", "300", "--repeat", "1", "--no-sweep",
+                 "--quiet", "--out", str(out)])
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert data["summary"]["sim_ops_per_sec_geomean"] > 0
+    assert any(row["name"] == "sim/baseline/move_chain" for row in data["results"])
+    assert "trace_gen/move_chain" in capsys.readouterr().out
+
+
+def test_cli_bench_smoke_gate_detects_fast_baseline(tmp_path):
+    """A baseline claiming absurd throughput must fail the smoke gate."""
+    out = tmp_path / "bench.json"
+    code = main(["bench", "--workloads", "move_chain", "--schemes", "baseline",
+                 "--max-ops", "300", "--repeat", "1", "--no-sweep", "--quiet",
+                 "--out", str(out)])
+    assert code == 0
+    data = json.loads(out.read_text())
+    for row in data["results"]:  # pretend the committed baseline was 1000x faster
+        row["wall_seconds"] /= 1000.0
+    impossible = tmp_path / "impossible.json"
+    impossible.write_text(json.dumps(data))
+    code = main(["bench", "--workloads", "move_chain", "--schemes", "baseline",
+                 "--max-ops", "300", "--repeat", "1", "--no-sweep", "--quiet",
+                 "--out", "", "--baseline", str(impossible)])
+    assert code == 1
+
+
+def test_cli_bench_gate_passes_against_own_output(tmp_path):
+    out = tmp_path / "bench.json"
+    args = ["bench", "--workloads", "move_chain", "--schemes", "baseline",
+            "--max-ops", "300", "--repeat", "1", "--no-sweep", "--quiet"]
+    assert main([*args, "--out", str(out)]) == 0
+    # Same machine, same suite, generous tolerance: must pass.
+    assert main([*args, "--out", "", "--baseline", str(out),
+                 "--tolerance", "0.9"]) == 0
+
+
+def test_cli_bench_never_clobbers_the_baseline_it_gates_against(tmp_path, capsys):
+    """`--out X --baseline X` must not overwrite X and then pass trivially."""
+    args = ["bench", "--workloads", "move_chain", "--schemes", "baseline",
+            "--max-ops", "300", "--repeat", "1", "--no-sweep", "--quiet"]
+    baseline = tmp_path / "BENCH_core.json"
+    assert main([*args, "--out", str(baseline)]) == 0
+    # Make the committed baseline impossibly fast: the gate must FAIL even
+    # when --out points at the very same file.
+    data = json.loads(baseline.read_text())
+    for row in data["results"]:
+        row["wall_seconds"] /= 1000.0
+    baseline.write_text(json.dumps(data))
+    before = baseline.read_text()
+    code = main([*args, "--out", str(baseline), "--baseline", str(baseline)])
+    assert code == 1
+    assert baseline.read_text() == before, "baseline artifact was overwritten"
+    assert "not overwriting baseline" in capsys.readouterr().err
+
+
+def test_cli_bench_check_compares_two_artifacts_without_running(tmp_path):
+    args = ["bench", "--workloads", "move_chain", "--schemes", "baseline",
+            "--max-ops", "300", "--repeat", "1", "--no-sweep", "--quiet"]
+    head = tmp_path / "head.json"
+    assert main([*args, "--out", str(head)]) == 0
+    # Same artifact against itself: identical rates, gate passes.
+    assert main(["bench", "--check", str(head), "--baseline", str(head)]) == 0
+    # A 1000x-faster fabricated baseline: gate fails.
+    data = json.loads(head.read_text())
+    for row in data["results"]:
+        row["wall_seconds"] /= 1000.0
+    fast = tmp_path / "fast.json"
+    fast.write_text(json.dumps(data))
+    assert main(["bench", "--check", str(head), "--baseline", str(fast)]) == 1
+
+
+def test_cli_bench_check_requires_baseline(capsys):
+    assert main(["bench", "--check", "whatever.json"]) == 2
+    assert "--check requires --baseline" in capsys.readouterr().err
+
+
+def test_cli_bench_rejects_unknown_workload(capsys):
+    code = main(["bench", "--workloads", "nope", "--quiet", "--out", ""])
+    assert code == 2
+    assert "unknown workload" in capsys.readouterr().err

@@ -1,0 +1,77 @@
+"""Determinism regression tests for the experiment harness.
+
+The sweep artifact is the unit of scientific record, so it must be a pure
+function of the :class:`SweepSpec`: re-running a sweep, or running it on a
+different worker-pool size, must yield byte-identical report JSON.  A
+golden markdown snapshot additionally pins the table *format* (and the
+actual speedup numbers of a tiny sweep) against accidental drift.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.grid import SweepSpec
+from repro.experiments.runner import run_sweep
+
+GOLDEN_SWEEP = Path(__file__).parent / "golden" / "sweep_small.md"
+
+
+@pytest.fixture(scope="module")
+def small_spec() -> SweepSpec:
+    return SweepSpec(
+        schemes=("isrb", "refcount_checkpoint"),
+        workloads=("spill_reload", "move_chain"),
+        max_ops=2_000,
+        seed=1,
+    )
+
+
+def test_run_sweep_twice_is_byte_identical(small_spec):
+    first = run_sweep(small_spec, workers=1, cache_dir=None)
+    second = run_sweep(small_spec, workers=1, cache_dir=None)
+    assert first.to_json() == second.to_json()
+
+
+def test_pool_size_does_not_change_artifact(small_spec, tmp_path):
+    # Fresh cache directory per run so cache statistics are identical too.
+    serial = run_sweep(small_spec, workers=1, cache_dir=str(tmp_path / "serial"))
+    parallel = run_sweep(small_spec, workers=3, cache_dir=str(tmp_path / "parallel"))
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_cache_does_not_change_artifact_tables(small_spec, tmp_path):
+    """Cached and uncached runs agree on every table (only cache_stats differ)."""
+    uncached = run_sweep(small_spec, workers=1, cache_dir=None)
+    cached = run_sweep(small_spec, workers=1, cache_dir=str(tmp_path / "cache"))
+    assert uncached.to_markdown() == cached.to_markdown()
+    assert uncached.to_csv() == cached.to_csv()
+    uncached_dict = uncached.to_dict()
+    cached_dict = cached.to_dict()
+    for key in ("workloads", "variants", "speedups", "geomean_speedups",
+                "ipc", "results", "failures", "meta"):
+        assert uncached_dict[key] == cached_dict[key]
+
+
+def test_sweep_table_matches_golden_snapshot(small_spec):
+    """The 2-workload x 2-scheme table matches the committed snapshot.
+
+    Regenerate with ``python tests/golden/regenerate.py`` only when the
+    table format or the simulated machine intentionally changed.
+    """
+    report = run_sweep(small_spec, workers=1, cache_dir=None)
+    assert report.to_markdown() + "\n" == GOLDEN_SWEEP.read_text()
+
+
+def test_trace_generation_is_deterministic():
+    from repro.workloads import generate_trace
+
+    first = generate_trace("branchy", max_ops=1_000, seed=7)
+    second = generate_trace("branchy", max_ops=1_000, seed=7)
+    assert len(first) == len(second)
+    assert all(a == b for a, b in zip(first.ops, second.ops))
+    # A different seed must actually change the program's behaviour.
+    other = generate_trace("branchy", max_ops=1_000, seed=8)
+    assert any(a != b for a, b in zip(first.ops, other.ops))
