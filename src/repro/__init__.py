@@ -47,12 +47,15 @@ from repro.experiments import (
 from repro.core.move_elim import MoveEliminationPolicy
 from repro.core.smb import SmbConfig
 from repro.core.tracker import TrackerConfig, make_tracker
+from repro.isa.functional import FunctionalCore
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core, simulate, simulate_trace
+from repro.pipeline.sampling import SampledSimulator, SamplingConfig, simulate_sampled
+from repro.pipeline.snapshot import CoreSnapshot
 from repro.pipeline.result import SimulationResult
 from repro.workloads import DEFAULT_SUITE, generate_trace, list_workloads
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -66,8 +69,13 @@ __all__ = [
     "build_report",
     "CoreConfig",
     "Core",
+    "CoreSnapshot",
+    "FunctionalCore",
+    "SampledSimulator",
+    "SamplingConfig",
     "SimulationResult",
     "simulate",
+    "simulate_sampled",
     "simulate_trace",
     "InflightSharedRegisterBuffer",
     "IsrbConfig",

@@ -112,6 +112,21 @@ class BenchReport:
             out["sim_ops_per_sec_geomean"] = geomean(case.ops_per_sec for case in sims)
             out["sim_cycles_per_sec_geomean"] = geomean(
                 case.cycles_per_sec for case in sims)
+        ff = self.cases("ff")
+        if ff:
+            out["ff_ops_per_sec_geomean"] = geomean(case.ops_per_sec for case in ff)
+        for kind in ("sampled", "sampled_long"):
+            cases = self.cases(kind)
+            if not cases:
+                continue
+            out[f"{kind}_ops_per_sec_geomean"] = geomean(
+                case.ops_per_sec for case in cases)
+            ratios = [case.detail.get("ipc_ratio") for case in cases]
+            if all(ratio for ratio in ratios):
+                out[f"{kind}_ipc_ratio_geomean"] = geomean(ratios)
+            speedups = [case.detail.get("speedup") for case in cases]
+            if all(speedup for speedup in speedups):
+                out[f"{kind}_speedup_geomean"] = geomean(speedups)
         sweeps = self.cases("sweep")
         if sweeps:
             out["sweep_jobs_per_sec"] = geomean(case.ops_per_sec for case in sweeps)

@@ -7,6 +7,16 @@ The suite has three tiers, mirroring where simulator time actually goes:
 * ``sim/<scheme>/<workload>`` -- the cycle-level core, one case per
   (tracker scheme, workload) cell, replaying a pre-generated trace so only
   the timing model is measured;
+* ``ff/<workload>`` -- the compiled functional fast-forward core
+  (:class:`~repro.isa.functional.FunctionalCore`), the fast half of the
+  two-speed engine;
+* ``sampled/<workload>`` -- two-speed sampled simulation end to end, with
+  a full-detail reference run of the same length; the case detail records
+  the sampled/full IPC ratio and wall-clock speedup (the sampling-error
+  acceptance numbers);
+* ``sampled_long/<workload>`` -- the long-horizon (>=1M micro-op)
+  workloads that are only tractable under sampling, again with a one-shot
+  full-detail reference for the speedup figure;
 * ``sweep/small`` -- an end-to-end :func:`~repro.experiments.runner.run_sweep`
   over a tiny matrix (grid expansion + trace cache + in-process pool +
   report aggregation), measured in jobs/second.
@@ -23,9 +33,11 @@ from dataclasses import dataclass, field
 from repro.bench.report import BenchReport, BenchResult, default_meta
 from repro.experiments.grid import SCHEME_PRESETS, SweepSpec
 from repro.experiments.runner import run_sweep
+from repro.isa.functional import FunctionalCore
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import simulate_trace
-from repro.workloads import generate_trace, list_workloads
+from repro.pipeline.sampling import SampledSimulator, SamplingConfig
+from repro.workloads import DEFAULT_SUITE, build_workload, generate_trace, list_workloads
 
 #: Workloads the default suite times: a sharing-heavy one, a spill/STLF one,
 #: a branchy one, a pointer chase and a streaming kernel -- small enough to
@@ -56,14 +68,36 @@ class BenchConfig:
     sweep: bool = True
     sweep_workloads: tuple[str, ...] = ("spill_reload", "move_chain")
     sweep_schemes: tuple[str, ...] = ("isrb", "refcount_checkpoint")
+    # -- the two-speed (sampled) tiers ---------------------------------------------
+    #: Fast-forward tier trace length.  Deliberately *not* reduced by the
+    #: smoke preset: ff and sampled cases are cheap enough to run at full
+    #: scale everywhere, which keeps same-named cases comparable between a
+    #: smoke run and the committed full-suite BENCH_core.json.
+    ff_max_ops: int = 20_000
+    #: Master switch of the sampled-vs-full accuracy tier.
+    sampled: bool = True
+    #: Sampled-vs-full accuracy tier: every workload here is run once in
+    #: full detail and once sampled at the same length; () = default suite.
+    sampled_workloads: tuple[str, ...] = ()
+    sampled_max_ops: int = 20_000
+    sampling: SamplingConfig = field(default_factory=lambda: SamplingConfig(
+        period=5_000, window=1_200, warmup=500, cooldown=300))
+    #: Long-horizon tier: >=1M-op workloads, one full-detail reference run
+    #: (timed once -- it is the expensive thing sampling replaces) plus the
+    #: sampled run; () disables the tier (the smoke preset does).
+    long_workloads: tuple[str, ...] = ("long_phase_mix", "long_stride_drift")
+    long_max_ops: int = 1_000_000
+    long_sampling: SamplingConfig = field(default_factory=SamplingConfig)
 
     def __post_init__(self) -> None:
-        if self.max_ops < 1:
-            raise ValueError("max_ops must be >= 1")
+        if self.max_ops < 1 or self.ff_max_ops < 1 or self.sampled_max_ops < 1 \
+                or self.long_max_ops < 1:
+            raise ValueError("max_ops values must be >= 1")
         if self.repeat < 1:
             raise ValueError("repeat must be >= 1")
         known = list_workloads()
-        bad = [name for name in (*self.workloads, *self.sweep_workloads)
+        bad = [name for name in (*self.workloads, *self.sweep_workloads,
+                                 *self.sampled_workloads, *self.long_workloads)
                if name not in known]
         if bad:
             raise ValueError(f"unknown workload(s) {bad}; known: {known}")
@@ -81,7 +115,13 @@ class BenchConfig:
             schemes=("baseline", "isrb"),
             max_ops=4_000,
             repeat=1,
+            sampled_workloads=("move_chain", "spill_reload"),
+            long_workloads=(),
         )
+
+    def resolved_sampled_workloads(self) -> tuple[str, ...]:
+        """Workloads of the sampled accuracy tier (default: the full suite)."""
+        return self.sampled_workloads or tuple(DEFAULT_SUITE)
 
     def config_for_scheme(self, scheme: str) -> CoreConfig:
         """The core configuration a scheme name benches under.
@@ -165,7 +205,60 @@ def run_benchmarks(config: BenchConfig | None = None, clock=None,
                 cycles=result.cycles,
                 detail={"ipc": result.ipc, "variant": core_config.variant_name()}))
 
-    # Tier 3: a small end-to-end sweep (grid -> cache-less run -> report).
+    # Tier 3: the compiled functional fast-forward core (no trace, no ops).
+    for workload in config.workloads:
+        name = f"ff/{workload}"
+        if progress is not None:
+            progress(name)
+        image = build_workload(workload, seed=config.seed)
+        retired = 0
+
+        def run_ff(image=image):
+            nonlocal retired
+            retired = FunctionalCore.from_image(image).fast_forward(config.ff_max_ops)
+            return retired
+        wall, _ = timer.best_of(config.repeat, run_ff)
+        report.results.append(BenchResult(
+            name=name, kind="ff", ops=retired, wall_seconds=wall))
+
+    # Tiers 4 and 5: sampled-vs-full accuracy and speedup (timed once per
+    # case -- the full-detail reference run is exactly the cost sampling
+    # removes), over the default suite and then the long-horizon workloads
+    # that are only tractable under sampling.
+    isrb_config = config.config_for_scheme("isrb")
+    sampled_workloads = config.resolved_sampled_workloads() if config.sampled else ()
+    sampled_tiers = (
+        ("sampled", sampled_workloads, config.sampled_max_ops, config.sampling),
+        ("sampled_long", config.long_workloads, config.long_max_ops,
+         config.long_sampling),
+    )
+    for kind, tier_workloads, max_ops, sampling in sampled_tiers:
+        for workload in tier_workloads:
+            name = f"{kind}/{workload}"
+            if progress is not None:
+                progress(name)
+            full_wall, full = timer.best_of(
+                1, lambda workload=workload, max_ops=max_ops: simulate_trace(
+                    generate_trace(workload, max_ops=max_ops, seed=config.seed),
+                    isrb_config))
+            simulator = SampledSimulator(isrb_config, sampling)
+            wall, sampled = timer.best_of(
+                1, lambda workload=workload, max_ops=max_ops:
+                    simulator.run_workload(workload, max_ops=max_ops,
+                                           seed=config.seed))
+            report.results.append(BenchResult(
+                name=name, kind=kind, ops=sampled.instructions, wall_seconds=wall,
+                cycles=sampled.cycles,
+                detail={
+                    "ipc_full": full.ipc,
+                    "ipc_sampled": sampled.ipc,
+                    "ipc_ratio": sampled.ipc / full.ipc,
+                    "speedup": full_wall / wall if wall > 0 else 0.0,
+                    "full_wall_seconds": full_wall,
+                    "windows": sampled.stat("sampling_windows"),
+                }))
+
+    # Tier 6: a small end-to-end sweep (grid -> cache-less run -> report).
     if config.sweep:
         name = "sweep/small"
         if progress is not None:

@@ -52,6 +52,19 @@ class BranchTargetBuffer:
             del entry_set[oldest]
         entry_set[pc] = target
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> list:
+        """Serialise every set as ``[pc, target]`` pairs in LRU order (oldest first)."""
+        return [[[pc, target] for pc, target in entry_set.items()]
+                for entry_set in self._sets]
+
+    def restore_snapshot(self, snapshot: list) -> None:
+        """Overwrite the BTB contents with a :meth:`to_snapshot` image."""
+        if len(snapshot) != self.sets:
+            raise ValueError("BTB snapshot geometry does not match this BTB")
+        self._sets = [{pc: target for pc, target in rows} for rows in snapshot]
+
     def storage_bits(self, target_bits: int = 32, tag_bits: int = 20) -> int:
         """Approximate storage requirement in bits."""
         return self.entries * (target_bits + tag_bits)

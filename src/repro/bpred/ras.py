@@ -46,5 +46,17 @@ class ReturnAddressStack:
         """Empty the stack (used on pipeline flushes that discard call context)."""
         self._stack.clear()
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> list[int]:
+        """Serialise the stack contents (bottom first)."""
+        return list(self._stack)
+
+    def restore_snapshot(self, snapshot: list[int]) -> None:
+        """Overwrite the stack with a :meth:`to_snapshot` image."""
+        if len(snapshot) > self.depth:
+            raise ValueError("RAS snapshot deeper than this stack")
+        self._stack[:] = snapshot
+
     def __repr__(self) -> str:
         return f"ReturnAddressStack(depth={self.depth}, occupancy={len(self._stack)})"

@@ -255,6 +255,37 @@ class TageBranchPredictor:
             return min(counter + 1, self._counter_max)
         return max(counter - 1, 0)
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise the predictor's trained state (counters, tags, useful bits).
+
+        Statistics (``lookups``) are deliberately not part of the snapshot:
+        snapshots carry *state*, and every detailed window accounts for its
+        own events.
+        """
+        return {
+            "base": list(self._base),
+            "tables": [[[e.tag, e.counter, e.useful, 1 if e.valid else 0]
+                        for e in table] for table in self._tables],
+            "allocation_clock": self._allocation_clock,
+        }
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite the trained state with a :meth:`to_snapshot` image."""
+        if len(snapshot["base"]) != len(self._base) or \
+                [len(rows) for rows in snapshot["tables"]] != \
+                [len(table) for table in self._tables]:
+            raise ValueError("TAGE snapshot geometry does not match this predictor")
+        self._base[:] = snapshot["base"]
+        for table, rows in zip(self._tables, snapshot["tables"]):
+            for entry, (tag, counter, useful, valid) in zip(table, rows):
+                entry.tag = tag
+                entry.counter = counter
+                entry.useful = useful
+                entry.valid = bool(valid)
+        self._allocation_clock = snapshot["allocation_clock"]
+
     # -- introspection ------------------------------------------------------------
 
     @property

@@ -44,6 +44,18 @@ class CommitCsnTable:
         """Forget all definitions (used by tests)."""
         self._csn = [None] * self.num_arch_regs
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> list:
+        """Serialise the per-register CSNs (``None`` for never-defined registers)."""
+        return list(self._csn)
+
+    def restore_snapshot(self, snapshot: list) -> None:
+        """Overwrite the CSNs with a :meth:`to_snapshot` image."""
+        if len(snapshot) != self.num_arch_regs:
+            raise ValueError("CSN table snapshot size does not match this table")
+        self._csn = list(snapshot)
+
 
 @dataclass(frozen=True)
 class DdtConfig:
@@ -115,6 +127,21 @@ class DataDependencyTable:
             return None
         self.hits += 1
         return csn
+
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise the table contents (statistics excluded)."""
+        return {
+            "unlimited": dict(self._unlimited),
+            "table": {index: list(entry) for index, entry in self._table.items()},
+        }
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite the table contents with a :meth:`to_snapshot` image."""
+        self._unlimited = {int(word): csn for word, csn in snapshot["unlimited"].items()}
+        self._table = {int(index): (tag, csn)
+                       for index, (tag, csn) in snapshot["table"].items()}
 
     def storage_bits(self, csn_bits: int = 8, address_bits: int = 64) -> int:
         """Approximate storage cost in bits.

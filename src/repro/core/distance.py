@@ -60,6 +60,21 @@ class _DistanceEntry:
     valid: bool = False
 
 
+def _snapshot_table(table: dict[int, _DistanceEntry]) -> dict:
+    """Serialise one sparse predictor table for a snapshot."""
+    return {index: [e.tag, e.distance, e.confidence, 1 if e.valid else 0]
+            for index, e in table.items()}
+
+
+def _restore_table(snapshot: dict) -> dict[int, _DistanceEntry]:
+    """Rebuild one sparse predictor table from a snapshot."""
+    return {
+        int(index): _DistanceEntry(tag=tag, distance=distance, confidence=confidence,
+                                   valid=bool(valid))
+        for index, (tag, distance, confidence, valid) in snapshot.items()
+    }
+
+
 # ---------------------------------------------------------------------------
 # NoSQ-style two-table predictor
 # ---------------------------------------------------------------------------
@@ -205,6 +220,18 @@ class NoSqDistancePredictor:
         """Total predictor storage in bits (about 17KB at the default sizing)."""
         per_entry = self.config.tag_bits + self.config.distance_bits + self.config.confidence_bits
         return (self.config.pc_entries + self.config.path_entries) * per_entry
+
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise both tables (statistics excluded)."""
+        return {"pc_table": _snapshot_table(self._pc_table),
+                "path_table": _snapshot_table(self._path_table)}
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite both tables with a :meth:`to_snapshot` image."""
+        self._pc_table = _restore_table(snapshot["pc_table"])
+        self._path_table = _restore_table(snapshot["path_table"])
 
 
 # ---------------------------------------------------------------------------
@@ -398,6 +425,20 @@ class TageDistancePredictor:
         for entries, tag_bits in zip(config.component_entries, config.component_tag_bits):
             bits += entries * (tag_bits + payload)
         return bits
+
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise the base and tagged components (statistics excluded)."""
+        return {"base": _snapshot_table(self._base),
+                "components": [_snapshot_table(table) for table in self._components]}
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite the predictor tables with a :meth:`to_snapshot` image."""
+        if len(snapshot["components"]) != len(self._components):
+            raise ValueError("distance predictor snapshot geometry mismatch")
+        self._base = _restore_table(snapshot["base"])
+        self._components = [_restore_table(table) for table in snapshot["components"]]
 
 
 def make_distance_predictor(kind: str, config=None):

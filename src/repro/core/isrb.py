@@ -253,6 +253,33 @@ class InflightSharedRegisterBuffer(SharingTracker):
         counter_bits = self.config.counter_bits if self.config.counter_bits is not None else 32
         return entries * counter_bits
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise the live entries (see :meth:`SharingTracker.to_snapshot`).
+
+        Branch checkpoints are transient speculative state and are not part
+        of the snapshot; a drained pipeline holds none.
+        """
+        return {
+            "scheme": self.name,
+            "entries": {preg: [e.referenced, e.committed, e.referenced_committed]
+                        for preg, e in self._entries.items()},
+        }
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite the live entries with a :meth:`to_snapshot` image."""
+        if snapshot.get("scheme") != self.name:
+            raise ValueError(
+                f"tracker snapshot of scheme {snapshot.get('scheme')!r} cannot be "
+                f"restored into {self.name!r}")
+        self._entries = {
+            int(preg): IsrbEntry(referenced=ref, committed=com, referenced_committed=refcom)
+            for preg, (ref, com, refcom) in snapshot["entries"].items()
+        }
+        self._checkpoints = {}
+        self._next_checkpoint_id = 0
+
     # -- internals ----------------------------------------------------------------
 
     def _free_entry(self, preg: int) -> None:

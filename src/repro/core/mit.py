@@ -114,6 +114,41 @@ class MultipleInstantiationTable(SharingTracker):
         self.stats.registers_freed_on_flush += len(freed)
         return freed
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise the live entries (see :meth:`SharingTracker.to_snapshot`).
+
+        ``pending_pairs`` (in-flight eliminated moves) are empty with the
+        pipeline drained but are captured anyway for generality.
+        """
+        return {
+            "scheme": self.name,
+            "entries": {
+                preg: {
+                    "committed_archs": sorted(entry.committed_archs),
+                    "pending_pairs": [list(pair) for pair in entry.pending_pairs],
+                    "deferred_overwrites": entry.deferred_overwrites,
+                }
+                for preg, entry in self._entries.items()
+            },
+        }
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite the live entries with a :meth:`to_snapshot` image."""
+        if snapshot.get("scheme") != self.name:
+            raise ValueError(
+                f"tracker snapshot of scheme {snapshot.get('scheme')!r} cannot be "
+                f"restored into {self.name!r}")
+        self._entries = {
+            int(preg): MitEntry(
+                committed_archs=set(data["committed_archs"]),
+                pending_pairs=[tuple(pair) for pair in data["pending_pairs"]],
+                deferred_overwrites=data["deferred_overwrites"],
+            )
+            for preg, data in snapshot["entries"].items()
+        }
+
     # -- introspection ------------------------------------------------------------
 
     def is_tracked(self, preg: int) -> bool:

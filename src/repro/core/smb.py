@@ -228,6 +228,30 @@ class SmbEngine:
         if op.writes_register:
             self.csn_table.define(op.dest_flat, csn)
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise the distance predictor, the DDT and the CSN table.
+
+        The validation-failure blacklist is keyed by *trace sequence
+        number* and is therefore window-local: it is intentionally dropped,
+        just like the Store Sets LFST.  CSNs are absolute across windows
+        (the pipeline adds a commit base), so DDT contents stay meaningful
+        after a restore.  Statistics are not part of the snapshot.
+        """
+        return {
+            "predictor": self.predictor.to_snapshot(),
+            "ddt": self.ddt.to_snapshot(),
+            "csn_table": self.csn_table.to_snapshot(),
+        }
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite the trained state with a :meth:`to_snapshot` image."""
+        self.predictor.restore_snapshot(snapshot["predictor"])
+        self.ddt.restore_snapshot(snapshot["ddt"])
+        self.csn_table.restore_snapshot(snapshot["csn_table"])
+        self._blacklisted_seqs = set()
+
     # -- reporting ----------------------------------------------------------------
 
     def storage_bits(self) -> int:

@@ -153,6 +153,25 @@ class SharingTracker(ABC):
     def flush_to_committed(self) -> list[int]:
         """Squash all in-flight state; return physical registers that become free."""
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise the tracker's live entries (drained-pipeline state).
+
+        Snapshots are taken at detailed-window boundaries with no
+        instruction in flight, so speculative state (branch checkpoints,
+        in-flight sharers) is empty by construction; only the committed
+        tracking entries -- the ones whose deferred reclaims must survive
+        the window gap -- are captured.  Statistics are not included.
+        """
+        raise NotImplementedError(
+            f"tracker scheme {self.name!r} does not implement snapshots")
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite the live entries with a :meth:`to_snapshot` image."""
+        raise NotImplementedError(
+            f"tracker scheme {self.name!r} does not implement snapshots")
+
     # -- introspection ------------------------------------------------------------
 
     @abstractmethod

@@ -53,6 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable speculative memory bypassing")
     run.add_argument("--baseline", action="store_true",
                      help="run the no-sharing Table-1 baseline instead")
+    run.add_argument("--sample-period", type=int, default=None, metavar="N",
+                     help="enable two-speed sampled simulation with one "
+                          "detailed window every N retired micro-ops")
+    run.add_argument("--sample-window", type=int, default=2_000, metavar="N",
+                     help="measured detailed window length (default 2000)")
+    run.add_argument("--warmup", type=int, default=500, metavar="N",
+                     help="detailed warmup before each window (default 500)")
     run.add_argument("--json", action="store_true",
                      help="print the full result as JSON")
 
@@ -75,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--entries", type=str, default="",
                        help="comma-separated tracker sizes overriding the "
                             "per-scheme preset (e.g. 8,16,32; 'unl' = unlimited)")
+    sweep.add_argument("--sample-period", type=int, default=None, metavar="N",
+                       help="run every job in two-speed sampled mode with one "
+                            "detailed window every N retired micro-ops")
+    sweep.add_argument("--sample-window", type=int, default=2_000, metavar="N",
+                       help="measured detailed window length (default 2000)")
+    sweep.add_argument("--warmup", type=int, default=500, metavar="N",
+                       help="detailed warmup before each window (default 500)")
     sweep.add_argument("--cache-dir", default=".trace_cache",
                        help="trace cache directory ('' disables caching)")
     sweep.add_argument("--out-dir", default="sweep_out",
@@ -106,6 +120,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: 2, or 1 with --smoke)")
     bench.add_argument("--no-sweep", action="store_true",
                        help="skip the end-to-end sweep tier")
+    bench.add_argument("--no-sampled", action="store_true",
+                       help="skip the sampled-vs-full accuracy tier")
+    bench.add_argument("--no-long", action="store_true",
+                       help="skip the >=1M-op long-horizon tier")
     bench.add_argument("--out", default="BENCH_core.json",
                        help="output artifact path ('' = don't write)")
     bench.add_argument("--smoke", action="store_true",
@@ -154,14 +172,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if not args.no_smb:
             config = config.with_smb()
     try:
-        result = simulate(args.workload, config, max_ops=args.max_ops, seed=args.seed)
+        if args.sample_period is not None:
+            from repro.pipeline.sampling import SamplingConfig, simulate_sampled
+
+            sampling = SamplingConfig(period=args.sample_period,
+                                      window=args.sample_window,
+                                      warmup=args.warmup)
+            result = simulate_sampled(args.workload, config, sampling,
+                                      max_ops=args.max_ops, seed=args.seed)
+        else:
+            result = simulate(args.workload, config, max_ops=args.max_ops,
+                              seed=args.seed)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(result.summary())
+        if args.sample_period is not None:
+            print(f"  sampled: {result.stat('sampling_windows'):.0f} windows, "
+                  f"IPC {result.stat('sampling_ipc_mean'):.3f} "
+                  f"[{result.stat('sampling_ipc_ci95_low'):.3f}, "
+                  f"{result.stat('sampling_ipc_ci95_high'):.3f}] 95% CI, "
+                  f"{result.stat('fastforwarded_instructions'):.0f} micro-ops "
+                  "fast-forwarded")
     return 0
 
 
@@ -194,6 +232,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             entries=_parse_entries(args.entries),
             max_ops=args.max_ops,
             seed=args.seed,
+            sample_period=args.sample_period,
+            sample_window=args.sample_window,
+            sample_warmup=args.warmup,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -273,8 +314,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     overrides = {}
     if args.workloads:
         overrides["workloads"] = tuple(args.workloads)
+        overrides["sampled_workloads"] = tuple(args.workloads)
     if args.schemes:
         overrides["schemes"] = tuple(args.schemes)
+    if args.no_sampled:
+        overrides["sampled"] = False
+    if args.no_long:
+        overrides["long_workloads"] = ()
     # None means "not passed": explicit --max-ops/--repeat always win, the
     # preset (smoke or full) supplies the default otherwise.
     if args.max_ops is not None:

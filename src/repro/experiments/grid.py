@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.pipeline.config import CoreConfig
+from repro.pipeline.sampling import SamplingConfig
 from repro.workloads import DEFAULT_SUITE, workload_registry
 
 #: Paper-default tracker sizing per scheme name.  ``entries``/``counter_bits``
@@ -57,7 +58,13 @@ def known_schemes() -> list[str]:
 
 @dataclass(frozen=True)
 class Job:
-    """One runnable ``(workload, config)`` cell of an expanded sweep."""
+    """One runnable ``(workload, config)`` cell of an expanded sweep.
+
+    ``sampling`` switches the job from full-detail trace replay to
+    two-speed sampled simulation (``max_ops`` then bounds the *retired*
+    instruction count, of which only the detailed windows go through the
+    cycle-level model).
+    """
 
     job_id: str
     workload: str
@@ -65,6 +72,7 @@ class Job:
     max_ops: int
     seed: int
     is_baseline: bool = False
+    sampling: SamplingConfig | None = None
 
     @property
     def variant(self) -> str:
@@ -101,6 +109,11 @@ class SweepSpec:
         replay the identical dynamic trace.
     base_config:
         The machine everything is built on (Table 1 by default).
+    sample_period / sample_window / sample_warmup:
+        ``sample_period`` switches every job of the sweep (baselines
+        included, so speedups compare like against like) to two-speed
+        sampled simulation with the given period/window/warmup geometry;
+        ``None`` (the default) keeps full-detail trace replay.
     """
 
     schemes: tuple[str, ...] = ("isrb",)
@@ -112,8 +125,12 @@ class SweepSpec:
     max_ops: int = 20_000
     seed: int = 1
     base_config: CoreConfig = field(default_factory=CoreConfig)
+    sample_period: int | None = None
+    sample_window: int = 2_000
+    sample_warmup: int = 500
 
     def __post_init__(self) -> None:
+        self.sampling_config()  # validates the sampling geometry early
         if not self.schemes:
             raise ValueError("a sweep needs at least one tracker scheme")
         unknown = [name for name in self.schemes if name not in SCHEME_PRESETS]
@@ -131,6 +148,13 @@ class SweepSpec:
             raise ValueError("move_elim and smb option tuples must be non-empty")
 
     # -- expansion ------------------------------------------------------------------
+
+    def sampling_config(self) -> SamplingConfig | None:
+        """The two-speed sampling geometry of this sweep (``None`` = full detail)."""
+        if self.sample_period is None:
+            return None
+        return SamplingConfig(period=self.sample_period, window=self.sample_window,
+                              warmup=self.sample_warmup)
 
     def resolved_workloads(self) -> tuple[str, ...]:
         """The workloads this sweep runs (spec order, or the default suite)."""
@@ -176,6 +200,7 @@ class SweepSpec:
         """Expand into the job list: baseline first, then every variant, per workload."""
         jobs: list[Job] = []
         variants = self.variant_configs()
+        sampling = self.sampling_config()
         for workload in self.resolved_workloads():
             jobs.append(Job(
                 job_id=f"{workload}__baseline",
@@ -184,6 +209,7 @@ class SweepSpec:
                 max_ops=self.max_ops,
                 seed=self.seed,
                 is_baseline=True,
+                sampling=sampling,
             ))
             for config in variants:
                 jobs.append(Job(
@@ -192,6 +218,7 @@ class SweepSpec:
                     config=config,
                     max_ops=self.max_ops,
                     seed=self.seed,
+                    sampling=sampling,
                 ))
         return jobs
 
@@ -214,4 +241,10 @@ class SweepSpec:
             f"({self.trace_count()} traces x {1 + len(variants)} configs)",
             f"trace     : max_ops={self.max_ops} seed={self.seed}",
         ]
+        sampling = self.sampling_config()
+        if sampling is not None:
+            lines.append(
+                f"sampling  : period={sampling.period} window={sampling.window} "
+                f"warmup={sampling.warmup} cooldown={sampling.cooldown} "
+                f"({sampling.detailed_fraction * 100:.1f}% detailed)")
         return "\n".join(lines)

@@ -27,6 +27,7 @@ from repro.experiments.grid import Job, SweepSpec
 from repro.experiments.report import SweepReport, build_report
 from repro.pipeline.core import simulate_trace
 from repro.pipeline.result import SimulationResult
+from repro.pipeline.sampling import SampledSimulator
 from repro.workloads import build_workload
 
 
@@ -60,8 +61,15 @@ def _execute_job(payload: tuple[Job, str | None]) -> tuple[bool, SimulationResul
     job, cache_root = payload
     start = time.perf_counter()
     try:
-        trace = _load_trace(job, cache_root)
-        result = simulate_trace(trace, job.config)
+        if job.sampling is not None:
+            # Two-speed mode never materialises the full trace (that is the
+            # point), so the trace cache is bypassed entirely.
+            simulator = SampledSimulator(job.config, job.sampling)
+            result = simulator.run_workload(job.workload, max_ops=job.max_ops,
+                                            seed=job.seed)
+        else:
+            trace = _load_trace(job, cache_root)
+            result = simulate_trace(trace, job.config)
         return True, result, None, time.perf_counter() - start
     except Exception:
         return False, None, traceback.format_exc(), time.perf_counter() - start
@@ -134,8 +142,9 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
     callers can verify the executor-once-per-workload property.
     """
     jobs = spec.expand()
+    sampling = spec.sampling_config()
     cache_stats: dict[str, int] = {}
-    if cache_dir is not None:
+    if cache_dir is not None and sampling is None:
         cache = TraceCache(cache_dir)
         generated, reused = cache.warm(job.trace_key for job in jobs)
         cache_stats = {"traces_generated": generated, "traces_reused": reused,
@@ -152,4 +161,6 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
         "seed": spec.seed,
         "jobs": len(jobs),
     }
+    if sampling is not None:
+        meta["sampling"] = sampling.to_dict()
     return build_report(results, cache_stats=cache_stats, meta=meta)

@@ -23,6 +23,7 @@ branch outcomes) consumed by the cycle-level core model.
 """
 
 from repro.isa.executor import DynamicOp, ExecutionLimitExceeded, Executor, Trace
+from repro.isa.functional import ArchSnapshot, FunctionalCore
 from repro.isa.instructions import Instruction, MemOperand
 from repro.isa.opcodes import OpClass, Opcode
 from repro.isa.program import Program, ProgramBuilder
@@ -49,6 +50,8 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "Executor",
+    "FunctionalCore",
+    "ArchSnapshot",
     "DynamicOp",
     "Trace",
     "ExecutionLimitExceeded",

@@ -373,28 +373,45 @@ def _unary(handler):
     return wrapped
 
 
+#: Raw value semantics of the two-source / immediate / one-source ALU
+#: micro-ops.  These plain ``int -> int`` lambdas are the single source of
+#: truth shared by the executor's handler table below and by the
+#: fast-forward compiler in :mod:`repro.isa.functional` -- the two execution
+#: backends can therefore never compute different results.
+RAW_BINARY_OPS = {
+    Opcode.IADD: lambda a, b: a + b,
+    Opcode.ISUB: lambda a, b: a - b,
+    Opcode.IAND: lambda a, b: a & b,
+    Opcode.IOR: lambda a, b: a | b,
+    Opcode.IXOR: lambda a, b: a ^ b,
+    Opcode.ISHL: lambda a, b: a << (b & 63),
+    Opcode.ISHR: lambda a, b: a >> (b & 63),
+    Opcode.ICMPEQ: lambda a, b: 1 if a == b else 0,
+    Opcode.ICMPLT: lambda a, b: 1 if a < b else 0,
+    Opcode.IMUL: lambda a, b: a * b,
+    Opcode.IDIV: lambda a, b: a // b if b else 0,
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: (a * b) ^ ((a * b) >> 17),
+    Opcode.FDIV: lambda a, b: (a // b if b else 0) ^ 0x5A5A5A5A,
+}
+
+RAW_IMMEDIATE_OPS = {
+    Opcode.IADDI: lambda a, imm: a + imm,
+    Opcode.IANDI: lambda a, imm: a & imm,
+    Opcode.ISHLI: lambda a, imm: a << (imm & 63),
+    Opcode.ISHRI: lambda a, imm: a >> (imm & 63),
+}
+
+RAW_UNARY_OPS = {
+    Opcode.I2F: lambda a: a,
+    Opcode.F2I: lambda a: a,
+}
+
 _ALU_HANDLERS = {
-    Opcode.IADD: _binary(lambda a, b: a + b),
-    Opcode.ISUB: _binary(lambda a, b: a - b),
-    Opcode.IAND: _binary(lambda a, b: a & b),
-    Opcode.IOR: _binary(lambda a, b: a | b),
-    Opcode.IXOR: _binary(lambda a, b: a ^ b),
-    Opcode.ISHL: _binary(lambda a, b: a << (b & 63)),
-    Opcode.ISHR: _binary(lambda a, b: a >> (b & 63)),
-    Opcode.IADDI: _immediate(lambda a, imm: a + imm),
-    Opcode.IANDI: _immediate(lambda a, imm: a & imm),
-    Opcode.ISHLI: _immediate(lambda a, imm: a << (imm & 63)),
-    Opcode.ISHRI: _immediate(lambda a, imm: a >> (imm & 63)),
-    Opcode.ICMPEQ: _binary(lambda a, b: 1 if a == b else 0),
-    Opcode.ICMPLT: _binary(lambda a, b: 1 if a < b else 0),
-    Opcode.IMUL: _binary(lambda a, b: a * b),
-    Opcode.IDIV: _binary(lambda a, b: a // b if b else 0),
-    Opcode.FADD: _binary(lambda a, b: a + b),
-    Opcode.FSUB: _binary(lambda a, b: a - b),
-    Opcode.FMUL: _binary(lambda a, b: (a * b) ^ ((a * b) >> 17)),
-    Opcode.FDIV: _binary(lambda a, b: (a // b if b else 0) ^ 0x5A5A5A5A),
-    Opcode.I2F: _unary(lambda a: a),
-    Opcode.F2I: _unary(lambda a: a),
+    **{opcode: _binary(handler) for opcode, handler in RAW_BINARY_OPS.items()},
+    **{opcode: _immediate(handler) for opcode, handler in RAW_IMMEDIATE_OPS.items()},
+    **{opcode: _unary(handler) for opcode, handler in RAW_UNARY_OPS.items()},
 }
 
 

@@ -137,6 +137,31 @@ class StoreSetsPredictor:
             self._ssit.clear()
             self._lfst.clear()
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise the SSIT and the SSID allocator.
+
+        The LFST is deliberately *not* captured: it names still-in-flight
+        stores by trace sequence number, and a snapshot is only taken with
+        the pipeline drained, when no store is in flight -- restoring an
+        empty LFST is therefore the architecturally correct state (and
+        keeps stale sequence numbers from leaking into the next window's
+        trace, whose numbering restarts at zero).
+        """
+        return {
+            "ssit": dict(self._ssit),
+            "next_ssid": self._next_ssid,
+            "accesses_since_clear": self._accesses_since_clear,
+        }
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite the predictor state with a :meth:`to_snapshot` image."""
+        self._ssit = {int(index): ssid for index, ssid in snapshot["ssit"].items()}
+        self._lfst = {}
+        self._next_ssid = snapshot["next_ssid"]
+        self._accesses_since_clear = snapshot["accesses_since_clear"]
+
     def storage_bits(self) -> int:
         """Approximate storage requirement in bits (SSID width times table sizes)."""
         ssid_bits = max(self.config.lfst_entries.bit_length() - 1, 1)

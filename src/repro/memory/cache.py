@@ -104,6 +104,25 @@ class SetAssociativeCache:
         for cache_set in self._sets:
             cache_set.clear()
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> list:
+        """Serialise every set as ``[tag, dirty]`` pairs in LRU order (LRU first)."""
+        return [[[tag, 1 if dirty else 0] for tag, dirty in cache_set.items()]
+                for cache_set in self._sets]
+
+    def restore_snapshot(self, snapshot: list) -> None:
+        """Overwrite the cache contents with a :meth:`to_snapshot` image.
+
+        Only tags, dirty bits and LRU order are restored; the hit/miss/
+        eviction statistics are left alone so every detailed window reports
+        its own events.
+        """
+        if len(snapshot) != len(self._sets):
+            raise ValueError(
+                f"{self.config.name}: snapshot geometry does not match this cache")
+        self._sets = [{tag: bool(dirty) for tag, dirty in rows} for rows in snapshot]
+
     # -- statistics ---------------------------------------------------------------
 
     @property

@@ -69,6 +69,37 @@ class DramModel:
         self._bank_free_at[bank] = now + config.bank_busy_cycles
         return latency
 
+    def warm(self, address: int) -> None:
+        """Timing-free warming access: update the bank's open row only.
+
+        Used by the sampled-simulation fast-forward path so that detailed
+        windows see row-buffer locality consistent with the skipped
+        instruction stream; no statistics or bank-busy timing are touched.
+        """
+        bank, row = self._locate(address)
+        self._open_row[bank] = row
+
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self, now: int = 0) -> dict:
+        """Serialise open rows and bank-busy times *relative to* cycle ``now``.
+
+        Bank-free times are absolute cycles; a detailed window restarts its
+        cycle counter at zero, so the snapshot stores the remaining busy
+        delta (clamped at zero) instead.
+        """
+        return {
+            "open_rows": list(self._open_row),
+            "bank_busy_in": [max(0, t - now) for t in self._bank_free_at],
+        }
+
+    def restore_snapshot(self, snapshot: dict, now: int = 0) -> None:
+        """Restore a :meth:`to_snapshot` image, rebasing busy times onto ``now``."""
+        if len(snapshot["open_rows"]) != len(self._open_row):
+            raise ValueError("DRAM snapshot geometry does not match this model")
+        self._open_row = list(snapshot["open_rows"])
+        self._bank_free_at = [now + delta for delta in snapshot["bank_busy_in"]]
+
     def __repr__(self) -> str:
         banks = self.config.ranks * self.config.banks_per_rank
         return f"DramModel(banks={banks}, min={self.config.min_latency})"

@@ -84,6 +84,30 @@ class MemoryHierarchy:
                 self.l2.fill(prefetch_line, is_prefetch=True)
         return latency
 
+    # -- functional warming (two-speed simulation) ----------------------------------
+
+    def warm_data(self, address: int, is_write: bool, pc: int) -> None:
+        """Timing-free data access: update tags, LRU, dirty bits and training only.
+
+        The sampled-simulation fast-forward path calls this for every
+        skipped load and store so that detailed windows open with cache,
+        prefetcher and DRAM row state consistent with the instruction
+        stream, instead of a stale image frozen at the previous window's
+        end.  No latencies are computed and no MSHR occupancy is modelled.
+        """
+        line = self.l1d.line_address(address)
+        if self.l1d.lookup(line, is_write=is_write):
+            return
+        prefetches = self.prefetcher.train(pc, line)
+        if not self.l2.lookup(line, is_write=is_write):
+            self.dram.warm(line)
+            self.l2.fill(line, is_write=is_write)
+        self.l1d.fill(line, is_write=is_write)
+        for prefetch_address in prefetches:
+            prefetch_line = self.l2.line_address(prefetch_address)
+            if not self.l2.probe(prefetch_line):
+                self.l2.fill(prefetch_line, is_prefetch=True)
+
     # -- instruction-side accesses ------------------------------------------------
 
     def access_instruction(self, pc: int, now: int = 0) -> int:
@@ -106,6 +130,35 @@ class MemoryHierarchy:
         """Drop completed misses from the MSHR occupancy list."""
         if self._outstanding_misses:
             self._outstanding_misses = [t for t in self._outstanding_misses if t > now]
+
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self, now: int = 0) -> dict:
+        """Serialise cache tags/LRU/dirty state, DRAM rows and prefetcher training.
+
+        Outstanding-miss (MSHR) completion times and DRAM bank-busy times
+        are stored relative to ``now`` so a restored hierarchy can restart
+        its cycle counter at zero.  Statistics are not part of the snapshot
+        -- each detailed window accounts for its own events.
+        """
+        return {
+            "l1i": self.l1i.to_snapshot(),
+            "l1d": self.l1d.to_snapshot(),
+            "l2": self.l2.to_snapshot(),
+            "dram": self.dram.to_snapshot(now),
+            "prefetcher": self.prefetcher.to_snapshot(),
+            "outstanding_in": sorted(t - now for t in self._outstanding_misses
+                                     if t > now),
+        }
+
+    def restore_snapshot(self, snapshot: dict, now: int = 0) -> None:
+        """Restore a :meth:`to_snapshot` image, rebasing timed state onto ``now``."""
+        self.l1i.restore_snapshot(snapshot["l1i"])
+        self.l1d.restore_snapshot(snapshot["l1d"])
+        self.l2.restore_snapshot(snapshot["l2"])
+        self.dram.restore_snapshot(snapshot["dram"], now)
+        self.prefetcher.restore_snapshot(snapshot["prefetcher"])
+        self._outstanding_misses = [now + delta for delta in snapshot["outstanding_in"]]
 
     def stats(self) -> dict[str, float]:
         """Summary statistics for reporting."""

@@ -62,6 +62,20 @@ class StridePrefetcher:
         self.prefetches_issued += len(prefetches)
         return prefetches
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise the training table (last address, stride, confidence per entry)."""
+        return {index: [e.last_address, e.stride, e.confidence]
+                for index, e in self._table.items()}
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite the training table with a :meth:`to_snapshot` image."""
+        self._table = {
+            int(index): _StrideEntry(last_address=last, stride=stride, confidence=conf)
+            for index, (last, stride, conf) in snapshot.items()
+        }
+
     def __repr__(self) -> str:
         return (f"StridePrefetcher(entries={self.table_entries}, degree={self.degree}, "
                 f"distance={self.distance})")

@@ -15,11 +15,17 @@ workload trace and runs it in one call.
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core, simulate, simulate_trace
 from repro.pipeline.result import SimulationResult
+from repro.pipeline.sampling import SampledSimulator, SamplingConfig, simulate_sampled
+from repro.pipeline.snapshot import CoreSnapshot
 
 __all__ = [
     "CoreConfig",
     "Core",
+    "CoreSnapshot",
     "SimulationResult",
+    "SampledSimulator",
+    "SamplingConfig",
     "simulate",
+    "simulate_sampled",
     "simulate_trace",
 ]

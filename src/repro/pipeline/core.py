@@ -35,7 +35,7 @@ from repro.backend.scheduler import FunctionalUnits, IssueQueue
 from repro.bpred.btb import BranchTargetBuffer
 from repro.bpred.ras import ReturnAddressStack
 from repro.bpred.tage import TageBranchPredictor
-from repro.common.history import PathHistory, ShiftHistory
+from repro.common.history import HistoryCheckpoint, PathHistory, ShiftHistory
 from repro.core.smb import SmbEngine
 from repro.core.tracker import ReclaimDecision, make_tracker
 from repro.isa.executor import DynamicOp, Trace
@@ -45,6 +45,7 @@ from repro.memdep.store_sets import StoreSetsPredictor
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.result import SimulationResult
+from repro.pipeline.snapshot import CoreSnapshot
 from repro.rename.maps import CommitRenameMap, FreeList, RenameMap
 from repro.rename.renamer import ProducerInfo, Renamer
 
@@ -142,6 +143,17 @@ class Core:
             "fetch_stall_cycles": 0, "rename_stall_cycles": 0,
             "recovery_extra_cycles": 0, "release_walks": 0,
         }
+        # Commit sequence numbers continue across detailed windows of a
+        # sampled simulation (restored from a snapshot); the SMB commit
+        # training relies on their monotonicity.
+        self._csn_base = 0
+        self._first_commit_cycle = -1
+        # Optional commit-count milestones (sampled simulation): the cycle
+        # at which the N-th micro-op of this run commits, used to bound the
+        # measured window inside a warmup/window/cooldown detailed stretch
+        # without draining the pipeline at the measurement boundaries.
+        self._milestone_commits: frozenset[int] | None = None
+        self.milestone_cycles: dict[int, int] = {}
         self._last_share_attempt_seq: int | None = None
         self._share_attempt_gaps = 0.0
         self._share_attempt_count = 0
@@ -155,11 +167,30 @@ class Core:
 
     # -------------------------------------------------------------------- run --
 
-    def run(self, trace: Trace, max_cycles: int | None = None) -> SimulationResult:
-        """Replay ``trace`` through the pipeline and return the simulation result."""
+    def run(self, trace: Trace, max_cycles: int | None = None,
+            resume: CoreSnapshot | None = None,
+            commit_milestones=()) -> SimulationResult:
+        """Replay ``trace`` through the pipeline and return the simulation result.
+
+        ``resume`` warm-starts the run from a :class:`CoreSnapshot` taken
+        by :meth:`snapshot` after an earlier run: predictors, caches,
+        rename state and the sharing tracker begin where the previous
+        detailed window left them, which is what lets the sampled
+        simulation driver interleave fast-forward gaps between windows.
+
+        ``commit_milestones`` records (in :attr:`milestone_cycles`) the
+        cycle at which each given commit count is reached -- the sampled
+        driver uses two milestones to bound the measured window inside a
+        longer detailed run, keeping pipeline-fill and drain transients
+        outside the measurement.
+        """
         if len(trace) == 0:
             raise ValueError("cannot simulate an empty trace")
         self._reset(trace)
+        if resume is not None:
+            self._restore_snapshot(resume)
+        if commit_milestones:
+            self._milestone_commits = frozenset(commit_milestones)
         limit = max_cycles or self.config.max_cycles_per_instruction * len(trace)
         total = len(trace.ops)
         do_commit = self._do_commit
@@ -581,7 +612,9 @@ class Core:
     def _commit_entry(self, entry: InflightOp) -> None:
         config = self.config
         op = entry.op
-        csn = self.committed
+        csn = self._csn_base + self.committed
+        if self._first_commit_cycle < 0:
+            self._first_commit_cycle = self.cycle
         entry.committed = True
         entry.commit_cycle = self.cycle
         self.rob.pop_head()
@@ -618,6 +651,9 @@ class Core:
         # Commit-side SMB training (CSN table, DDT, distance predictor).
         self.smb_engine.train_commit(op, csn, entry.history, entry.path, entry.smb_prediction)
         self.committed += 1
+        if self._milestone_commits is not None \
+                and self.committed in self._milestone_commits:
+            self.milestone_cycles[self.committed] = self.cycle
 
     def _reclaim_register(self, preg: int, arch_flat: int, seq: int) -> None:
         """Ask the sharing tracker whether ``preg`` can return to the free list."""
@@ -689,6 +725,71 @@ class Core:
         self.counters["recovery_extra_cycles"] += extra
         self.fetch_blocked_until = self.cycle + self.config.trap_penalty + extra
 
+    # --------------------------------------------------------- snapshot/restore --
+
+    def snapshot(self) -> CoreSnapshot:
+        """Capture the warm micro-architectural state after a completed run.
+
+        Only valid with the pipeline drained (i.e. right after :meth:`run`
+        returned).  Deferred lazy reclaims are completed first so that no
+        register liveness depends on retained ROB entries, which are not
+        part of the snapshot; see :mod:`repro.pipeline.snapshot` for the
+        full list of invariants.
+        """
+        if self.rob.head() is not None or self.frontend_queue or len(self.iq) \
+                or self.execution_wheel or self.pending_redirect is not None:
+            raise RuntimeError("snapshot requires a drained pipeline")
+        # Complete every deferred reclaim (lazy-reclaim release walk).
+        while self.rob.retained_count() > 0:
+            entry = self.rob.pop_retained()
+            if entry is None:
+                break
+            if entry.op.dest is not None and entry.old_preg is not None \
+                    and entry.old_preg >= 0 and entry.old_preg != entry.dest_preg:
+                self._reclaim_register(entry.old_preg, entry.op.dest_flat, entry.seq)
+        config = self.config
+        return CoreSnapshot(
+            variant=config.variant_name(),
+            num_int_pregs=config.num_int_pregs,
+            num_fp_pregs=config.num_fp_pregs,
+            next_csn=self._csn_base + self.committed,
+            branch_predictor=self.branch_predictor.to_snapshot(),
+            btb=self.btb.to_snapshot(),
+            ras=self.ras.to_snapshot(),
+            history=self.history.value,
+            path=self.path.value,
+            rename_map=self.commit_map.to_snapshot(),
+            int_free=self.int_free.to_snapshot(),
+            fp_free=self.fp_free.to_snapshot(),
+            tracker=self.tracker.to_snapshot(),
+            store_sets=self.store_sets.to_snapshot(),
+            memory=self.memory.to_snapshot(self.cycle),
+            smb=self.smb_engine.to_snapshot(),
+        )
+
+    def _restore_snapshot(self, snap: CoreSnapshot) -> None:
+        """Overwrite the freshly-reset core state with a snapshot (cycle rebased to 0)."""
+        if not snap.compatible_with(self.config):
+            raise ValueError(
+                f"snapshot of machine {snap.variant!r} cannot be restored into "
+                f"{self.config.variant_name()!r}")
+        self.branch_predictor.restore_snapshot(snap.branch_predictor)
+        self.btb.restore_snapshot(snap.btb)
+        self.ras.restore_snapshot(snap.ras)
+        self.history.restore(HistoryCheckpoint(snap.history, self.history.max_bits))
+        self.path.restore(HistoryCheckpoint(snap.path, self.path.max_bits))
+        # With the pipeline drained the speculative and commit maps agree,
+        # so one image restores both.
+        self.rename_map.restore_snapshot(snap.rename_map)
+        self.commit_map.restore_snapshot(snap.rename_map)
+        self.int_free.restore_snapshot(snap.int_free)
+        self.fp_free.restore_snapshot(snap.fp_free)
+        self.tracker.restore_snapshot(snap.tracker)
+        self.store_sets.restore_snapshot(snap.store_sets)
+        self.memory.restore_snapshot(snap.memory, now=0)
+        self.smb_engine.restore_snapshot(snap.smb)
+        self._csn_base = snap.next_csn
+
     # ------------------------------------------------------------------ utils --
 
     def _free_list_for_preg(self, preg: int) -> FreeList:
@@ -704,6 +805,7 @@ class Core:
         stats["tracker_checkpoint_bits"] = self.tracker.checkpoint_bits()
         for key, value in self.memory.stats().items():
             stats[f"mem_{key}"] = value
+        stats["first_commit_cycle"] = max(self._first_commit_cycle, 0)
         stats["rob_peak_occupancy"] = self.rob.peak_occupancy
         stats["iq_peak_occupancy"] = self.iq.peak_occupancy
         stats["lq_peak_occupancy"] = self.lsq.peak_lq

@@ -1,0 +1,390 @@
+"""SMARTS-style sampled simulation: functional fast-forward + detailed windows.
+
+The cycle-level core is 40-80x slower than the functional core, which caps
+how long a workload the harness can study.  :class:`SampledSimulator`
+interleaves the two speeds: each sampling *period* starts with a detailed
+stretch (``warmup`` instructions to refill the pipeline-adjacent state,
+then a measured ``window``), after which the rest of the period is retired
+by :class:`~repro.isa.functional.FunctionalCore` at millions of micro-ops
+per second.  Micro-architectural state -- branch predictors, caches, the
+rename state and the register-sharing tracker -- is carried across the
+fast-forward gaps by the :class:`~repro.pipeline.snapshot.CoreSnapshot`
+API, so every window starts warm.
+
+Measurement methodology (see DESIGN.md for the error analysis):
+
+* each detailed stretch (warmup + window) is replayed as *one*
+  :meth:`Core.run`, resumed from the previous stretch's snapshot, so the
+  detailed model never sees the fast-forward gap;
+* the window's cycle count is measured from the commit of the last warmup
+  micro-op (the run's ``commit_milestone``) to the end of the run -- the
+  warmup therefore absorbs both the stale-state transient *and* the
+  pipeline-fill ramp of restarting a drained pipeline, and the window
+  measures mid-steady-state throughput (only the end-of-run drain remains
+  inside the window, a small downward bias);
+* the detailed stretch's offset *rotates* within the period from one
+  sample to the next (a deterministic golden-ratio stride over the gap),
+  so windows cannot systematically alias with program periodicity -- a
+  workload whose slow phase recurs every N instructions would otherwise be
+  sampled always-in or always-out of it;
+* the steady-state IPC point estimate is the ratio estimator
+  ``sum(window instructions) / sum(window cycles)``;
+* the whole-run cycle estimate is *hybrid*: every detailed stretch
+  contributes its actual simulated cycles (so one-off transients such as
+  the cold-start ramp are charged once, at their true cost, instead of
+  being extrapolated), and only the fast-forwarded instructions are
+  extrapolated at the steady-state IPC;
+* the per-window IPC sample additionally yields a mean, standard deviation
+  and a normal-approximation 95% confidence interval, all recorded on the
+  :class:`~repro.pipeline.result.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from repro.bpred.btb import BranchTargetBuffer
+from repro.bpred.ras import ReturnAddressStack
+from repro.common.history import HistoryCheckpoint, PathHistory, ShiftHistory
+from repro.isa.functional import FunctionalCore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core
+from repro.pipeline.result import SimulationResult
+from repro.pipeline.snapshot import CoreSnapshot
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Geometry of the two-speed schedule.
+
+    Every ``period`` retired micro-ops, ``warmup + window + cooldown`` of
+    them are simulated in detail (only the ``window`` portion is measured)
+    and the rest are fast-forwarded functionally.  ``period == warmup +
+    window + cooldown`` degenerates to full detailed simulation in
+    windowed form (useful for validating the snapshot machinery).
+    """
+
+    period: int = 50_000
+    window: int = 2_000
+    warmup: int = 500
+    #: Detailed micro-ops simulated *after* the window so its last commit is
+    #: measured mid-stream instead of on a pipeline drain.  Should cover the
+    #: ROB plus the front-end queue of the measured machine.
+    cooldown: int = 300
+    #: Functionally warm long-lived state (caches, prefetcher, DRAM rows,
+    #: BTB, RAS, branch/path history) during the fast-forward gaps.
+    #: Without warming, every window opens on state frozen at the previous
+    #: window's end and memory-bound workloads are systematically
+    #: under-estimated.
+    warm_gaps: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("sampling window must be >= 1 instruction")
+        if self.warmup < 0 or self.cooldown < 0:
+            raise ValueError("sampling warmup and cooldown must be >= 0")
+        if self.period < self.warmup + self.window + self.cooldown:
+            raise ValueError(
+                f"sampling period ({self.period}) must cover warmup + window "
+                f"+ cooldown ({self.warmup} + {self.window} + {self.cooldown})")
+
+    @property
+    def detailed_per_period(self) -> int:
+        """Micro-ops simulated in detail per period (warmup + window + cooldown)."""
+        return self.warmup + self.window + self.cooldown
+
+    @property
+    def detailed_fraction(self) -> float:
+        """Fraction of retired micro-ops that go through the cycle-level core."""
+        return self.detailed_per_period / self.period
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable knob summary (recorded in sweep artifacts)."""
+        return {"period": self.period, "window": self.window,
+                "warmup": self.warmup, "cooldown": self.cooldown}
+
+
+#: Per-window statistics that must not be summed across windows when
+#: aggregating: occupancy peaks take the maximum, storage figures are
+#: configuration constants, and ratio/mean statistics are re-derived or
+#: averaged.  Everything else is an additive event counter.
+_MEAN_SUFFIXES = ("_rate", "_fraction", "_mean_distance")
+_CONSTANT_SUFFIXES = ("storage_bits", "checkpoint_bits")
+
+
+def _aggregate_stats(window_results: list[SimulationResult]) -> dict[str, float]:
+    """Combine per-window statistics dictionaries into whole-run statistics."""
+    totals: dict[str, float] = {}
+    means: dict[str, list[float]] = {}
+    for result in window_results:
+        for key, value in result.stats.items():
+            if key == "first_commit_cycle":
+                continue  # window-local ramp measurement, meaningless summed
+            if "peak_occupancy" in key:
+                totals[key] = max(totals.get(key, 0), value)
+            elif key.endswith(_CONSTANT_SUFFIXES):
+                totals[key] = value
+            elif key.endswith(_MEAN_SUFFIXES):
+                means.setdefault(key, []).append(value)
+            else:
+                totals[key] = totals.get(key, 0) + value
+    for key, values in means.items():
+        totals[key] = sum(values) / len(values)
+    # Ratios with both parts summed are re-derived exactly.
+    if totals.get("mem_l1d_accesses"):
+        totals["mem_l1d_miss_rate"] = totals["mem_l1d_misses"] / totals["mem_l1d_accesses"]
+    if totals.get("committed_loads"):
+        totals["bypassed_load_fraction"] = (
+            totals.get("committed_bypassed_loads", 0) / totals["committed_loads"])
+    return totals
+
+
+class _GapWarmer:
+    """SMARTS-style functional warming of long-lived state across fast-forward gaps.
+
+    Holds its own instances of the structures whose useful history is much
+    longer than a window warmup can rebuild -- the cache hierarchy (tags,
+    LRU, dirty bits), the stride prefetcher, DRAM open rows, the BTB, the
+    RAS and the global branch/path history registers.  Between two detailed
+    windows it is (1) loaded from the previous window's snapshot,
+    (2) trained by the :class:`~repro.isa.functional.FunctionalCore`
+    fast-forward hooks, and (3) patched back into the snapshot the next
+    window resumes from.
+
+    The TAGE branch predictor and the SMB distance predictor are *not*
+    warmed (their per-branch training is as expensive as detailed
+    simulation in this model); their shorter-lived accuracy is rebuilt by
+    each window's detailed warmup, which is the standard sampled-simulation
+    compromise.
+    """
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.memory = MemoryHierarchy(config.memory)
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_ways)
+        self.ras = ReturnAddressStack(config.ras_depth)
+        self.history = ShiftHistory(max_bits=256)
+        self.path = PathHistory(max_bits=32)
+
+    # -- snapshot plumbing --------------------------------------------------------
+
+    def load_from(self, snap: CoreSnapshot) -> None:
+        """Adopt the warm state of a window-boundary snapshot."""
+        self.memory.restore_snapshot(snap.memory, now=0)
+        self.btb.restore_snapshot(snap.btb)
+        self.ras.restore_snapshot(snap.ras)
+        self.history.restore(HistoryCheckpoint(snap.history, self.history.max_bits))
+        self.path.restore(HistoryCheckpoint(snap.path, self.path.max_bits))
+
+    def patch(self, snap: CoreSnapshot) -> CoreSnapshot:
+        """Return ``snap`` with the warmed structures substituted in."""
+        return dataclasses.replace(
+            snap,
+            memory=self.memory.to_snapshot(0),
+            btb=self.btb.to_snapshot(),
+            ras=self.ras.to_snapshot(),
+            history=self.history.value,
+            path=self.path.value,
+        )
+
+    # -- FunctionalCore warming hooks ---------------------------------------------
+
+    def load(self, pc: int, address: int) -> None:
+        self.memory.warm_data(address, False, pc)
+
+    def store(self, pc: int, address: int) -> None:
+        self.memory.warm_data(address, True, pc)
+
+    def cond(self, pc: int, taken: bool, target_pc: int) -> None:
+        self.history.push(taken)
+        self.path.push(pc)
+        if taken and self.btb.lookup(pc) != target_pc:
+            self.btb.update(pc, target_pc)
+
+    def jump(self, pc: int, target_pc: int) -> None:
+        self.path.push(pc)
+        if self.btb.lookup(pc) != target_pc:
+            self.btb.update(pc, target_pc)
+
+    def call(self, pc: int, target_pc: int) -> None:
+        self.path.push(pc)
+        self.ras.push(pc + 4)
+        if self.btb.lookup(pc) != target_pc:
+            self.btb.update(pc, target_pc)
+
+    def ret(self, pc: int) -> None:
+        self.path.push(pc)
+        self.ras.pop()
+
+
+class SampledSimulator:
+    """Two-speed driver: fast-forward between warm detailed windows."""
+
+    def __init__(self, config: CoreConfig | None = None,
+                 sampling: SamplingConfig | None = None) -> None:
+        self.config = config or CoreConfig()
+        self.sampling = sampling or SamplingConfig()
+
+    # -- entry points -------------------------------------------------------------
+
+    def run_workload(self, workload: str, max_ops: int = 1_000_000,
+                     seed: int = 1) -> SimulationResult:
+        """Build ``workload`` and run it sampled for ``max_ops`` micro-ops.
+
+        Unlike the full-detail path, sampled simulation never materialises
+        the whole dynamic trace (that is the point), so the experiment
+        harness's trace cache/provider machinery is bypassed.
+        """
+        from repro.workloads import build_workload
+
+        image = build_workload(workload, seed=seed)
+        return self.run_image(image, workload, max_ops)
+
+    def run_image(self, image, name: str, max_ops: int) -> SimulationResult:
+        """Run a :class:`~repro.workloads.base.WorkloadImage` under sampling."""
+        if max_ops < 1:
+            raise ValueError("max_ops must be >= 1")
+        sampling = self.sampling
+        warmer = _GapWarmer(self.config) if sampling.warm_gaps else None
+        fcore = FunctionalCore.from_image(image, warmer=warmer)
+        core = Core(self.config)
+        snap = None
+        # One (window instructions, window cycles, detailed-run result)
+        # triple per completed window.
+        windows: list[tuple[int, int, SimulationResult]] = []
+        warmup_ops = 0
+        cooldown_ops = 0
+        fastforwarded = 0
+        detailed_cycles_extra = 0  # cycles of warmup-only tail runs
+
+        gap = sampling.period - sampling.detailed_per_period
+        # Golden-ratio rotation of the detailed stretch inside the period
+        # (see the module docstring): deterministic, near-uniform offsets.
+        offset_stride = max(int(gap * 0.6180339887), 1) if gap > 0 else 0
+
+        def fast_forward_warmed(count: int) -> int:
+            nonlocal snap
+            if count <= 0:
+                return 0
+            if warmer is not None and snap is not None:
+                warmer.load_from(snap)
+            skipped = fcore.fast_forward(count)
+            if warmer is not None and snap is not None:
+                snap = warmer.patch(snap)
+            return skipped
+
+        while fcore.retired < max_ops and not fcore.halted:
+            remaining = max_ops - fcore.retired
+            if gap > 0:
+                pre_skip = (len(windows) * offset_stride) % (gap + 1)
+                fastforwarded += fast_forward_warmed(min(pre_skip, remaining))
+                if fcore.halted:
+                    break
+                remaining = max_ops - fcore.retired
+            warm_ops = min(sampling.warmup, remaining)
+            if remaining - warm_ops == 0:
+                # Tail shorter than a warmup: nothing measurable, skip it.
+                fastforwarded += fast_forward_warmed(remaining)
+                break
+            measure_ops = min(sampling.window, remaining - warm_ops)
+            cool_ops = min(sampling.cooldown, remaining - warm_ops - measure_ops)
+            trace = fcore.record(warm_ops + measure_ops + cool_ops,
+                                 name=f"{name}#w{len(windows)}")
+            if len(trace) <= warm_ops:  # halted inside the warmup
+                warmup_ops += len(trace)
+                if len(trace):
+                    tail_result = core.run(trace, resume=snap)
+                    detailed_cycles_extra += tail_result.cycles
+                    snap = core.snapshot()
+                break
+            measure_ops = min(measure_ops, len(trace) - warm_ops)
+            window_end = warm_ops + measure_ops
+            milestones = [commit for commit in (warm_ops, window_end) if commit]
+            result = core.run(trace, resume=snap, commit_milestones=milestones)
+            snap = core.snapshot()
+            # With no warmup the window includes the pipeline-fill ramp;
+            # when the trace ends at the window (no cooldown ops recorded)
+            # it includes the end-of-run drain.
+            start = core.milestone_cycles.get(warm_ops, 0) if warm_ops else 0
+            end = core.milestone_cycles.get(window_end, result.cycles)
+            window_cycles = max(end - start, 1)
+            windows.append((measure_ops, window_cycles, result))
+            warmup_ops += warm_ops
+            cooldown_ops += len(trace) - warm_ops - measure_ops
+            post_skip = gap - (pre_skip if gap > 0 else 0)
+            fastforwarded += fast_forward_warmed(
+                min(post_skip, max_ops - fcore.retired))
+
+        if not windows:
+            if fcore.halted:
+                raise ValueError(
+                    f"workload {name!r} halted after {fcore.retired} micro-ops, "
+                    "before the first detailed window completed")
+            raise ValueError(
+                f"max_ops={max_ops} leaves no room for a measured window "
+                f"(sampling warmup is {sampling.warmup}); raise max_ops or "
+                "shrink the warmup")
+        return self._aggregate(name, fcore.retired, windows, warmup_ops,
+                               cooldown_ops, fastforwarded, detailed_cycles_extra)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def _aggregate(self, name: str, retired: int,
+                   windows: list[tuple[int, int, SimulationResult]],
+                   warmup_ops: int, cooldown_ops: int, fastforwarded: int,
+                   detailed_cycles_extra: int) -> SimulationResult:
+        sampling = self.sampling
+        measured_ops = sum(instructions for instructions, _, _ in windows)
+        detailed_cycles = (sum(result.cycles for _, _, result in windows)
+                           + detailed_cycles_extra)
+        window_cycles_total = sum(cycles for _, cycles, _ in windows)
+        ipc_estimate = measured_ops / window_cycles_total
+        window_ipcs = [instructions / cycles for instructions, cycles, _ in windows]
+        count = len(window_ipcs)
+        mean = sum(window_ipcs) / count
+        if count > 1:
+            variance = sum((ipc - mean) ** 2 for ipc in window_ipcs) / (count - 1)
+            std = math.sqrt(variance)
+        else:
+            std = 0.0
+        ci95 = 1.96 * std / math.sqrt(count)
+
+        stats = _aggregate_stats([result for _, _, result in windows])
+        stats.update({
+            "sampling_windows": count,
+            "sampling_period": sampling.period,
+            "sampling_window": sampling.window,
+            "sampling_warmup": sampling.warmup,
+            "sampled_instructions": measured_ops,
+            "sampled_window_cycles": window_cycles_total,
+            "sampled_detailed_cycles": detailed_cycles,
+            "warmup_instructions": warmup_ops,
+            "cooldown_instructions": cooldown_ops,
+            "fastforwarded_instructions": fastforwarded,
+            "sampling_ipc_estimate": ipc_estimate,
+            "sampling_ipc_mean": mean,
+            "sampling_ipc_std": std,
+            "sampling_ipc_ci95_low": mean - ci95,
+            "sampling_ipc_ci95_high": mean + ci95,
+        })
+        # Hybrid extrapolation: detailed stretches at their actual cost,
+        # fast-forwarded instructions at the measured steady-state IPC.
+        estimated_cycles = max(
+            detailed_cycles + round(fastforwarded / ipc_estimate), 1)
+        return SimulationResult(
+            workload=name,
+            config_label=self.config.label(),
+            cycles=estimated_cycles,
+            instructions=retired,
+            stats=stats,
+        )
+
+
+def simulate_sampled(workload: str, config: CoreConfig | None = None,
+                     sampling: SamplingConfig | None = None,
+                     max_ops: int = 1_000_000, seed: int = 1) -> SimulationResult:
+    """One-call sampled simulation of a registered workload."""
+    return SampledSimulator(config, sampling).run_workload(
+        workload, max_ops=max_ops, seed=seed)

@@ -69,6 +69,18 @@ class RenameMap:
         """The set of physical registers currently referenced by the map."""
         return {preg for preg in self._map if preg >= 0}
 
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> list[int]:
+        """Serialise the mappings (flat architectural index -> preg)."""
+        return list(self._map)
+
+    def restore_snapshot(self, snapshot: list[int]) -> None:
+        """Overwrite all mappings with a :meth:`to_snapshot` image (in place)."""
+        if len(snapshot) != self.num_arch_regs:
+            raise ValueError("rename map snapshot size does not match this map")
+        self._map[:] = snapshot
+
     def __repr__(self) -> str:
         return f"RenameMap({self._map})"
 
@@ -145,6 +157,29 @@ class FreeList:
     def restore_to_committed(self) -> None:
         """Commit-time flush: the speculative list becomes the committed image."""
         self._free = deque(sorted(self._committed_free))
+
+    # -- snapshot / restore (two-speed simulation) ----------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise both free images, preserving the speculative allocation order.
+
+        The order of the speculative deque matters: it determines which
+        physical register the next rename receives, so restoring it exactly
+        is what makes a resumed window bit-identical to a continuing core.
+        """
+        return {
+            "free": list(self._free),
+            "committed_free": sorted(self._committed_free),
+        }
+
+    def restore_snapshot(self, snapshot: dict) -> None:
+        """Overwrite both free images with a :meth:`to_snapshot` image."""
+        for preg in snapshot["free"]:
+            if not self.contains(preg):
+                raise ValueError(
+                    f"free-list snapshot register {preg} outside this class's range")
+        self._free = deque(snapshot["free"])
+        self._committed_free = set(snapshot["committed_free"])
 
     # -- introspection ------------------------------------------------------------
 

@@ -324,3 +324,50 @@ def build_stride_stream(seed: int) -> WorkloadImage:
         initial_memory={**_random_table(rng, _A_BASE, 2048),
                         **_random_table(rng, _B_BASE, 2048)},
     )
+
+
+@register_workload(
+    "long_stride_drift",
+    category="fp",
+    description="long-horizon streaming kernel whose stride drifts every "
+                "~300k micro-ops (prefetcher must retrain per epoch)",
+    spec_analog="milc / soplex input-dependent access-pattern drift",
+)
+def build_long_stride_drift(seed: int) -> WorkloadImage:
+    """Long-horizon FP workload: the access pattern itself is time-varying.
+
+    The high bits of the loop counter pick the stride shift (8 to 64 bytes)
+    used to walk a 1MB window, so every 32768 iterations (about 300k
+    micro-ops) the stride prefetcher faces a different pattern and a
+    different effective footprint.  Short runs measure exactly one epoch;
+    only >=1M-op runs -- tractable under sampling -- see the drift the
+    workload exists to model.
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder("long_stride_drift")
+    r, f = int_reg, fp_reg
+
+    out_base = int_reg(9)
+    builder.movi(out_base, _SPILL_BASE)
+    builder.movi(r(8), 0)
+    builder.i2f(f(0), r(8))                              # running sum
+    _loop_prologue(builder)
+    builder.label("loop")
+    builder.shri(r(1), _LOOP_COUNTER, 15)                # epoch every 32768 iters
+    builder.andi(r(1), r(1), 3)
+    builder.addi(r(1), r(1), 3)                          # stride shift 3..6
+    builder.shl(r(2), _LOOP_COUNTER, r(1))
+    builder.andi(r(2), r(2), 0xF_FFF8)                   # 1MB window
+    builder.fload(f(1), base=_ARRAY_A, index=r(2), offset=0)
+    builder.fadd(f(0), f(0), f(1))
+    builder.fload(f(2), base=_ARRAY_B, index=r(2), offset=0)
+    builder.fmul(f(3), f(1), f(2))
+    builder.andi(r(3), _LOOP_COUNTER, 0x3FF8)            # 16KB output window
+    builder.fstore(f(3), base=out_base, index=r(3), offset=0)
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory={**_random_table(rng, _A_BASE, 1024),
+                        **_random_table(rng, _B_BASE, 1024)},
+    )

@@ -660,3 +660,71 @@ def build_call_ret(seed: int) -> WorkloadImage:
         program=builder.build(),
         initial_memory=_random_table(rng, _HEAP_BASE, 1024),
     )
+
+
+@register_workload(
+    "long_phase_mix",
+    category="int",
+    description="long-horizon two-phase kernel (random gather vs. spill-heavy "
+                "stream) switching every ~200k micro-ops",
+    spec_analog="gcc / mcf whole-program phase behaviour (SimPoint-scale phases)",
+)
+def build_long_phase_mix(seed: int) -> WorkloadImage:
+    """Long-horizon integer workload: behaviour changes at the 100k+ op scale.
+
+    The high bits of the loop counter select between two phases: phase A
+    scatters LCG-driven gather loads over a 1MB footprint (cache- and
+    DRAM-bound, nothing to prefetch), phase B runs a dense
+    eliminable-move/spill/reload stream over a 16KB window (core-bound,
+    sharing-friendly).  Each phase lasts 16384 iterations (about 230k
+    micro-ops), so a 20k-op run sees only phase A while a >=1M-op run
+    alternates through both -- the behaviour the two-speed sampled engine
+    exists to make tractable.
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder("long_phase_mix")
+    r = int_reg
+
+    builder.movi(_BASE_PTR, _HEAP_BASE)
+    builder.movi(_STACK_PTR, _STACK_BASE)
+    builder.movi(_LCG_STATE, rng.getrandbits(31) | 1)
+    builder.movi(r(9), 48271)
+    _loop_prologue(builder)
+    builder.label("loop")
+    builder.shri(r(4), _LOOP_COUNTER, 14)       # phase bit flips every 16384 iters
+    builder.andi(r(4), r(4), 1)
+    builder.bnz(r(4), "phase_b")
+
+    # Phase A: LCG gather over a 1MB window; addresses resolve late.
+    for _ in range(2):
+        _lcg_step(builder, r(9))
+        builder.shri(r(1), _LCG_STATE, 30)
+        builder.andi(r(1), r(1), 0xF_FFF8)      # 1MB gather window
+        builder.load(r(2), base=_BASE_PTR, index=r(1), offset=0)
+        builder.mov(r(3), r(2))                 # eliminable move
+        builder.addi(r(3), r(3), 1)
+        builder.andi(r(5), _LOOP_COUNTER, 0x3FF8)
+        builder.store(r(3), base=_STACK_PTR, index=r(5), offset=0)
+    builder.jmp("join")
+
+    # Phase B: dense moves plus a short spill/reload (STLF) chain in 16KB.
+    builder.label("phase_b")
+    builder.andi(r(1), _LOOP_COUNTER, 0x3FF8)
+    builder.load(r(2), base=_STACK_PTR, index=r(1), offset=0)
+    builder.mov(r(6), r(2))                     # eliminable move
+    builder.addi(r(6), r(6), 3)
+    builder.store(r(6), base=_STACK_PTR, offset=0x7F00)   # short spill
+    builder.mov(r(7), r(6))                     # eliminable move
+    builder.shri(r(7), r(7), 2)
+    builder.load(r(8), base=_STACK_PTR, offset=0x7F00)    # reload (STLF pair)
+    builder.add(r(8), r(8), r(7))
+    builder.store(r(8), base=_STACK_PTR, index=r(1), offset=0)
+
+    builder.label("join")
+    builder.nop()
+    _loop_epilogue(builder, "loop")
+
+    return WorkloadImage(
+        program=builder.build(),
+        initial_memory=_random_table(rng, _HEAP_BASE, 1024),
+    )

@@ -14,6 +14,7 @@ from repro.bench import (
     run_benchmarks,
 )
 from repro.experiments.cli import main
+from repro.pipeline.sampling import SamplingConfig
 
 TINY = BenchConfig(
     workloads=("move_chain",),
@@ -23,7 +24,17 @@ TINY = BenchConfig(
     sweep=True,
     sweep_workloads=("move_chain",),
     sweep_schemes=("isrb",),
+    ff_max_ops=600,
+    sampled_workloads=("move_chain",),
+    sampled_max_ops=600,
+    sampling=SamplingConfig(period=200, window=60, warmup=50, cooldown=40),
+    long_workloads=(),
 )
+
+#: CLI flags shared by the bench CLI tests: skip the expensive default-suite
+#: sampled and >=1M-op long tiers.
+TINY_CLI = ("--max-ops", "300", "--repeat", "1", "--no-sweep",
+            "--no-sampled", "--no-long")
 
 
 class FakeClock:
@@ -83,7 +94,24 @@ def test_suite_produces_all_tiers(tiny_report):
     assert "trace_gen/move_chain" in names
     assert "sim/baseline/move_chain" in names
     assert "sim/isrb/move_chain" in names
+    assert "ff/move_chain" in names
+    assert "sampled/move_chain" in names
     assert "sweep/small" in names
+
+
+def test_sampled_tier_records_accuracy_and_speedup(tiny_report):
+    by_name = {result.name: result for result in tiny_report.results}
+    ff = by_name["ff/move_chain"]
+    assert ff.ops == TINY.ff_max_ops
+    sampled = by_name["sampled/move_chain"]
+    assert sampled.ops == TINY.sampled_max_ops
+    assert sampled.cycles and sampled.cycles > 0
+    for key in ("ipc_full", "ipc_sampled", "ipc_ratio", "speedup", "windows"):
+        assert sampled.detail[key] > 0, key
+    summary = tiny_report.summary()
+    assert summary["ff_ops_per_sec_geomean"] > 0
+    assert summary["sampled_ipc_ratio_geomean"] > 0
+    assert summary["sampled_speedup_geomean"] > 0
 
 
 def test_suite_counts_real_work(tiny_report):
@@ -193,8 +221,7 @@ def test_compare_validates_tolerance():
 def test_cli_bench_writes_artifact(tmp_path, capsys):
     out = tmp_path / "BENCH_core.json"
     code = main(["bench", "--workloads", "move_chain", "--schemes", "baseline",
-                 "--max-ops", "300", "--repeat", "1", "--no-sweep",
-                 "--quiet", "--out", str(out)])
+                 *TINY_CLI, "--quiet", "--out", str(out)])
     assert code == 0
     data = json.loads(out.read_text())
     assert data["summary"]["sim_ops_per_sec_geomean"] > 0
@@ -206,8 +233,7 @@ def test_cli_bench_smoke_gate_detects_fast_baseline(tmp_path):
     """A baseline claiming absurd throughput must fail the smoke gate."""
     out = tmp_path / "bench.json"
     code = main(["bench", "--workloads", "move_chain", "--schemes", "baseline",
-                 "--max-ops", "300", "--repeat", "1", "--no-sweep", "--quiet",
-                 "--out", str(out)])
+                 *TINY_CLI, "--quiet", "--out", str(out)])
     assert code == 0
     data = json.loads(out.read_text())
     for row in data["results"]:  # pretend the committed baseline was 1000x faster
@@ -215,15 +241,14 @@ def test_cli_bench_smoke_gate_detects_fast_baseline(tmp_path):
     impossible = tmp_path / "impossible.json"
     impossible.write_text(json.dumps(data))
     code = main(["bench", "--workloads", "move_chain", "--schemes", "baseline",
-                 "--max-ops", "300", "--repeat", "1", "--no-sweep", "--quiet",
-                 "--out", "", "--baseline", str(impossible)])
+                 *TINY_CLI, "--quiet", "--out", "", "--baseline", str(impossible)])
     assert code == 1
 
 
 def test_cli_bench_gate_passes_against_own_output(tmp_path):
     out = tmp_path / "bench.json"
     args = ["bench", "--workloads", "move_chain", "--schemes", "baseline",
-            "--max-ops", "300", "--repeat", "1", "--no-sweep", "--quiet"]
+            *TINY_CLI, "--quiet"]
     assert main([*args, "--out", str(out)]) == 0
     # Same machine, same suite, generous tolerance: must pass.
     assert main([*args, "--out", "", "--baseline", str(out),
@@ -233,7 +258,7 @@ def test_cli_bench_gate_passes_against_own_output(tmp_path):
 def test_cli_bench_never_clobbers_the_baseline_it_gates_against(tmp_path, capsys):
     """`--out X --baseline X` must not overwrite X and then pass trivially."""
     args = ["bench", "--workloads", "move_chain", "--schemes", "baseline",
-            "--max-ops", "300", "--repeat", "1", "--no-sweep", "--quiet"]
+            *TINY_CLI, "--quiet"]
     baseline = tmp_path / "BENCH_core.json"
     assert main([*args, "--out", str(baseline)]) == 0
     # Make the committed baseline impossibly fast: the gate must FAIL even
@@ -251,7 +276,7 @@ def test_cli_bench_never_clobbers_the_baseline_it_gates_against(tmp_path, capsys
 
 def test_cli_bench_check_compares_two_artifacts_without_running(tmp_path):
     args = ["bench", "--workloads", "move_chain", "--schemes", "baseline",
-            "--max-ops", "300", "--repeat", "1", "--no-sweep", "--quiet"]
+            *TINY_CLI, "--quiet"]
     head = tmp_path / "head.json"
     assert main([*args, "--out", str(head)]) == 0
     # Same artifact against itself: identical rates, gate passes.

@@ -1,0 +1,211 @@
+"""Unit tests for the front-end predictors: TAGE, BTB and the RAS.
+
+The TAGE tests walk one branch through a scripted allocate/train sequence
+on a small two-component predictor and assert each intermediate prediction
+-- provider selection, the weak-entry alternate-prediction policy, the
+allocation-on-misprediction rule, and the useful-counter update rule
+(useful moves only when provider and alternate disagree).
+
+With 3-bit counters the weakly-taken threshold is 4; a freshly allocated
+not-taken entry starts at 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bpred.btb import BranchTargetBuffer
+from repro.bpred.ras import ReturnAddressStack
+from repro.bpred.tage import TageBranchPredictor, TageComponentConfig, TageConfig
+from repro.common.history import PathHistory, ShiftHistory
+
+PC = 0x40
+
+
+def _small_tage() -> TageBranchPredictor:
+    return TageBranchPredictor(TageConfig(
+        base_entries=16,
+        components=(TageComponentConfig(16, 8, 4), TageComponentConfig(16, 8, 8)),
+    ))
+
+
+def _fresh_histories() -> tuple[ShiftHistory, PathHistory]:
+    return ShiftHistory(max_bits=256), PathHistory(max_bits=32)
+
+
+# ---------------------------------------------------------------------------
+# TAGE worked example
+# ---------------------------------------------------------------------------
+
+
+def test_tage_worked_example_allocation_and_useful_bits():
+    predictor = _small_tage()
+    history, path = _fresh_histories()
+
+    # 1. Cold predictor: the base bimodal counter (4 = weakly taken) provides.
+    p1 = predictor.predict(PC, history, path)
+    assert (p1.provider, p1.taken, p1.weak) == (-1, True, True)
+
+    # 2. The branch is actually not taken: base trains down to 3 and the
+    #    misprediction allocates a not-taken (counter 3) entry in comp 0.
+    predictor.update(PC, False, p1)
+    assert predictor._base[p1.base_index] == 3
+    entry0 = predictor._tables[0][p1.indices[0]]
+    assert entry0.valid and entry0.tag == p1.tags[0]
+    assert (entry0.counter, entry0.useful) == (3, 0)
+
+    # 3. Comp 0 now provides, but a weak entry with useful == 0 defers to
+    #    the alternate prediction (the base table).
+    p2 = predictor.predict(PC, history, path)
+    assert (p2.provider, p2.alt_provider) == (0, -1)
+    assert p2.weak
+    assert p2.taken is False            # alt (base counter 3) says not taken
+    predictor.update(PC, False, p2)     # correct: comp0 3->2, weak trains base 3->2
+    assert entry0.counter == 2
+    assert predictor._base[p2.base_index] == 2
+
+    # 4. Strong-enough comp 0 entry mispredicts a taken flip: a taken entry
+    #    (counter 4) is allocated in the longer-history comp 1.
+    p3 = predictor.predict(PC, history, path)
+    assert (p3.provider, p3.taken, p3.weak) == (0, False, False)
+    predictor.update(PC, True, p3)
+    assert entry0.counter == 3
+    entry1 = predictor._tables[1][p3.indices[1]]
+    assert entry1.valid and (entry1.counter, entry1.useful) == (4, 0)
+
+    # 5. Comp 1 (longest history) now provides; it is freshly allocated and
+    #    weak, so the alternate (comp 0, counter 3 -> not taken) overrides.
+    p4 = predictor.predict(PC, history, path)
+    assert (p4.provider, p4.alt_provider) == (1, 0)
+    assert p4.taken is False
+    predictor.update(PC, True, p4)      # provider counter 4 -> 5
+    assert entry1.counter == 5
+
+    # 6. Comp 1 is strong now: prediction taken, alternate disagrees, and a
+    #    correct outcome finally moves the useful counter.
+    p5 = predictor.predict(PC, history, path)
+    assert (p5.provider, p5.taken, p5.weak) == (1, True, False)
+    assert p5.alt_taken is False
+    predictor.update(PC, True, p5)
+    assert entry1.useful == 1
+
+
+def test_tage_useful_counter_decrements_on_wrong_provider():
+    predictor = _small_tage()
+    history, path = _fresh_histories()
+    # Recreate the end state of the worked example: comp1 strong + useful=1.
+    for taken in (False, False, True, True, True):
+        prediction = predictor.predict(PC, history, path)
+        predictor.update(PC, taken, prediction)
+    prediction = predictor.predict(PC, history, path)
+    entry1 = predictor._tables[1][prediction.indices[1]]
+    assert entry1.useful == 1
+    # Provider says taken, alternate says not taken, outcome not taken:
+    # provider was wrong while differing from the alternate -> useful 1 -> 0.
+    predictor.update(PC, False, prediction)
+    assert entry1.useful == 0
+
+
+def test_tage_history_changes_component_indices():
+    predictor = _small_tage()
+    history, path = _fresh_histories()
+    p_before = predictor.predict(PC, history, path)
+    for outcome in (True, False, True, True):
+        history.push(outcome)
+        path.push(PC)
+    p_after = predictor.predict(PC, history, path)
+    assert p_before.base_index == p_after.base_index     # PC-indexed only
+    assert p_before.indices != p_after.indices           # history-hashed
+
+
+def test_tage_storage_matches_hand_sum():
+    predictor = _small_tage()
+    # base: 16 * 3; components: 16 * (8 + 3 + 2) each.
+    assert predictor.storage_bits() == 16 * 3 + 2 * 16 * 13
+
+
+def test_tage_snapshot_roundtrip_preserves_predictions():
+    predictor = _small_tage()
+    history, path = _fresh_histories()
+    for taken in (False, False, True, True, True):
+        prediction = predictor.predict(PC, history, path)
+        predictor.update(PC, taken, prediction)
+    restored = _small_tage()
+    restored.restore_snapshot(predictor.to_snapshot())
+    original = predictor.predict(PC, history, path)
+    clone = restored.predict(PC, history, path)
+    assert (original.taken, original.provider, original.weak) == \
+        (clone.taken, clone.provider, clone.weak)
+
+
+# ---------------------------------------------------------------------------
+# Branch target buffer
+# ---------------------------------------------------------------------------
+
+
+def test_btb_lru_replacement_within_a_set():
+    # 4 entries, 2 ways -> 2 sets; pcs 0, 8, 16 all map to set 0.
+    btb = BranchTargetBuffer(entries=4, ways=2)
+    btb.update(0, 100)
+    btb.update(8, 200)
+    assert btb.lookup(0) == 100        # refresh: LRU order now [8, 0]
+    btb.update(16, 300)                # evicts 8
+    assert btb.lookup(8) is None
+    assert btb.lookup(0) == 100
+    assert btb.lookup(16) == 300
+    assert (btb.hits, btb.misses) == (3, 1)
+
+
+def test_btb_update_refreshes_existing_entry():
+    btb = BranchTargetBuffer(entries=4, ways=2)
+    btb.update(0, 100)
+    btb.update(8, 200)
+    btb.update(0, 104)                 # re-update: new target, MRU position
+    btb.update(16, 300)                # must evict 8, not 0
+    assert btb.lookup(0) == 104
+    assert btb.lookup(8) is None
+
+
+def test_btb_validation():
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=5, ways=2)
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=0, ways=1)
+
+
+# ---------------------------------------------------------------------------
+# Return address stack
+# ---------------------------------------------------------------------------
+
+
+def test_ras_push_pop_lifo():
+    ras = ReturnAddressStack(depth=4)
+    ras.push(0x100)
+    ras.push(0x200)
+    assert ras.peek() == 0x200
+    assert ras.pop() == 0x200
+    assert ras.pop() == 0x100
+    assert len(ras) == 0
+
+
+def test_ras_overflow_drops_oldest():
+    ras = ReturnAddressStack(depth=2)
+    ras.push(0x100)
+    ras.push(0x200)
+    ras.push(0x300)                    # overflow: 0x100 is lost
+    assert ras.overflows == 1
+    assert ras.pop() == 0x300
+    assert ras.pop() == 0x200
+    assert ras.pop() is None           # 0x100 is gone -> underflow
+    assert ras.underflows == 1
+
+
+def test_ras_snapshot_roundtrip_and_depth_check():
+    ras = ReturnAddressStack(depth=4)
+    for address in (0x100, 0x200, 0x300):
+        ras.push(address)
+    restored = ReturnAddressStack(depth=4)
+    restored.restore_snapshot(ras.to_snapshot())
+    assert restored.pop() == 0x300 and restored.pop() == 0x200
+    with pytest.raises(ValueError):
+        ReturnAddressStack(depth=2).restore_snapshot([1, 2, 3])

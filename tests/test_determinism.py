@@ -65,6 +65,44 @@ def test_sweep_table_matches_golden_snapshot(small_spec):
     assert report.to_markdown() + "\n" == GOLDEN_SWEEP.read_text()
 
 
+@pytest.fixture(scope="module")
+def sampled_spec() -> SweepSpec:
+    return SweepSpec(
+        schemes=("isrb",),
+        workloads=("spill_reload", "move_chain"),
+        max_ops=3_000,
+        seed=1,
+        sample_period=1_000,
+        sample_window=300,
+        sample_warmup=200,
+    )
+
+
+def test_sampled_sweep_rerun_is_byte_identical(sampled_spec):
+    """Two-speed mode is as deterministic as full-detail replay."""
+    first = run_sweep(sampled_spec, workers=1, cache_dir=None)
+    second = run_sweep(sampled_spec, workers=1, cache_dir=None)
+    assert first.to_json() == second.to_json()
+    assert first.meta["sampling"] == {"period": 1_000, "window": 300,
+                                      "warmup": 200, "cooldown": 300}
+
+
+def test_sampled_sweep_pool_size_does_not_change_artifact(sampled_spec):
+    serial = run_sweep(sampled_spec, workers=1, cache_dir=None)
+    parallel = run_sweep(sampled_spec, workers=3, cache_dir=None)
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_sampled_sweep_ignores_trace_cache(sampled_spec, tmp_path):
+    """Sampled jobs never materialise traces, so a cache dir changes nothing."""
+    cache_dir = tmp_path / "c"
+    cached = run_sweep(sampled_spec, workers=1, cache_dir=str(cache_dir))
+    uncached = run_sweep(sampled_spec, workers=1, cache_dir=None)
+    assert cached.to_json() == uncached.to_json()
+    assert cached.cache_stats == {}
+    assert not cache_dir.exists() or not list(cache_dir.rglob("*.pkl"))
+
+
 def test_trace_generation_is_deterministic():
     from repro.workloads import generate_trace
 

@@ -1,0 +1,104 @@
+"""Unit tests for the Store Sets memory-dependence predictor.
+
+The training rules under test are the original proposal's assignment
+rules: a violating load/store pair with no sets allocates a fresh SSID for
+both; a pair where exactly one has a set pulls the other into it; a pair
+with two different sets merges towards the smaller SSID.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memdep.store_sets import StoreSetsConfig, StoreSetsPredictor
+
+LOAD_PC = 0x100
+STORE_PC = 0x200
+
+
+def test_unknown_load_predicted_independent():
+    predictor = StoreSetsPredictor()
+    assert predictor.lookup_load(LOAD_PC) is None
+    assert predictor.dependencies_predicted == 0
+
+
+def test_violation_creates_shared_set_and_dependence():
+    predictor = StoreSetsPredictor()
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    assert predictor.violations_trained == 1
+    # Both pcs now share SSID 0 (the first allocated identifier).
+    assert predictor._ssit[predictor._ssit_index(LOAD_PC)] == 0
+    assert predictor._ssit[predictor._ssit_index(STORE_PC)] == 0
+    # A renamed store of the set is returned to subsequent loads...
+    predictor.store_renamed(STORE_PC, store_seq=7)
+    assert predictor.lookup_load(LOAD_PC) == 7
+    assert predictor.dependencies_predicted == 1
+    # ...until it completes and leaves the LFST.
+    predictor.store_completed(STORE_PC, store_seq=7)
+    assert predictor.lookup_load(LOAD_PC) is None
+
+
+def test_same_set_stores_are_serialised():
+    predictor = StoreSetsPredictor()
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    assert predictor.store_renamed(STORE_PC, store_seq=10) is None
+    # The second store of the set must not bypass the first.
+    assert predictor.store_renamed(STORE_PC, store_seq=12) == 10
+    assert predictor.lookup_load(LOAD_PC) == 12
+
+
+def test_stale_store_completion_keeps_newer_lfst_entry():
+    predictor = StoreSetsPredictor()
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    predictor.store_renamed(STORE_PC, store_seq=10)
+    predictor.store_renamed(STORE_PC, store_seq=12)
+    predictor.store_completed(STORE_PC, store_seq=10)   # stale: 12 is current
+    assert predictor.lookup_load(LOAD_PC) == 12
+
+
+def test_assignment_rules_join_and_merge():
+    predictor = StoreSetsPredictor()
+    a_load, b_store = 0x100, 0x200
+    c_load, d_load, e_store = 0x300, 0x400, 0x500
+
+    predictor.train_violation(a_load, b_store)          # fresh set: SSID 0
+    predictor.train_violation(c_load, b_store)          # c joins b's set
+    assert predictor._ssit[predictor._ssit_index(c_load)] == 0
+
+    predictor.train_violation(d_load, e_store)          # fresh set: SSID 1
+    assert predictor._ssit[predictor._ssit_index(d_load)] == 1
+
+    predictor.train_violation(d_load, b_store)          # merge: min(1, 0) wins
+    assert predictor._ssit[predictor._ssit_index(d_load)] == 0
+    assert predictor._ssit[predictor._ssit_index(b_store)] == 0
+
+
+def test_cyclic_clearing_dissolves_stale_sets():
+    predictor = StoreSetsPredictor(StoreSetsConfig(clear_interval=5))
+    predictor.train_violation(LOAD_PC, STORE_PC)        # training does not tick
+    predictor.store_renamed(STORE_PC, store_seq=3)
+    for _ in range(4):
+        predictor.lookup_load(LOAD_PC)                  # 5th access clears
+    assert predictor._ssit == {}
+    assert predictor.lookup_load(LOAD_PC) is None
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        StoreSetsConfig(ssit_entries=0)
+    with pytest.raises(ValueError):
+        StoreSetsConfig(clear_interval=0)
+
+
+def test_snapshot_drops_lfst_but_keeps_sets():
+    predictor = StoreSetsPredictor()
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    predictor.store_renamed(STORE_PC, store_seq=42)     # in-flight store
+    restored = StoreSetsPredictor()
+    restored.restore_snapshot(predictor.to_snapshot())
+    # The set survives; the in-flight store (window-local seq) does not.
+    assert restored._ssit == predictor._ssit
+    assert restored.lookup_load(LOAD_PC) is None
+    # The SSID allocator continues where it left off.
+    restored.train_violation(0x600, 0x700)
+    assert restored._ssit[restored._ssit_index(0x600)] == 1

@@ -328,6 +328,93 @@ def test_zero_latency_config_still_drains():
     assert result.instructions == 500
 
 
+def _split_trace(trace, split):
+    """Split a trace into two stand-alone traces (window-local sequence numbers)."""
+    import dataclasses
+
+    from repro.isa.executor import Trace
+
+    first = Trace(name=f"{trace.name}.a", ops=list(trace.ops[:split]),
+                  program=trace.program)
+    second = Trace(
+        name=f"{trace.name}.b",
+        ops=[dataclasses.replace(op, seq=index)
+             for index, op in enumerate(trace.ops[split:])],
+        program=trace.program,
+    )
+    return first, second
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEME_CONFIGS))
+def test_snapshot_restore_resume_matches_uninterrupted(scheme):
+    """Snapshot -> restore -> resume is indistinguishable from continuing.
+
+    For every tracker scheme: run the first half of a random trace, take a
+    micro-architectural snapshot, then resume the second half twice -- once
+    in the *same* core object (which carries whatever state a buggy restore
+    would fail to overwrite) and once in a factory-fresh core.  Both must
+    commit identically (same cycles, same statistics) and end in states
+    with identical snapshot digests; any core state missed by the snapshot
+    API diverges the two runs and fails the digest comparison.  The
+    architectural half of the property (functional resume == uninterrupted
+    execution, pinned by the golden SHA-256 digests) lives in
+    ``test_differential.py``.
+    """
+    from repro.pipeline.core import Core
+
+    config = SCHEME_CONFIGS[scheme]
+    image = random_image(23)
+    trace = image.execute(max_ops=MAX_OPS)
+    first, second = _split_trace(trace, MAX_OPS // 2)
+
+    veteran = Core(config)
+    first_result = veteran.run(first)
+    assert first_result.instructions == len(first)
+    snapshot = veteran.snapshot()
+
+    fresh = Core(config)
+    resumed_fresh = fresh.run(second, resume=snapshot)
+    resumed_veteran = veteran.run(second, resume=snapshot)
+
+    assert resumed_fresh.cycles == resumed_veteran.cycles
+    assert resumed_fresh.instructions == len(second)
+    assert resumed_veteran.instructions == len(second)
+    assert resumed_fresh.stats == resumed_veteran.stats
+    assert fresh.snapshot().digest() == veteran.snapshot().digest()
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEME_CONFIGS))
+def test_snapshot_commits_full_trace_across_many_splits(scheme):
+    """Chained windows commit every micro-op under every tracker scheme.
+
+    This is the shape the sampled driver uses (run window, snapshot, run
+    the next window from the snapshot); it must never leak or double-free
+    physical registers -- with the lazy-reclaim configuration in the mix,
+    the pre-snapshot release walk is what keeps the free lists balanced.
+    """
+    import dataclasses
+
+    from repro.isa.executor import Trace
+    from repro.pipeline.core import Core
+
+    config = SCHEME_CONFIGS[scheme]
+    trace = random_image(47).execute(max_ops=MAX_OPS)
+    core = Core(config)
+    snapshot = None
+    committed = 0
+    for start in range(0, MAX_OPS, 300):
+        chunk = Trace(
+            name=f"chunk@{start}",
+            ops=[dataclasses.replace(op, seq=index)
+                 for index, op in enumerate(trace.ops[start:start + 300])],
+            program=trace.program,
+        )
+        result = core.run(chunk, resume=snapshot)
+        snapshot = core.snapshot()
+        committed += result.instructions
+    assert committed == MAX_OPS
+
+
 def test_free_list_rejects_double_free():
     """The double-allocation guard itself works (not just never fires)."""
     from repro.isa.registers import RegClass

@@ -1,0 +1,259 @@
+"""Tests for the two-speed engine: FunctionalCore, snapshots, SampledSimulator.
+
+The load-bearing contracts:
+
+* the compiled fast-forward path and the handler-based record path retire
+  bit-identical architectural state, and ``record`` produces micro-ops
+  field-identical to an uninterrupted :class:`Executor` run;
+* architectural snapshot -> restore -> resume equals uninterrupted
+  execution (digest equality);
+* the sampled driver retires exactly ``max_ops`` micro-ops, reports the
+  sampling statistics, and is fully deterministic;
+* the CLI flags reach the sampled path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.cli import main as cli_main
+from repro.isa.executor import ExecutionLimitExceeded, Executor
+from repro.isa.functional import FunctionalCore
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import int_reg
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core
+from repro.pipeline.sampling import SampledSimulator, SamplingConfig
+from repro.workloads import build_workload, generate_trace
+
+MAX_OPS = 4_000
+SAMPLING = SamplingConfig(period=1_000, window=300, warmup=200, cooldown=150)
+
+
+def _executor_for(image) -> Executor:
+    return Executor(image.program, initial_regs=image.initial_regs,
+                    initial_memory=image.initial_memory)
+
+
+# ---------------------------------------------------------------------------
+# FunctionalCore
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", ["move_chain", "deep_recursion", "fp_mixed"])
+def test_fast_forward_matches_executor_state(workload):
+    image = build_workload(workload, seed=1)
+    executor = _executor_for(image)
+    executor.run(max_ops=MAX_OPS)
+    core = FunctionalCore.from_image(image)
+    assert core.fast_forward(MAX_OPS) == MAX_OPS
+    assert core.retired == MAX_OPS
+    assert core.state_digest() == executor.state_digest()
+
+
+@pytest.mark.parametrize("workload", ["partial_moves", "stack_args", "fp_stencil"])
+def test_record_produces_executor_identical_micro_ops(workload):
+    image = build_workload(workload, seed=1)
+    reference = _executor_for(image).run(max_ops=MAX_OPS)
+    core = FunctionalCore.from_image(image)
+    position = 0
+    for chunk, mode in ((700, "ff"), (650, "record"), (900, "ff"), (800, "record")):
+        if mode == "ff":
+            assert core.fast_forward(chunk) == chunk
+        else:
+            window = core.record(chunk)
+            assert len(window) == chunk
+            for offset, op in enumerate(window.ops):
+                expected = dataclasses.replace(reference.ops[position + offset],
+                                               seq=offset)
+                assert op == expected
+        position += chunk
+    # Interleaving recording with fast-forward never perturbs the state.
+    assert core.state_digest() == _run_digest(image, position)
+
+
+def _run_digest(image, max_ops: int) -> str:
+    executor = _executor_for(image)
+    executor.run(max_ops=max_ops)
+    return executor.state_digest()
+
+
+def test_fast_forward_stops_at_halt():
+    builder = ProgramBuilder("finite")
+    r = int_reg
+    builder.movi(r(0), 3)
+    builder.label("loop")
+    builder.addi(r(0), r(0), -1)
+    builder.bnz(r(0), "loop")
+    builder.halt()
+    program = builder.build()
+    core = FunctionalCore(program)
+    retired = core.fast_forward(10_000)
+    assert core.halted and retired == 7          # movi + 3 x (addi, bnz)
+    assert core.fast_forward(10) == 0            # halted: nothing more
+    assert len(core.record(10)) == 0
+
+
+def test_fast_forward_raises_on_fall_off_end():
+    builder = ProgramBuilder("no_halt")
+    builder.addi(int_reg(0), int_reg(0), 1)
+    builder.halt()
+    program = builder.build()
+    program.instructions.pop()                   # surgically drop the halt
+    core = FunctionalCore(program)
+    with pytest.raises(ExecutionLimitExceeded):
+        core.fast_forward(10)
+
+
+def test_arch_snapshot_resume_equals_uninterrupted_run():
+    image = build_workload("hash_update", seed=1)
+    split = 1_700
+    first = FunctionalCore.from_image(image)
+    first.fast_forward(split)
+    snapshot = first.to_snapshot()
+    resumed = FunctionalCore.from_snapshot(image.program, snapshot)
+    assert resumed.retired == split
+    resumed.fast_forward(MAX_OPS - split)
+    assert resumed.state_digest() == _run_digest(image, MAX_OPS)
+    # The donor core is unaffected and can continue too.
+    first.fast_forward(MAX_OPS - split)
+    assert first.state_digest() == resumed.state_digest()
+
+
+def test_arch_snapshot_rejects_foreign_program():
+    image = build_workload("branchy", seed=1)
+    other = build_workload("move_chain", seed=1)
+    snapshot = FunctionalCore.from_image(image).to_snapshot()
+    with pytest.raises(ValueError, match="program"):
+        FunctionalCore.from_image(other).load_snapshot(snapshot)
+
+
+# ---------------------------------------------------------------------------
+# Core micro-architectural snapshots
+# ---------------------------------------------------------------------------
+
+
+def test_core_snapshot_digest_is_deterministic():
+    trace = generate_trace("spill_reload", max_ops=1_500, seed=1)
+    config = CoreConfig().with_move_elimination().with_smb()
+    core = Core(config)
+    core.run(trace)
+    assert core.snapshot().digest() == core.snapshot().digest()
+
+
+def test_core_snapshot_rejects_mismatched_machine():
+    trace = generate_trace("spill_reload", max_ops=1_000, seed=1)
+    config = CoreConfig().with_move_elimination().with_smb()
+    core = Core(config)
+    core.run(trace)
+    snapshot = core.snapshot()
+    other = Core(CoreConfig().with_tracker("refcount", entries=None))
+    with pytest.raises(ValueError, match="cannot be restored"):
+        other.run(trace, resume=snapshot)
+
+
+# ---------------------------------------------------------------------------
+# SamplingConfig / SampledSimulator
+# ---------------------------------------------------------------------------
+
+
+def test_sampling_config_validation():
+    with pytest.raises(ValueError):
+        SamplingConfig(period=100, window=0)
+    with pytest.raises(ValueError):
+        SamplingConfig(period=100, window=50, warmup=-1)
+    with pytest.raises(ValueError):
+        SamplingConfig(period=500, window=400, warmup=100, cooldown=100)
+    assert SamplingConfig(period=600, window=400, warmup=100,
+                          cooldown=100).detailed_fraction == 1.0
+
+
+def test_sampled_run_retires_exactly_max_ops():
+    config = CoreConfig().with_move_elimination().with_smb()
+    result = SampledSimulator(config, SAMPLING).run_workload(
+        "move_chain", max_ops=MAX_OPS, seed=1)
+    assert result.instructions == MAX_OPS
+    assert result.cycles > 0
+    assert result.stat("sampling_windows") == 4          # one per 1000-op period
+    detailed = (result.stat("sampled_instructions")
+                + result.stat("warmup_instructions")
+                + result.stat("cooldown_instructions"))
+    assert detailed + result.stat("fastforwarded_instructions") == MAX_OPS
+    assert result.stat("warmup_instructions") == 4 * SAMPLING.warmup
+    assert result.stat("cooldown_instructions") == 4 * SAMPLING.cooldown
+    assert result.stat("sampling_ipc_ci95_low") <= \
+        result.stat("sampling_ipc_mean") <= result.stat("sampling_ipc_ci95_high")
+
+
+def test_sampled_run_is_deterministic():
+    config = CoreConfig().with_move_elimination().with_smb()
+    first = SampledSimulator(config, SAMPLING).run_workload(
+        "spill_reload", max_ops=MAX_OPS, seed=1)
+    second = SampledSimulator(config, SAMPLING).run_workload(
+        "spill_reload", max_ops=MAX_OPS, seed=1)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_sampled_rejects_workload_that_halts_too_early():
+    builder = ProgramBuilder("tiny")
+    builder.addi(int_reg(0), int_reg(0), 1)
+    builder.halt()
+    from repro.workloads.base import WorkloadImage
+
+    image = WorkloadImage(program=builder.build())
+    simulator = SampledSimulator(CoreConfig(), SamplingConfig(
+        period=1_000, window=100, warmup=50, cooldown=50))
+    with pytest.raises(ValueError, match="halted"):
+        simulator.run_image(image, "tiny", max_ops=1_000)
+
+
+def test_sampled_rejects_budget_smaller_than_warmup():
+    """A too-small max_ops is diagnosed as a geometry problem, not a halt."""
+    simulator = SampledSimulator(CoreConfig(), SamplingConfig(
+        period=10_000, window=2_000, warmup=500))
+    with pytest.raises(ValueError, match="no room for a measured window"):
+        simulator.run_workload("move_chain", max_ops=400, seed=1)
+
+
+def test_full_detail_windowing_commits_everything():
+    """period == warmup + window + cooldown: every op goes through the core."""
+    config = CoreConfig().with_move_elimination().with_smb()
+    sampling = SamplingConfig(period=500, window=300, warmup=100, cooldown=100)
+    result = SampledSimulator(config, sampling).run_workload(
+        "load_load", max_ops=2_000, seed=1)
+    assert result.instructions == 2_000
+    assert result.stat("fastforwarded_instructions") == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_run_sampled(capsys):
+    code = cli_main(["run", "move_chain", "--max-ops", "4000",
+                     "--sample-period", "1000", "--sample-window", "300",
+                     "--warmup", "150"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sampled:" in out and "windows" in out
+
+
+def test_cli_run_sampled_rejects_bad_geometry(capsys):
+    code = cli_main(["run", "move_chain", "--sample-period", "100",
+                     "--sample-window", "4000"])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_sweep_sampled(tmp_path, capsys):
+    code = cli_main([
+        "sweep", "--schemes", "isrb", "--workloads", "move_chain",
+        "--max-ops", "3000", "--sample-period", "1000",
+        "--sample-window", "300", "--warmup", "200", "--quiet",
+        "--cache-dir", "", "--out-dir", str(tmp_path)])
+    assert code == 0
+    assert (tmp_path / "sweep.json").exists()
+    assert "move_chain" in capsys.readouterr().out
