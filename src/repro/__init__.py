@@ -55,7 +55,7 @@ from repro.pipeline.snapshot import CoreSnapshot
 from repro.pipeline.result import SimulationResult
 from repro.workloads import DEFAULT_SUITE, generate_trace, list_workloads
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

@@ -25,7 +25,7 @@ class InflightOp:
         "share_recorded", "bypass_producer", "bypass_value_matches", "smb_prediction",
         "store_set_wait_seq", "false_dependency", "stlf_forwarded",
         "needs_execution", "issued", "issue_cycle", "completed", "complete_cycle",
-        "fu_pool", "exec_latency",
+        "fu_pool", "exec_latency", "wait_count",
         "violation", "committed", "commit_cycle", "released",
     )
 
@@ -70,6 +70,9 @@ class InflightOp:
         # on and (for non-memory ops) its fixed execution latency.
         self.fu_pool = None
         self.exec_latency = 0
+        # Number of source registers still waiting for a producer writeback
+        # (maintained by the core's event-driven wakeup lists).
+        self.wait_count = 0
         # Commit state.
         self.violation = False
         self.committed = False

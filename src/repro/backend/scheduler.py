@@ -56,6 +56,24 @@ class FunctionalUnitPool:
             return True
         return any(busy <= cycle for busy in self._busy_until)
 
+    def next_free_cycle(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` at which one more operation could start.
+
+        Used by the event-driven run loop's next-event computation: a pool
+        must never *under*-report this bound (skipping past the true free
+        cycle would change timing), but reporting ``cycle`` itself is always
+        safe (the caller just re-evaluates).  Pipelined pools accept every
+        cycle once the per-cycle issue counter rolls over, so their bound is
+        at most the next cycle.
+        """
+        self._roll_cycle(cycle)
+        if self.pipelined:
+            return cycle if self._issued_this_cycle < self.count else cycle + 1
+        earliest = min(self._busy_until)
+        if earliest <= cycle:
+            return cycle if self._issued_this_cycle < self.count else cycle + 1
+        return earliest
+
     def accept(self, cycle: int, latency: int) -> None:
         """Reserve a unit for an operation of the given latency starting at ``cycle``."""
         self._roll_cycle(cycle)
@@ -109,49 +127,80 @@ class FunctionalUnits:
 
 
 class IssueQueue:
-    """A unified, age-ordered issue queue."""
+    """A unified, age-ordered issue queue.
 
-    __slots__ = ("capacity", "_entries", "peak_occupancy", "issued_total")
+    Occupancy is tracked by a live-entry counter (``_live``) rather than
+    the backing list's length: the core's event-driven scheduler accounts
+    for selections with :meth:`note_issued` and already-issued entries
+    linger in the list until an amortized compaction, so no per-cycle
+    rebuild of the whole queue is needed.  Every accessor that exposes the
+    entries themselves compacts first, preserving the historical "live
+    entries, oldest first" contract.
+    """
+
+    __slots__ = ("capacity", "_entries", "_live", "peak_occupancy", "issued_total")
 
     def __init__(self, capacity: int = 60) -> None:
         if capacity < 1:
             raise ValueError("issue queue capacity must be >= 1")
         self.capacity = capacity
         self._entries: list[InflightOp] = []
+        self._live = 0
         self.peak_occupancy = 0
         self.issued_total = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._live
 
     def is_full(self) -> bool:
         """``True`` when no instruction can be dispatched into the queue."""
-        return len(self._entries) >= self.capacity
+        return self._live >= self.capacity
 
     def free_slots(self) -> int:
         """Number of instructions that can still be dispatched."""
-        return self.capacity - len(self._entries)
+        return self.capacity - self._live
 
     def add(self, entry: InflightOp) -> None:
         """Dispatch an instruction into the queue."""
-        if self.is_full():
+        if self._live >= self.capacity:
             raise OverflowError("issue queue is full")
         self._entries.append(entry)
-        if len(self._entries) > self.peak_occupancy:
-            self.peak_occupancy = len(self._entries)
+        self._live += 1
+        if self._live > self.peak_occupancy:
+            self.peak_occupancy = self._live
+
+    def _compact(self) -> None:
+        self._entries = [entry for entry in self._entries if not entry.issued]
 
     def entries(self) -> list[InflightOp]:
         """The queued instructions, oldest first (the queue's own storage).
 
         Exposed for the pipeline's inlined issue scan; callers must not
         mutate the list directly -- they hand back the survivors through
-        :meth:`replace_entries`.
+        :meth:`replace_entries` (or account for external selections with
+        :meth:`note_issued`).
         """
+        if self._live != len(self._entries):
+            self._compact()
         return self._entries
+
+    def note_issued(self, issued: int) -> None:
+        """Account for entries an external scheduler issued out of the queue.
+
+        The issued entries stay in the backing list until more than half of
+        it is stale, when one compaction pass drops them -- amortized O(1)
+        per issue instead of a full rebuild per issuing cycle.
+        """
+        self._live -= issued
+        self.issued_total += issued
+        stale = len(self._entries) - self._live
+        if stale > self._live:
+            self._compact()
 
     def replace_entries(self, remaining: list[InflightOp], issued: int) -> None:
         """Install the post-selection queue contents and account for issues."""
         self._entries = remaining
+        self._live = len(remaining)
         self.issued_total += issued
 
     def remove(self, entries: list[InflightOp]) -> None:
@@ -159,11 +208,14 @@ class IssueQueue:
         if not entries:
             return
         doomed = set(id(entry) for entry in entries)
-        self._entries = [entry for entry in self._entries if id(entry) not in doomed]
+        self._entries = [entry for entry in self.entries()
+                         if id(entry) not in doomed]
+        self._live = len(self._entries)
 
     def clear(self) -> None:
         """Empty the queue (commit-stage flush)."""
         self._entries.clear()
+        self._live = 0
 
     def issue(self, cycle: int, issue_width: int,
               try_issue: Callable[[InflightOp], bool]) -> list[InflightOp]:
@@ -174,17 +226,18 @@ class IssueQueue:
         instructions leave the queue.
         """
         issued: list[InflightOp] = []
-        if not self._entries:
+        if not self._live:
             return issued
         remaining: list[InflightOp] = []
-        for entry in self._entries:
+        for entry in self.entries():
             if len(issued) < issue_width and try_issue(entry):
                 issued.append(entry)
             else:
                 remaining.append(entry)
         self._entries = remaining
+        self._live = len(remaining)
         self.issued_total += len(issued)
         return issued
 
     def __repr__(self) -> str:
-        return f"IssueQueue(capacity={self.capacity}, occupancy={len(self._entries)})"
+        return f"IssueQueue(capacity={self.capacity}, occupancy={self._live})"

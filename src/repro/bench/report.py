@@ -130,6 +130,12 @@ class BenchReport:
         sweeps = self.cases("sweep")
         if sweeps:
             out["sweep_jobs_per_sec"] = geomean(case.ops_per_sec for case in sweeps)
+        farm = self.cases("sweep_farm")
+        if farm:
+            out["sweep_farm_jobs_per_sec"] = geomean(case.ops_per_sec for case in farm)
+            speedups = [case.detail.get("speedup") for case in farm]
+            if all(speedups):
+                out["sweep_farm_speedup_geomean"] = geomean(speedups)
         return out
 
     def to_dict(self) -> dict:
@@ -166,9 +172,14 @@ class BenchReport:
         for result in self.results:
             cycles = (f"  {result.cycles_per_sec:12.0f} cyc/s"
                       if result.cycles_per_sec is not None else "")
+            extra = ""
+            if "events_per_cycle" in result.detail:
+                extra += f" epc={result.detail['events_per_cycle']:.2f}"
+            if "speedup" in result.detail:
+                extra += f" speedup={result.detail['speedup']:.2f}x"
             lines.append(f"{result.name:{width}s}  [{result.kind}] "
                          f"{result.ops_per_sec:12.1f} ops/s{cycles} "
-                         f" wall={result.wall_seconds:.3f}s")
+                         f" wall={result.wall_seconds:.3f}s{extra}")
         lines.append("")
         for key, value in sorted(self.summary().items()):
             lines.append(f"{key:32s} {value:12.1f}")

@@ -17,6 +17,10 @@ The suite has three tiers, mirroring where simulator time actually goes:
 * ``sampled_long/<workload>`` -- the long-horizon (>=1M micro-op)
   workloads that are only tractable under sampling, again with a one-shot
   full-detail reference for the speedup figure;
+* ``sweep_farm/<workload>`` -- a multi-scheme sampled sweep run with the
+  shared-warmup checkpoint farm and again with per-scheme independent
+  warming; the case detail records the wall-clock speedup (results are
+  identical by construction, and the tier verifies that);
 * ``sweep/small`` -- an end-to-end :func:`~repro.experiments.runner.run_sweep`
   over a tiny matrix (grid expansion + trace cache + in-process pool +
   report aggregation), measured in jobs/second.
@@ -88,6 +92,19 @@ class BenchConfig:
     long_workloads: tuple[str, ...] = ("long_phase_mix", "long_stride_drift")
     long_max_ops: int = 1_000_000
     long_sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    # -- the checkpoint-farm sweep tier ----------------------------------------------
+    #: A multi-scheme sampled sweep on one workload, run twice: with the
+    #: shared-warmup checkpoint farm and with per-scheme independent
+    #: warming.  The case detail records the wall-clock speedup (results
+    #: are identical by construction).  Deliberately not reduced by the
+    #: smoke preset, like the other sampled tiers, so the case stays
+    #: comparable between a smoke run and the committed BENCH_core.json.
+    farm_sweep: bool = True
+    farm_workload: str = "long_phase_mix"
+    farm_schemes: tuple[str, ...] = ("isrb", "refcount", "mit", "matrix")
+    farm_max_ops: int = 1_000_000
+    farm_sampling: SamplingConfig = field(default_factory=lambda: SamplingConfig(
+        period=250_000, window=800, warmup=250, cooldown=150))
 
     def __post_init__(self) -> None:
         if self.max_ops < 1 or self.ff_max_ops < 1 or self.sampled_max_ops < 1 \
@@ -97,11 +114,13 @@ class BenchConfig:
             raise ValueError("repeat must be >= 1")
         known = list_workloads()
         bad = [name for name in (*self.workloads, *self.sweep_workloads,
-                                 *self.sampled_workloads, *self.long_workloads)
+                                 *self.sampled_workloads, *self.long_workloads,
+                                 self.farm_workload)
                if name not in known]
         if bad:
             raise ValueError(f"unknown workload(s) {bad}; known: {known}")
-        bad = [name for name in (*self.schemes, *self.sweep_schemes)
+        bad = [name for name in (*self.schemes, *self.sweep_schemes,
+                                 *self.farm_schemes)
                if name != "baseline" and name not in SCHEME_PRESETS]
         if bad:
             raise ValueError(
@@ -203,7 +222,9 @@ def run_benchmarks(config: BenchConfig | None = None, clock=None,
             report.results.append(BenchResult(
                 name=name, kind="sim", ops=result.instructions, wall_seconds=wall,
                 cycles=result.cycles,
-                detail={"ipc": result.ipc, "variant": core_config.variant_name()}))
+                detail={"ipc": result.ipc, "variant": core_config.variant_name(),
+                        "skipped_cycles": result.stat("skipped_cycles"),
+                        "events_per_cycle": result.stat("events_per_cycle", 1.0)}))
 
     # Tier 3: the compiled functional fast-forward core (no trace, no ops).
     for workload in config.workloads:
@@ -258,7 +279,70 @@ def run_benchmarks(config: BenchConfig | None = None, clock=None,
                     "windows": sampled.stat("sampling_windows"),
                 }))
 
-    # Tier 6: a small end-to-end sweep (grid -> cache-less run -> report).
+    # Tier 6: the checkpoint-farm sweep -- one multi-scheme sampled sweep
+    # run both ways (shared warmup vs per-scheme independent warming), each
+    # timed once; the independent run is exactly the redundant work the
+    # farm removes, so its wall time is the honest denominator.
+    if config.farm_sweep:
+        name = f"sweep_farm/{config.farm_workload}"
+        if progress is not None:
+            progress(name)
+        farm_spec = SweepSpec(
+            schemes=config.farm_schemes,
+            workloads=(config.farm_workload,),
+            max_ops=config.farm_max_ops,
+            seed=config.seed,
+            sample_period=config.farm_sampling.period,
+            sample_window=config.farm_sampling.window,
+            sample_warmup=config.farm_sampling.warmup,
+            sample_cooldown=config.farm_sampling.cooldown,
+        )
+        # The two sides are timed in interleaved pairs (farm, independent,
+        # farm, independent, ...) so ambient load drift hits both equally
+        # and the reported ratio stays stable; each side keeps its best
+        # wall time, like every other repeated case.  Earlier tiers leave a
+        # large live heap (cached traces, sampled runs) whose GC scans tax
+        # the allocation-heavy planning pass disproportionately, so the
+        # pre-existing heap is frozen out of collection for the duration.
+        import gc
+
+        gc.collect()
+        gc.freeze()
+        try:
+            farm_wall = independent_wall = None
+            farm_report = independent_report = None
+            for _ in range(config.repeat):
+                wall, farm_report = timer.best_of(
+                    1, lambda: run_sweep(farm_spec, workers=1, cache_dir=None,
+                                         farm=True))
+                if farm_wall is None or wall < farm_wall:
+                    farm_wall = wall
+                wall, independent_report = timer.best_of(
+                    1, lambda: run_sweep(farm_spec, workers=1, cache_dir=None,
+                                         farm=False))
+                if independent_wall is None or wall < independent_wall:
+                    independent_wall = wall
+        finally:
+            gc.unfreeze()
+        if farm_report.to_markdown() != independent_report.to_markdown():
+            raise RuntimeError(
+                "checkpoint-farm sweep disagrees with independent warming; "
+                "the shared-warmup invariant is broken")
+        report.results.append(BenchResult(
+            name=name, kind="sweep_farm", ops=farm_spec.job_count(),
+            wall_seconds=farm_wall,
+            detail={
+                "speedup": independent_wall / farm_wall if farm_wall > 0 else 0.0,
+                "independent_wall_seconds": independent_wall,
+                "schemes": list(config.farm_schemes),
+                "failures": len(farm_report.failures),
+            }))
+        if farm_report.failures:
+            raise RuntimeError(
+                f"bench farm sweep had {len(farm_report.failures)} failed job(s): "
+                + ", ".join(f["job_id"] for f in farm_report.failures))
+
+    # Tier 7: a small end-to-end sweep (grid -> cache-less run -> report).
     if config.sweep:
         name = "sweep/small"
         if progress is not None:

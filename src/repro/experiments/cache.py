@@ -1,4 +1,4 @@
-"""On-disk trace cache.
+"""On-disk trace and sample-plan cache.
 
 Every job of a sweep that shares a workload replays the *identical* dynamic
 trace (traces are deterministic in ``(workload, max_ops, seed)``), so the
@@ -7,6 +7,14 @@ job.  :class:`TraceCache` materialises traces as pickle files under a cache
 directory; the sweep runner warms it in the parent process and the worker
 processes then read the trace from disk instead of re-executing the
 workload.
+
+Two-speed (sampled) sweeps cache :class:`~repro.pipeline.sampling
+.SamplePlan` objects the same way -- the checkpoint farm: one functional
+fast-forward + warming + window-recording pass per workload, shared by
+every tracker-scheme job of the sweep.  Plans are additionally keyed by the
+sampling geometry and the warm-relevant machine structure
+(:meth:`~repro.pipeline.config.CoreConfig.warm_signature`), because a plan
+is only executable on the machine family it was built for.
 
 The cache can also be *installed* as a global trace provider (see
 :func:`repro.workloads.install_trace_provider`), which makes every
@@ -29,6 +37,9 @@ from repro.workloads import build_workload, install_trace_provider
 #: v2: ``DynamicOp`` gained slots and precomputed classification fields.
 CACHE_FORMAT_VERSION = 2
 
+#: Bumped whenever the ``SamplePlan`` layout changes; stale files are rebuilt.
+PLAN_FORMAT_VERSION = 1
+
 
 @dataclass
 class CacheStats:
@@ -42,6 +53,20 @@ class CacheStats:
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "generated": self.generated, "invalid": self.invalid}
+
+
+def plan_cache_key(workload: str, max_ops: int, seed: int, simulator) -> str:
+    """Stable, filesystem-safe key for a checkpoint-farm sample plan.
+
+    ``simulator`` is the :class:`~repro.pipeline.sampling.SampledSimulator`
+    whose geometry and warm-relevant machine structure the plan must match.
+    """
+    sampling = simulator.sampling
+    warm = "w1" if sampling.warm_gaps else "w0"
+    return (f"{workload}__ops{max_ops}__seed{seed}"
+            f"__p{sampling.period}-{sampling.window}-{sampling.warmup}"
+            f"-{sampling.cooldown}-{warm}"
+            f"__m{simulator.config.warm_signature()}")
 
 
 class TraceCache:
@@ -133,6 +158,105 @@ class TraceCache:
         for workload, max_ops, seed in dict.fromkeys(keys):
             before = self.stats.generated
             self.get_or_generate(workload, max_ops, seed)
+            if self.stats.generated > before:
+                generated += 1
+            else:
+                reused += 1
+        return generated, reused
+
+    # -- sample plans (checkpoint farm) -----------------------------------------------
+
+    def plan_path(self, workload: str, max_ops: int, seed: int, simulator) -> Path:
+        """Path of the cached sample plan for one (workload, geometry, machine)."""
+        return self.root / (plan_cache_key(workload, max_ops, seed, simulator)
+                            + ".plan.pkl")
+
+    def get_plan(self, workload: str, max_ops: int, seed: int, simulator):
+        """Return the cached :class:`SamplePlan`, or ``None`` on a miss (counted)."""
+        path = self.plan_path(workload, max_ops, seed, simulator)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("version") != PLAN_FORMAT_VERSION
+                or payload.get("trace_version") != CACHE_FORMAT_VERSION
+                or payload.get("plan") is None):
+            # A plan embeds recorded Trace/DynamicOp objects, so a trace
+            # layout bump invalidates cached plans too.
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        plan = payload["plan"]
+        # The key encodes geometry and machine already; re-verify anyway so
+        # a stale or hand-copied file can never smuggle in a foreign plan.
+        if (plan.sampling != simulator.sampling_fingerprint()
+                or plan.warm_signature != simulator.config.warm_signature()):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return plan
+
+    def put_plan(self, workload: str, max_ops: int, seed: int, simulator,
+                 plan) -> Path:
+        """Atomically persist a sample plan under its key; returns the file path."""
+        path = self.plan_path(workload, max_ops, seed, simulator)
+        payload = {"version": PLAN_FORMAT_VERSION,
+                   "trace_version": CACHE_FORMAT_VERSION, "workload": workload,
+                   "max_ops": max_ops, "seed": seed, "plan": plan}
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_or_plan(self, workload: str, max_ops: int, seed: int, simulator):
+        """Read-through lookup: run the planning pass and persist on a miss."""
+        plan = self.get_plan(workload, max_ops, seed, simulator)
+        if plan is not None:
+            return plan
+        image = build_workload(workload, seed=seed)
+        plan = simulator.plan(image, workload, max_ops, workload=workload)
+        self.stats.generated += 1
+        self.put_plan(workload, max_ops, seed, simulator, plan)
+        return plan
+
+    def warm_plans(self, keys, simulator, lenient: bool = False) -> tuple[int, int]:
+        """Materialise the sample plan of every distinct trace key in ``keys``.
+
+        Returns ``(generated, reused)`` counts -- the acceptance check for
+        "the warmup ran once per workload" in checkpoint-farm sweeps.
+
+        ``lenient`` swallows planning failures (a workload that halts
+        before its first window, a budget below the warmup): the sweep
+        runner uses it so such a workload fails *its own jobs* with the
+        real error -- the job-side fallback re-plans and reports it --
+        instead of aborting the whole sweep from the parent.
+        """
+        generated = reused = 0
+        for workload, max_ops, seed in dict.fromkeys(keys):
+            before = self.stats.generated
+            try:
+                self.get_or_plan(workload, max_ops, seed, simulator)
+            except Exception:
+                if not lenient:
+                    raise
+                continue
             if self.stats.generated > before:
                 generated += 1
             else:

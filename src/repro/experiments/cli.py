@@ -89,8 +89,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="measured detailed window length (default 2000)")
     sweep.add_argument("--warmup", type=int, default=500, metavar="N",
                        help="detailed warmup before each window (default 500)")
+    sweep.add_argument("--cooldown", type=int, default=300, metavar="N",
+                       help="detailed cooldown after each window (default 300)")
+    sweep.add_argument("--no-farm", action="store_true",
+                       help="disable the shared-warmup checkpoint farm for "
+                            "sampled sweeps (per-scheme independent warming; "
+                            "identical results, more wall-clock)")
     sweep.add_argument("--cache-dir", default=".trace_cache",
-                       help="trace cache directory ('' disables caching)")
+                       help="trace/plan cache directory ('' disables caching)")
     sweep.add_argument("--out-dir", default="sweep_out",
                        help="directory for sweep.md / sweep.csv / sweep.json")
     sweep.add_argument("--quiet", action="store_true",
@@ -124,6 +130,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the sampled-vs-full accuracy tier")
     bench.add_argument("--no-long", action="store_true",
                        help="skip the >=1M-op long-horizon tier")
+    bench.add_argument("--no-farm-sweep", action="store_true",
+                       help="skip the checkpoint-farm sweep tier")
     bench.add_argument("--out", default="BENCH_core.json",
                        help="output artifact path ('' = don't write)")
     bench.add_argument("--smoke", action="store_true",
@@ -138,6 +146,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.30,
                        help="allowed fractional slowdown vs the baseline "
                             "(default 0.30)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run the selected benchmark tiers under cProfile "
+                            "and print the top-20 cumulative functions, so "
+                            "performance work is measured, not guessed")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress per-case progress lines")
     return parser
@@ -235,6 +247,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             sample_period=args.sample_period,
             sample_window=args.sample_window,
             sample_warmup=args.warmup,
+            sample_cooldown=args.cooldown,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -243,13 +256,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache_dir = args.cache_dir or None
     progress = None if args.quiet else _progress_printer
     report = run_sweep(spec, workers=args.jobs, cache_dir=cache_dir,
-                       timeout=args.timeout, progress=progress)
+                       timeout=args.timeout, progress=progress,
+                       farm=not args.no_farm)
 
     stats = report.cache_stats
     if stats:
-        print(f"trace cache: {stats.get('traces_generated', 0)} generated, "
-              f"{stats.get('traces_reused', 0)} reused for {spec.job_count()} jobs",
-              file=sys.stderr)
+        if "plans_generated" in stats:
+            print(f"checkpoint farm: {stats.get('plans_generated', 0)} shared "
+                  f"warmup(s) planned, {stats.get('plans_reused', 0)} reused "
+                  f"for {spec.job_count()} jobs", file=sys.stderr)
+        else:
+            print(f"trace cache: {stats.get('traces_generated', 0)} generated, "
+                  f"{stats.get('traces_reused', 0)} reused for "
+                  f"{spec.job_count()} jobs", file=sys.stderr)
     paths = report.save(args.out_dir)
     print(report.to_markdown())
     print(f"\nartifacts: {paths['markdown']}  {paths['csv']}  {paths['json']}",
@@ -321,6 +340,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["sampled"] = False
     if args.no_long:
         overrides["long_workloads"] = ()
+    if args.no_farm_sweep:
+        overrides["farm_sweep"] = False
+    elif not args.smoke and (args.workloads or args.schemes
+                             or args.max_ops is not None):
+        # A deliberately narrowed local run must not pay for the
+        # fixed-scale farm tier (a double multi-scheme sweep over 1M
+        # micro-ops); the full default suite and --smoke keep it so the
+        # committed artifact and the CI gate always carry the case.
+        overrides["farm_sweep"] = False
+        if not args.quiet:
+            print("note: explicit --workloads/--schemes/--max-ops skip the "
+                  "fixed-scale sweep_farm tier; run without them (or with "
+                  "--smoke) to include it", file=sys.stderr)
     # None means "not passed": explicit --max-ops/--repeat always win, the
     # preset (smoke or full) supplies the default otherwise.
     if args.max_ops is not None:
@@ -338,13 +370,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     progress = None
     if not args.quiet:
         progress = lambda name: print(f"bench: {name}", file=sys.stderr)  # noqa: E731
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
-        report = run_benchmarks(config, progress=progress)
+        if profiler is not None:
+            profiler.enable()
+        try:
+            report = run_benchmarks(config, progress=progress)
+        finally:
+            if profiler is not None:
+                profiler.disable()
     except Exception as exc:
         print(f"error: benchmark failed: {exc}", file=sys.stderr)
         return 1
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
     print(report.to_text())
-    if args.out:
+    if args.out and args.profile:
+        # Profiled wall times are inflated by instrumentation; never let
+        # them become a committed artifact or gate input.
+        print("note: --profile run not saved (timings are profiler-inflated); "
+              "drop --profile to write an artifact", file=sys.stderr)
+    elif args.out:
         # Never clobber the baseline being gated against: `bench --smoke
         # --baseline BENCH_core.json` with the default --out would first
         # overwrite the committed artifact with smoke numbers and then
@@ -358,6 +411,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"\nartifact: {path}", file=sys.stderr)
 
     if args.baseline:
+        if args.profile:
+            print("note: skipping baseline gate (profiled timings are not "
+                  "comparable)", file=sys.stderr)
+            return 0
         return _gate_against_baseline(report, args.baseline, args.tolerance)
     return 0
 

@@ -128,6 +128,7 @@ class SweepSpec:
     sample_period: int | None = None
     sample_window: int = 2_000
     sample_warmup: int = 500
+    sample_cooldown: int = 300
 
     def __post_init__(self) -> None:
         self.sampling_config()  # validates the sampling geometry early
@@ -154,7 +155,8 @@ class SweepSpec:
         if self.sample_period is None:
             return None
         return SamplingConfig(period=self.sample_period, window=self.sample_window,
-                              warmup=self.sample_warmup)
+                              warmup=self.sample_warmup,
+                              cooldown=self.sample_cooldown)
 
     def resolved_workloads(self) -> tuple[str, ...]:
         """The workloads this sweep runs (spec order, or the default suite)."""
@@ -229,6 +231,18 @@ class SweepSpec:
     def trace_count(self) -> int:
         """Number of distinct traces the sweep needs (one per workload)."""
         return len(self.resolved_workloads())
+
+    def warm_homogeneous(self) -> bool:
+        """Can every job of this sweep share one checkpoint-farm plan?
+
+        True when all variants keep the base machine's warm structure
+        (memory hierarchy, BTB, RAS) -- tracker/ME/SMB axes never change
+        it, so today's sweeps always qualify; a future axis that resizes
+        caches would automatically fall back to independent warming.
+        """
+        signature = self.base_config.warm_signature()
+        return all(config.warm_signature() == signature
+                   for config in self.variant_configs())
 
     def describe(self) -> str:
         """Multi-line human-readable summary used by ``repro sweep``."""

@@ -9,20 +9,38 @@ matrix with one pathological cell still yields 99 rows.
 
 Workers never re-run the functional executor when a trace cache directory
 is provided: the parent warms the cache (one execution per distinct
-``(workload, max_ops, seed)``), and each worker memory-maps the pickled
-trace from disk.  :func:`run_sweep` is the one-call entry point gluing
-grid -> cache -> pool -> report together.
+``(workload, max_ops, seed)``), each worker memory-maps the pickled trace
+from disk, and a per-process memo keeps a worker from re-reading the same
+pickle for every job it executes.  When no cache directory is given, a
+sweep that would otherwise rebuild the same trace in every worker gets an
+*ephemeral* cache for the duration of the call, so the executor still runs
+exactly once per workload.
+
+Two-speed (sampled) sweeps go one step further -- the **checkpoint farm**:
+the parent runs the scheme-independent planning pass (functional
+fast-forward, SMARTS warming, window recording) once per workload via
+:meth:`~repro.pipeline.sampling.SampledSimulator.plan`, and every tracker
+-scheme job of the sweep executes its detailed windows from those shared
+checkpoints (:meth:`~repro.pipeline.sampling.SampledSimulator
+.execute_plan`).  Results are identical to per-scheme independent warming
+by construction (the property tests pin this); only the redundant warmup
+work disappears, turning O(schemes x warmup) into O(warmup).
+
+:func:`run_sweep` is the one-call entry point gluing grid -> cache/farm ->
+pool -> report together.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import shutil
+import tempfile
 import time
 import traceback
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.experiments.cache import TraceCache
+from repro.experiments.cache import TraceCache, plan_cache_key
 from repro.experiments.grid import Job, SweepSpec
 from repro.experiments.report import SweepReport, build_report
 from repro.pipeline.core import simulate_trace
@@ -45,28 +63,66 @@ class JobResult:
 #: Progress callback signature: ``(completed_count, total, job_result)``.
 ProgressCallback = Callable[[int, int, JobResult], None]
 
+#: Per-process read memos: a pool worker executes many jobs on the same few
+#: workloads, so re-reading the pickled trace/plan for every job is wasted
+#: I/O.  Bounded (cleared wholesale when full) because the parent process
+#: may run many sweeps in one session.
+_TRACE_MEMO: dict = {}
+_PLAN_MEMO: dict = {}
+_MEMO_LIMIT = 32
+
+
+def _memoized(memo: dict, key, loader):
+    value = memo.get(key)
+    if value is None:
+        value = loader()
+        if value is not None:
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()
+            memo[key] = value
+    return value
+
 
 def _load_trace(job: Job, cache_root: str | None):
     if cache_root is not None:
         # Read-through: a miss (e.g. run_jobs called without a prior warm)
         # is generated once and persisted for the other jobs on the same
         # workload.  Writes are atomic, so concurrent workers are safe.
-        return TraceCache(cache_root).get_or_generate(*job.trace_key)
+        return _memoized(
+            _TRACE_MEMO, (cache_root, *job.trace_key),
+            lambda: TraceCache(cache_root).get_or_generate(*job.trace_key))
     return build_workload(job.workload, seed=job.seed).execute(max_ops=job.max_ops)
 
 
-def _execute_job(payload: tuple[Job, str | None]) -> tuple[bool, SimulationResult | None,
-                                                           str | None, float]:
+def _load_plan(job: Job, cache_root: str, simulator: SampledSimulator):
+    key = (cache_root, plan_cache_key(*job.trace_key, simulator))
+    return _memoized(
+        _PLAN_MEMO, key,
+        lambda: TraceCache(cache_root).get_plan(*job.trace_key, simulator))
+
+
+def _execute_job(payload: tuple[Job, str | None, object | None, bool]
+                 ) -> tuple[bool, SimulationResult | None, str | None, float]:
     """Worker entry point (module-level so it pickles under every start method)."""
-    job, cache_root = payload
+    job, cache_root, plan, farm = payload
     start = time.perf_counter()
     try:
         if job.sampling is not None:
-            # Two-speed mode never materialises the full trace (that is the
-            # point), so the trace cache is bypassed entirely.
             simulator = SampledSimulator(job.config, job.sampling)
-            result = simulator.run_workload(job.workload, max_ops=job.max_ops,
-                                            seed=job.seed)
+            if farm and plan is None and cache_root is not None:
+                plan = _load_plan(job, cache_root, simulator)
+            if plan is not None \
+                    and plan.sampling == simulator.sampling_fingerprint() \
+                    and plan.warm_signature == simulator.config.warm_signature():
+                # Checkpoint farm: detailed windows only, from the shared
+                # warmup (identical result, proven by the property tests).
+                result = simulator.execute_plan(plan)
+            else:
+                # Independent warming: plan + execute in one call.  Sampled
+                # mode never materialises the full trace (that is the
+                # point), so the trace side of the cache is not consulted.
+                result = simulator.run_workload(job.workload, max_ops=job.max_ops,
+                                                seed=job.seed)
         else:
             trace = _load_trace(job, cache_root)
             result = simulate_trace(trace, job.config)
@@ -77,7 +133,8 @@ def _execute_job(payload: tuple[Job, str | None]) -> tuple[bool, SimulationResul
 
 def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
              cache_dir: str | None = None,
-             progress: ProgressCallback | None = None) -> list[JobResult]:
+             progress: ProgressCallback | None = None,
+             plans: dict | None = None, farm: bool = True) -> list[JobResult]:
     """Run every job; returns one :class:`JobResult` per job, in input order.
 
     ``workers`` <= 1 runs in-process (easier to debug, no fork overhead for
@@ -85,6 +142,12 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
     measured from the moment the runner starts waiting on that job; a job
     exceeding it is marked failed and the pool is torn down once every
     other job has been collected.
+
+    ``plans`` maps :attr:`Job.trace_key` to a pre-computed
+    :class:`~repro.pipeline.sampling.SamplePlan` for sampled jobs (the
+    in-process checkpoint farm).  Pool workers ignore it -- shipping the
+    recorded window traces through pickle per job would cost more than it
+    saves -- and read plans from ``cache_dir`` instead.
     """
     cache_root = str(cache_dir) if cache_dir is not None else None
     total = len(jobs)
@@ -92,7 +155,8 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
 
     if workers <= 1 or total <= 1:
         for index, job in enumerate(jobs):
-            ok, result, error, elapsed = _execute_job((job, cache_root))
+            plan = plans.get(job.trace_key) if plans else None
+            ok, result, error, elapsed = _execute_job((job, cache_root, plan, farm))
             job_result = JobResult(job=job, ok=ok, result=result, error=error,
                                    elapsed=elapsed)
             results.append(job_result)
@@ -103,7 +167,7 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
     timed_out = False
     pool = multiprocessing.Pool(processes=min(workers, total))
     try:
-        pending = [pool.apply_async(_execute_job, ((job, cache_root),))
+        pending = [pool.apply_async(_execute_job, ((job, cache_root, None, farm),))
                    for job in jobs]
         for index, (job, handle) in enumerate(zip(jobs, pending)):
             try:
@@ -133,27 +197,77 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
 
 def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
               timeout: float | None = None,
-              progress: ProgressCallback | None = None) -> SweepReport:
-    """Expand ``spec``, warm the trace cache, run the pool, aggregate the report.
+              progress: ProgressCallback | None = None,
+              farm: bool = True) -> SweepReport:
+    """Expand ``spec``, warm the cache/farm, run the pool, aggregate the report.
 
-    When ``cache_dir`` is given, the parent process materialises each
-    distinct trace exactly once before any worker starts; the report's
-    ``cache_stats`` records how many traces were generated versus reused so
-    callers can verify the executor-once-per-workload property.
+    Full-detail sweeps materialise each distinct trace exactly once before
+    any worker starts -- in ``cache_dir`` when given, or in an ephemeral
+    cache when several pool workers would otherwise each rebuild it.
+
+    Sampled sweeps run the shared-warmup checkpoint farm the same way:
+    one planning pass per workload in the parent, executed by every scheme
+    job (``farm=False`` restores per-scheme independent warming; results
+    are identical either way, only the wall clock changes).  The report's
+    ``cache_stats`` records generated-versus-reused counts only for a
+    caller-supplied ``cache_dir``, so the artifact stays byte-identical
+    however the sweep was scheduled.
     """
     jobs = spec.expand()
     sampling = spec.sampling_config()
     cache_stats: dict[str, int] = {}
-    if cache_dir is not None and sampling is None:
-        cache = TraceCache(cache_dir)
-        generated, reused = cache.warm(job.trace_key for job in jobs)
-        cache_stats = {"traces_generated": generated, "traces_reused": reused,
-                       **cache.stats.as_dict()}
-    results = run_jobs(jobs, workers=workers, timeout=timeout,
-                       cache_dir=cache_dir, progress=progress)
+    plans: dict | None = None
+    ephemeral_dir: str | None = None
+    effective_cache_dir = cache_dir
+    try:
+        if sampling is None:
+            if cache_dir is not None:
+                cache = TraceCache(cache_dir)
+                generated, reused = cache.warm(job.trace_key for job in jobs)
+                cache_stats = {"traces_generated": generated, "traces_reused": reused,
+                               **cache.stats.as_dict()}
+            elif workers > 1 and len(jobs) > spec.trace_count():
+                # Deduplicate trace builds across the pool: without a cache
+                # every worker would re-execute the functional executor for
+                # every job it picks up.
+                ephemeral_dir = tempfile.mkdtemp(prefix="repro-sweep-cache-")
+                TraceCache(ephemeral_dir).warm(job.trace_key for job in jobs)
+                effective_cache_dir = ephemeral_dir
+        elif farm and spec.warm_homogeneous():
+            simulator = SampledSimulator(spec.base_config, sampling)
+            keys = [job.trace_key for job in jobs]
+            if cache_dir is not None:
+                cache = TraceCache(cache_dir)
+                generated, reused = cache.warm_plans(keys, simulator,
+                                                     lenient=True)
+                cache_stats = {"plans_generated": generated, "plans_reused": reused,
+                               **cache.stats.as_dict()}
+            elif workers > 1:
+                ephemeral_dir = tempfile.mkdtemp(prefix="repro-sweep-farm-")
+                TraceCache(ephemeral_dir).warm_plans(keys, simulator,
+                                                     lenient=True)
+                effective_cache_dir = ephemeral_dir
+            else:
+                plans = {}
+                for key in dict.fromkeys(keys):
+                    workload, max_ops, seed = key
+                    try:
+                        image = build_workload(workload, seed=seed)
+                        plans[key] = simulator.plan(image, workload, max_ops,
+                                                    workload=workload)
+                    except Exception:
+                        # The job-side fallback reproduces and reports it.
+                        continue
+        results = run_jobs(jobs, workers=workers, timeout=timeout,
+                           cache_dir=effective_cache_dir, progress=progress,
+                           plans=plans, farm=farm)
+    finally:
+        if ephemeral_dir is not None:
+            shutil.rmtree(ephemeral_dir, ignore_errors=True)
     # Note: deliberately free of execution details (worker count, wall
-    # times) -- the artifact must be byte-identical however the sweep was
-    # scheduled, which the determinism regression tests enforce.
+    # times, ephemeral caches) -- the artifact must be byte-identical
+    # however the sweep was scheduled, which the determinism regression
+    # tests enforce.
     meta = {
         "schemes": list(spec.schemes),
         "workloads": list(spec.resolved_workloads()),

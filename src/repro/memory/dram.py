@@ -69,6 +69,18 @@ class DramModel:
         self._bank_free_at[bank] = now + config.bank_busy_cycles
         return latency
 
+    def next_ready_cycle(self, now: int) -> int | None:
+        """Earliest cycle after ``now`` at which a busy bank frees up.
+
+        A next-ready-time query for the event-driven core loop: bank-busy
+        expiry only changes the *latency* of a later access (queueing
+        delay), never initiates work by itself, so the bound is advisory --
+        reporting it early is harmless, under-reporting is impossible
+        because ``_bank_free_at`` is exact.  ``None`` means no bank is busy.
+        """
+        pending = [t for t in self._bank_free_at if t > now]
+        return min(pending) if pending else None
+
     def warm(self, address: int) -> None:
         """Timing-free warming access: update the bank's open row only.
 

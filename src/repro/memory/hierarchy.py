@@ -124,6 +124,21 @@ class MemoryHierarchy:
         self.l1i.fill(line)
         return latency
 
+    def next_event_cycle(self, now: int) -> int | None:
+        """Earliest cycle after ``now`` at which timed hierarchy state changes.
+
+        Combines the outstanding L1D-miss (MSHR) completion times with the
+        DRAM bank-busy expiries.  Both are *passive* -- they only alter the
+        latency of a future access, which the core initiates -- so the
+        event-driven loop uses this as a conservative wake-up hint, never a
+        requirement.  ``None`` means the hierarchy holds no timed state.
+        """
+        candidates = [t for t in self._outstanding_misses if t > now]
+        dram_ready = self.dram.next_ready_cycle(now)
+        if dram_ready is not None:
+            candidates.append(dram_ready)
+        return min(candidates) if candidates else None
+
     # -- housekeeping -------------------------------------------------------------
 
     def _retire_outstanding(self, now: int) -> None:
@@ -150,6 +165,26 @@ class MemoryHierarchy:
             "outstanding_in": sorted(t - now for t in self._outstanding_misses
                                      if t > now),
         }
+
+    @staticmethod
+    def merge_warm_snapshot(warm: dict, own: dict) -> dict:
+        """Combine a functionally warmed snapshot with a core's own snapshot.
+
+        The warming hooks train the *data* side (L1D/L2 tags, prefetcher,
+        DRAM open rows) but have no per-op PC stream and no timing, so the
+        L1I contents, the MSHR completion deltas and the DRAM bank-busy
+        deltas come from ``own`` -- the core's chained snapshot.  Lives
+        here so knowledge of :meth:`to_snapshot`'s layout stays in one
+        module; neither input is mutated.
+        """
+        merged = dict(warm)
+        merged["l1i"] = own["l1i"]
+        merged["outstanding_in"] = own["outstanding_in"]
+        merged["dram"] = {
+            "open_rows": warm["dram"]["open_rows"],
+            "bank_busy_in": own["dram"]["bank_busy_in"],
+        }
+        return merged
 
     def restore_snapshot(self, snapshot: dict, now: int = 0) -> None:
         """Restore a :meth:`to_snapshot` image, rebasing timed state onto ``now``."""

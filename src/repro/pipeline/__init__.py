@@ -15,7 +15,12 @@ workload trace and runs it in one call.
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core, simulate, simulate_trace
 from repro.pipeline.result import SimulationResult
-from repro.pipeline.sampling import SampledSimulator, SamplingConfig, simulate_sampled
+from repro.pipeline.sampling import (
+    SamplePlan,
+    SampledSimulator,
+    SamplingConfig,
+    simulate_sampled,
+)
 from repro.pipeline.snapshot import CoreSnapshot
 
 __all__ = [
@@ -23,6 +28,7 @@ __all__ = [
     "Core",
     "CoreSnapshot",
     "SimulationResult",
+    "SamplePlan",
     "SampledSimulator",
     "SamplingConfig",
     "simulate",

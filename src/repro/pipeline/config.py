@@ -12,6 +12,7 @@ experiments.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.bpred.tage import TageConfig
@@ -82,6 +83,14 @@ class CoreConfig:
     lazy_reclaim: bool = False
     free_list_low_watermark: int = 16
 
+    # -- simulator execution strategy (no effect on simulated behaviour) ------------
+    #: Event-driven cycle skipping: when no pipeline stage can make progress
+    #: this cycle, jump straight to the next cycle at which one can, crediting
+    #: the skipped span to the stall counters.  Results are bit-identical to
+    #: the per-cycle walk (enforced by the differential tests); the flag only
+    #: exists so those tests can run both modes.
+    cycle_skipping: bool = True
+
     # -- safety -------------------------------------------------------------------
     max_cycles_per_instruction: int = 400
 
@@ -150,6 +159,20 @@ class CoreConfig:
         if len(parts) == 1:
             parts.append("base")
         return "_".join(parts)
+
+    def warm_signature(self) -> str:
+        """Fingerprint of the structures functional warming trains.
+
+        Two configurations with the same signature can share a
+        :class:`~repro.pipeline.sampling.SamplePlan` (the checkpoint farm):
+        the plan's warm images only describe the memory hierarchy, the BTB
+        and the RAS, plus the history registers whose width is fixed.
+        Tracker scheme, move elimination, SMB and register-file sizing are
+        deliberately excluded -- they are scheme-local detailed state.
+        """
+        payload = repr((self.memory, self.btb_entries, self.btb_ways,
+                        self.ras_depth))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def to_dict(self) -> dict:
         """JSON-serialisable summary of the knobs the experiment grid varies.

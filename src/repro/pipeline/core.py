@@ -50,6 +50,7 @@ from repro.rename.maps import CommitRenameMap, FreeList, RenameMap
 from repro.rename.renamer import ProducerInfo, Renamer
 
 _NEVER = 1 << 60
+_MASK64 = (1 << 64) - 1
 
 
 def _by_seq(entry: InflightOp) -> int:
@@ -98,6 +99,8 @@ class Core:
 
         self.tracker = make_tracker(config.tracker)
         self.smb_engine = SmbEngine(config.smb, num_arch_regs=NUM_INT_REGS + NUM_FP_REGS)
+        self._smb_train_commit = (self.smb_engine.train_commit
+                                  if config.smb.enabled else None)
         self.renamer = Renamer(self.rename_map, self.int_free, self.fp_free, self.tracker,
                                config.move_elimination, self.smb_engine)
 
@@ -111,13 +114,28 @@ class Core:
 
         # Physical register ready times, indexed by global preg number.  A
         # flat list beats a dict here: the issue stage probes it for every
-        # source of every queued instruction every cycle.
+        # source of every candidate instruction.
         self.preg_ready: list[int] = [0] * config.num_phys_regs
+        # Event-driven wakeup state: instructions whose operands are all
+        # ready (oldest first; ``_ready_dirty`` marks an out-of-order
+        # wakeup append that needs a re-sort), and per-preg lists of
+        # instructions waiting for that register's writeback.  Together
+        # they replace the every-cycle full-queue readiness scan: an
+        # instruction is examined again only when one of its producers
+        # completes.
+        self._ready: list[InflightOp] = []
+        self._ready_dirty = False
+        self._consumers: dict[int, list[InflightOp]] = {}
         # Writeback event wheel: completion cycle -> ops finishing that
         # cycle.  The run loop advances one cycle at a time, so the
         # writeback stage pops exactly one bucket per cycle (O(1)) instead
         # of paying heapq's O(log n) per scheduled op.
         self.execution_wheel: dict[int, list[InflightOp]] = {}
+        # Functional unit pool per op class (dict lookup beats the if-chain
+        # in FunctionalUnits.pool_for on the dispatch hot path).
+        self._pool_of_class = {
+            op_class: self.fus.pool_for(op_class) for op_class in OpClass
+        }
         # Fixed execution latency per op class (FDIV is special-cased).
         self._latency_of_class = {
             OpClass.INT_ALU: config.int_alu_latency,
@@ -143,6 +161,16 @@ class Core:
             "fetch_stall_cycles": 0, "rename_stall_cycles": 0,
             "recovery_extra_cycles": 0, "release_walks": 0,
         }
+        # Event-driven cycle skipping bookkeeping.  ``_progress`` is set by
+        # any stage that changed machine state this cycle; a cycle that ends
+        # with it still False cannot be distinguished from the cycles that
+        # follow it until the next scheduled event, so the run loop jumps
+        # straight there.  ``_rename_stalled`` remembers whether the rename
+        # stage charged a stall this cycle (the skipped span then charges
+        # the same stall per cycle).
+        self._progress = False
+        self._rename_stalled = False
+        self._skipped_cycles = 0
         # Commit sequence numbers continue across detailed windows of a
         # sampled simulation (restored from a snapshot); the SMB commit
         # training relies on their monotonicity.
@@ -160,10 +188,11 @@ class Core:
         self._last_reclaim_check_seq: int | None = None
         self._reclaim_check_gaps = 0.0
         self._reclaim_check_count = 0
-        # Move-elimination candidacy depends only on the static instruction,
-        # so the per-op share-attempt statistics can look it up by static
-        # index instead of re-evaluating the policy every rename.
-        self._me_candidate_cache: dict[int, bool] = {}
+        # Everything the dispatch path derives from the *static* instruction
+        # -- move-elimination candidacy, functional unit pool, execution
+        # latency, NOP-ness -- cached by static index so each dynamic op
+        # costs one dict probe instead of re-deriving all four.
+        self._static_dispatch_cache: dict[int, tuple] = {}
 
     # -------------------------------------------------------------------- run --
 
@@ -198,7 +227,11 @@ class Core:
         do_issue = self._do_issue
         do_rename = self._do_rename
         do_fetch = self._do_fetch
+        skipping = self.config.cycle_skipping
+        counters = self.counters
         while self.committed < total:
+            self._progress = False
+            self._rename_stalled = False
             do_commit()
             do_complete()
             do_issue()
@@ -210,7 +243,91 @@ class Core:
                     f"simulation exceeded {limit} cycles after committing "
                     f"{self.committed}/{len(trace.ops)} micro-ops of {trace.name!r}; "
                     "this indicates a pipeline deadlock")
+            if self._progress or not skipping:
+                continue
+            # Nothing fetched, renamed, issued, completed or committed: the
+            # machine state is frozen until the next scheduled event, so the
+            # intervening cycles are pure stall bookkeeping.  Jump there,
+            # charging the skipped span to the same counters the per-cycle
+            # walk would have incremented (the differential tests pin this
+            # to be bit-identical).
+            target = self._next_event_cycle()
+            if target > limit + 1:
+                target = limit + 1
+            span = target - self.cycle
+            if span <= 0:
+                continue
+            if self.pending_redirect is not None \
+                    or self.fetch_blocked_until >= self.cycle:
+                # With no redirect pending, ``target`` never exceeds
+                # ``fetch_blocked_until`` (it is a next-event candidate), so
+                # either every skipped cycle is fetch-stalled or none is.
+                counters["fetch_stall_cycles"] += span
+            if self._rename_stalled:
+                # The rename head was mature and resources were unavailable
+                # this cycle; neither can change during the frozen span.
+                counters["rename_stall_cycles"] += span
+            self._skipped_cycles += span
+            self.cycle = target
+            if self.cycle > limit:
+                raise RuntimeError(
+                    f"simulation exceeded {limit} cycles after committing "
+                    f"{self.committed}/{len(trace.ops)} micro-ops of {trace.name!r}; "
+                    "this indicates a pipeline deadlock")
         return self._build_result()
+
+    def _next_event_cycle(self) -> int:
+        """The earliest future cycle at which any stage could make progress.
+
+        Only called on cycles where nothing progressed, with ``self.cycle``
+        already advanced to the first unsimulated cycle.  The invariant every
+        contributor must uphold is *never under-report*: returning a cycle
+        that is too early merely costs one more idle evaluation, returning
+        one that is too late would skip over real work and change timing.
+
+        Candidate events:
+
+        * the writeback wheel's earliest bucket -- completions drive
+          wake-ups (``preg_ready`` never holds a future cycle), commit
+          eligibility, redirect resolution and memory-dependence releases;
+        * ``fetch_blocked_until`` (I-cache miss, BTB miss redirect, trap or
+          recovery penalty) when no redirect is pending;
+        * the front-end queue head maturing past ``frontend_depth``;
+        * a ready instruction waiting on a busy non-pipelined functional
+          unit (the only issue blocker not already covered by the wheel);
+        * the memory hierarchy's passive timed state (MSHR completions,
+          DRAM bank-busy expiry) -- advisory, always safe to include.
+        """
+        cycle = self.cycle
+        nxt = _NEVER
+        wheel = self.execution_wheel
+        if wheel:
+            nxt = min(wheel)
+        if self.pending_redirect is None:
+            blocked_until = self.fetch_blocked_until
+            if cycle <= blocked_until < nxt:
+                nxt = blocked_until
+        queue = self.frontend_queue
+        if queue:
+            mature_at = queue[0].fetch_cycle + self.config.frontend_depth
+            if cycle <= mature_at < nxt:
+                nxt = mature_at
+        for entry in self._ready:
+            # Ready instructions are blocked on a busy non-pipelined unit,
+            # on a memory-dependence wait that resolves at a writeback
+            # event already accounted for above, or (rarely) stale after a
+            # source re-allocation, in which case their wake-up is a
+            # writeback event too.  Only the non-pipelined pool adds a
+            # candidate of its own.
+            pool = entry.fu_pool
+            if not pool.pipelined:
+                free_at = pool.next_free_cycle(cycle)
+                if free_at < nxt:
+                    nxt = free_at
+        memory_event = self.memory.next_event_cycle(cycle - 1)
+        if memory_event is not None and memory_event < nxt:
+            nxt = memory_event
+        return nxt
 
     # ------------------------------------------------------------------ fetch --
 
@@ -230,10 +347,11 @@ class Core:
         hit_latency = self.memory.config.l1i.hit_latency
         history = self.history
         path = self.path
+        fetch_index = self.fetch_index
         while (fetched < fetch_width
-               and self.fetch_index < total_ops
+               and fetch_index < total_ops
                and len(queue) < queue_limit):
-            op = ops[self.fetch_index]
+            op = ops[fetch_index]
             # Instruction cache: one access per new line.
             line = op.pc // line_bytes
             if line != self._last_fetch_line:
@@ -241,19 +359,26 @@ class Core:
                 self._last_fetch_line = line
                 if latency > hit_latency:
                     self.fetch_blocked_until = self.cycle + latency
+                    self._progress = True
                     break
-            entry = InflightOp(op, self.cycle, history.bits(64), path.bits(32))
+            # Inlined ``history.bits(64)`` / ``path.bits(32)``: the path
+            # register is 32 bits wide so its value needs no masking, and
+            # the branch history only needs the low-64 mask.
+            entry = InflightOp(op, self.cycle, history._value & _MASK64, path._value)
             stop_fetching = False
             if op.is_branch:
                 stop_fetching, taken_branches = self._fetch_branch(entry, taken_branches)
             queue.append(entry)
-            self.fetch_index += 1
+            fetch_index += 1
             fetched += 1
             if entry.branch_mispredicted:
                 self.pending_redirect = entry
                 break
             if stop_fetching:
                 break
+        if fetched:
+            self.fetch_index = fetch_index
+            self._progress = True
 
     def _fetch_branch(self, entry: InflightOp, taken_branches: int) -> tuple[bool, int]:
         """Predict a branch at fetch time; returns (stop fetching, taken branches so far)."""
@@ -308,64 +433,84 @@ class Core:
     # ----------------------------------------------------------------- rename --
 
     def _do_rename(self) -> None:
-        config = self.config
-        renamed = 0
         queue = self.frontend_queue
+        if not queue:
+            return
+        config = self.config
+        cycle = self.cycle
+        if queue[0].fetch_cycle + config.frontend_depth > cycle:
+            return
+        renamed = 0
         rename_width = config.rename_width
         frontend_depth = config.frontend_depth
-        cycle = self.cycle
         smb_active = config.smb.enabled and self.tracker.supports_memory_bypass
         smb_predict = self.smb_engine.predict
-        rename_op = self.renamer.rename_op
+        rename_into = self.renamer.rename_into
         resolve_producer = self._resolve_producer
+        dispatch_cache = self._static_dispatch_cache
+        me_is_candidate = config.move_elimination.is_candidate
         rob = self.rob
         iq = self.iq
         lsq = self.lsq
         preg_ready = self.preg_ready
+        ready = self._ready
+        consumers = self._consumers
+        # Fast path: when every structure has at least ``rename_width`` free
+        # slots (and reclaiming is eager, so no release walk can be owed),
+        # this cycle's group cannot stall and the per-op resource checks --
+        # all pure reads -- are skipped wholesale.
+        ample_resources = not config.lazy_reclaim and (
+            rob.free_slots() >= rename_width
+            and iq.free_slots() >= rename_width
+            and lsq.lq_capacity - lsq.lq_occupancy() >= rename_width
+            and lsq.sq_capacity - lsq.sq_occupancy() >= rename_width
+            and self.int_free.available() >= rename_width
+            and self.fp_free.available() >= rename_width)
         while renamed < rename_width and queue:
             entry = queue[0]
             if entry.fetch_cycle + frontend_depth > cycle:
                 break
             op = entry.op
-            if not self._rename_resources_available(entry):
+            if not ample_resources and not self._rename_resources_available(entry):
                 self.counters["rename_stall_cycles"] += 1
+                self._rename_stalled = True
                 break
             queue.popleft()
 
             smb_prediction = None
             if smb_active and op.is_load:
                 smb_prediction = smb_predict(op, entry.history, entry.path)
-            self._note_share_attempt(entry, smb_prediction)
-            outcome = rename_op(
-                op, entry.history, entry.path,
-                resolve_producer=resolve_producer,
-                smb_prediction=smb_prediction,
-            )
+            # One cache probe recovers every static-instruction property the
+            # dispatch needs (see ``_static_dispatch_cache`` in ``_reset``).
+            info = dispatch_cache.get(op.static_index)
+            if info is None:
+                latency = (config.fp_div_latency if op.opcode is Opcode.FDIV
+                           else self._latency_of_class[op.op_class])
+                info = (me_is_candidate(op), self._pool_of_class[op.op_class],
+                        latency, op.op_class is OpClass.NOP)
+                dispatch_cache[op.static_index] = info
+            me_candidate, fu_pool, exec_latency, is_nop = info
+            # Share-attempt distance tracking (Section 6.3).
+            if me_candidate or smb_prediction is not None:
+                if self._last_share_attempt_seq is not None:
+                    self._share_attempt_gaps += entry.seq - self._last_share_attempt_seq
+                    self._share_attempt_count += 1
+                self._last_share_attempt_seq = entry.seq
+
+            rename_into(entry, op, resolve_producer=resolve_producer,
+                        smb_prediction=smb_prediction, me_candidate=me_candidate)
             entry.rename_cycle = cycle
             entry.smb_prediction = smb_prediction
-            entry.src_pregs = outcome.src_pregs
-            entry.dest_preg = outcome.dest_preg
-            entry.old_preg = outcome.old_preg
-            entry.allocated = outcome.allocated
-            entry.eliminated = outcome.eliminated
-            entry.bypassed = outcome.bypassed
-            entry.share_recorded = outcome.share_recorded
-            entry.bypass_producer = outcome.bypass_producer
-            entry.bypass_value_matches = outcome.bypass_value_matches
 
-            if outcome.allocated and outcome.dest_preg is not None:
-                preg_ready[outcome.dest_preg] = _NEVER
+            if entry.allocated:
+                preg_ready[entry.dest_preg] = _NEVER
 
-            entry.needs_execution = not (
-                outcome.eliminated or op.op_class is OpClass.NOP)
-            if entry.needs_execution:
-                # Precompute scheduling constants so the issue stage never
-                # re-derives them on its every-cycle wakeup scan.
-                entry.fu_pool = self.fus.pool_for(op.op_class)
-                if op.opcode is Opcode.FDIV:
-                    entry.exec_latency = config.fp_div_latency
-                else:
-                    entry.exec_latency = self._latency_of_class[op.op_class]
+            entry.needs_execution = needs_execution = not (entry.eliminated or is_nop)
+            if needs_execution:
+                # Scheduling constants, precomputed so the issue stage never
+                # re-derives them on its wakeup scan.
+                entry.fu_pool = fu_pool
+                entry.exec_latency = exec_latency
 
             # Memory dependence prediction (Store Sets).
             if op.is_load:
@@ -382,13 +527,31 @@ class Core:
             rob.append(entry)
             if op.is_load or op.is_store:
                 lsq.add(entry)
-            if entry.needs_execution:
+            if needs_execution:
                 iq.add(entry)
+                # Event-driven wakeup: register on every not-yet-ready
+                # source; an operand-complete instruction goes straight to
+                # the ready list (dispatch order is age order, so the
+                # append preserves the oldest-first invariant).
+                waits = 0
+                for preg in entry.src_pregs:
+                    if preg_ready[preg] > cycle:
+                        waiters = consumers.get(preg)
+                        if waiters is None:
+                            consumers[preg] = [entry]
+                        else:
+                            waiters.append(entry)
+                        waits += 1
+                entry.wait_count = waits
+                if not waits:
+                    ready.append(entry)
             else:
                 entry.issued = True
                 entry.completed = True
                 entry.complete_cycle = cycle
             renamed += 1
+        if renamed:
+            self._progress = True
 
     def _rename_resources_available(self, entry: InflightOp) -> bool:
         """Check ROB/IQ/LSQ/free-list availability, triggering lazy release if needed."""
@@ -430,86 +593,92 @@ class Core:
             is_committed=entry.committed,
         )
 
-    def _note_share_attempt(self, entry: InflightOp, smb_prediction) -> None:
-        """Track the inter-arrival distance of ISRB allocation attempts (Section 6.3)."""
-        cache = self._me_candidate_cache
-        static_index = entry.op.static_index
-        is_me_candidate = cache.get(static_index)
-        if is_me_candidate is None:
-            is_me_candidate = self.config.move_elimination.is_candidate(entry.op)
-            cache[static_index] = is_me_candidate
-        is_smb_candidate = smb_prediction is not None
-        if not (is_me_candidate or is_smb_candidate):
-            return
-        if self._last_share_attempt_seq is not None:
-            self._share_attempt_gaps += entry.seq - self._last_share_attempt_seq
-            self._share_attempt_count += 1
-        self._last_share_attempt_seq = entry.seq
-
     # ------------------------------------------------------------------ issue --
 
     def _do_issue(self) -> None:
-        """Oldest-first wakeup/select over the issue queue.
+        """Oldest-first select over the event-driven ready list.
 
-        This is the simulator's hottest loop -- every queued instruction is
-        examined every cycle -- so it scans the queue storage directly with
-        locally cached state instead of going through a per-entry callback
-        (the callback-based :meth:`IssueQueue.issue` remains for unit tests
-        and alternative cores).
+        This is the simulator's hottest loop.  Instead of scanning the
+        whole issue queue every cycle, only instructions whose operands
+        have all written back (the ``_ready`` list, fed by the wakeup lists
+        in :meth:`_do_complete`) are examined.  Readiness is monotonic: a
+        source register of an in-flight queue entry can never be reclaimed
+        and re-allocated before the entry issues, because the instruction
+        overwriting that architectural register is younger and in-order
+        commit forces the consumer to commit (hence issue) first -- so a
+        woken entry needs no operand re-verification, only its functional
+        unit and memory-dependence checks.  (The callback-based
+        :meth:`IssueQueue.issue` remains for unit tests and alternative
+        cores.)
         """
-        entries = self.iq.entries()
-        if not entries:
+        ready = self._ready
+        if not ready:
             return
+        if self._ready_dirty:
+            ready.sort(key=_by_seq)
+            self._ready_dirty = False
         cycle = self.cycle
         issue_width = self.config.issue_width
         store_latency = self.config.store_latency
-        preg_ready = self.preg_ready
         wheel = self.execution_wheel
         load_issue_latency = self._load_issue_latency
         issued = 0
-        # ``remaining`` is materialised lazily: on the (common) cycles where
-        # nothing issues, the scan allocates nothing and the queue keeps its
-        # existing storage.
+        # ``remaining`` is materialised lazily: on cycles where every ready
+        # instruction stays put, the pass allocates nothing.
         remaining: list[InflightOp] | None = None
-        for position, entry in enumerate(entries):
+        for position, entry in enumerate(ready):
             if issued < issue_width:
-                for preg in entry.src_pregs:
-                    if preg_ready[preg] > cycle:
-                        break
+                pool = entry.fu_pool
+                # Inlined FunctionalUnitPool.can_accept/accept for the
+                # pipelined pools (the overwhelmingly common case): roll
+                # the per-cycle issue counter, check it, bump it.
+                pipelined = pool.pipelined
+                if pipelined:
+                    if pool._current_cycle != cycle:
+                        pool._current_cycle = cycle
+                        pool._issued_this_cycle = 0
+                    accepts = pool._issued_this_cycle < pool.count
                 else:
-                    pool = entry.fu_pool
-                    if pool.can_accept(cycle):
-                        if entry.is_load:
-                            latency = load_issue_latency(entry)
-                        elif entry.is_store:
-                            latency = store_latency
+                    accepts = pool.can_accept(cycle)
+                if accepts:
+                    if entry.is_load:
+                        latency = load_issue_latency(entry)
+                    elif entry.is_store:
+                        latency = store_latency
+                    else:
+                        latency = entry.exec_latency
+                    if latency is not None:
+                        if pipelined:
+                            pool._issued_this_cycle += 1
+                            pool.operations += 1
                         else:
-                            latency = entry.exec_latency
-                        if latency is not None:
                             pool.accept(cycle, latency)
-                            entry.issued = True
-                            entry.issue_cycle = cycle
-                            complete_cycle = cycle + latency
-                            entry.complete_cycle = complete_cycle
-                            # Writeback for this cycle already ran, so a
-                            # zero-latency op lands in the next cycle's
-                            # bucket -- exactly when the former heap (popped
-                            # with `<= cycle`) would have delivered it.
-                            bucket_key = (complete_cycle if complete_cycle > cycle
-                                          else cycle + 1)
-                            bucket = wheel.get(bucket_key)
-                            if bucket is None:
-                                wheel[bucket_key] = [entry]
-                            else:
-                                bucket.append(entry)
-                            issued += 1
-                            if remaining is None:
-                                remaining = entries[:position]
-                            continue
+                        entry.issued = True
+                        entry.issue_cycle = cycle
+                        complete_cycle = cycle + latency
+                        entry.complete_cycle = complete_cycle
+                        # Writeback for this cycle already ran, so a
+                        # zero-latency op lands in the next cycle's
+                        # bucket -- exactly when the former heap (popped
+                        # with `<= cycle`) would have delivered it.
+                        bucket_key = (complete_cycle if complete_cycle > cycle
+                                      else cycle + 1)
+                        bucket = wheel.get(bucket_key)
+                        if bucket is None:
+                            wheel[bucket_key] = [entry]
+                        else:
+                            bucket.append(entry)
+                        issued += 1
+                        if remaining is None:
+                            remaining = ready[:position]
+                        continue
             if remaining is not None:
                 remaining.append(entry)
+        if remaining is not None:
+            self._ready = remaining
         if issued:
-            self.iq.replace_entries(remaining, issued)
+            self.iq.note_issued(issued)
+            self._progress = True
 
     def _load_issue_latency(self, entry: InflightOp) -> int | None:
         """Memory-dependence checks and latency for a load; ``None`` means wait."""
@@ -551,16 +720,30 @@ class Core:
         bucket = self.execution_wheel.pop(cycle, None)
         if bucket is None:
             return
+        self._progress = True
         # Same-cycle completions are processed oldest first (the order the
         # former writeback heap produced); ops issued in different cycles
         # can land in one bucket out of sequence order.
         bucket.sort(key=_by_seq)
+        ready = self._ready
+        consumers = self._consumers
         for entry in bucket:
             if entry.completed:
                 continue
             entry.completed = True
             if entry.allocated and entry.dest_preg is not None:
                 self.preg_ready[entry.dest_preg] = entry.complete_cycle
+                # Wake every instruction waiting on this register; those
+                # whose last operand this was become issue candidates this
+                # very cycle (writeback runs before issue), as the full
+                # readiness scan used to observe.
+                waiters = consumers.pop(entry.dest_preg, None)
+                if waiters:
+                    for waiter in waiters:
+                        waiter.wait_count -= 1
+                        if not waiter.wait_count:
+                            ready.append(waiter)
+                            self._ready_dirty = True
             if entry.is_store:
                 self._detect_violations(entry)
             if entry.is_load and entry.bypassed:
@@ -597,63 +780,82 @@ class Core:
     # ----------------------------------------------------------------- commit --
 
     def _do_commit(self) -> None:
+        rob = self.rob
+        entry = rob.head()
+        if entry is None or not entry.completed:
+            return
+        # The per-entry commit work is inlined into this loop (rather than
+        # split into a helper) with the shared structures bound once: at
+        # IPC > 1 this runs for nearly every micro-op of the trace.
         config = self.config
+        counters = self.counters
+        lsq = self.lsq
+        tracker = self.tracker
+        commit_raw = self.commit_map.raw()
+        smb_train = self._smb_train_commit
+        lazy_reclaim = config.lazy_reclaim
+        cycle = self.cycle
+        milestones = self._milestone_commits
         committed_now = 0
-        while committed_now < config.commit_width:
-            entry = self.rob.head()
-            if entry is None or not entry.completed:
-                break
+        commit_width = config.commit_width
+        while committed_now < commit_width:
             if entry.violation or (entry.bypassed and not entry.bypass_value_matches):
                 self._flush_at(entry)
                 break
-            self._commit_entry(entry)
-            committed_now += 1
+            op = entry.op
+            csn = self._csn_base + self.committed
+            if self._first_commit_cycle < 0:
+                self._first_commit_cycle = cycle
+            entry.committed = True
+            entry.commit_cycle = cycle
+            rob.pop_head()
 
-    def _commit_entry(self, entry: InflightOp) -> None:
-        config = self.config
-        op = entry.op
-        csn = self._csn_base + self.committed
-        if self._first_commit_cycle < 0:
-            self._first_commit_cycle = self.cycle
-        entry.committed = True
-        entry.commit_cycle = self.cycle
-        self.rob.pop_head()
-
-        if op.is_load or op.is_store:
-            self.lsq.remove_committed(entry)
-            if op.is_store:
-                # Drain the store to the cache (latency absorbed by the store buffer).
-                self.memory.access_data(op.mem_addr, True, op.pc, self.cycle)
-                self.store_sets.store_completed(op.pc, op.seq)
-            else:
-                self.counters["committed_loads"] += 1
-                if entry.bypassed:
-                    self.counters["committed_bypassed_loads"] += 1
-        if entry.eliminated:
-            self.counters["committed_eliminated_moves"] += 1
-
-        if entry.share_recorded and entry.dest_preg is not None:
-            self.tracker.on_share_commit(entry.dest_preg)
-
-        if op.dest is not None and entry.dest_preg is not None:
-            arch_flat = op.dest_flat
-            previous = self.commit_map.lookup_flat(arch_flat)
-            self.commit_map.raw()[arch_flat] = entry.dest_preg
-            if entry.allocated:
-                self._free_list_for_preg(entry.dest_preg).on_commit_allocate(entry.dest_preg)
-            if previous >= 0 and previous != entry.dest_preg:
-                if config.lazy_reclaim:
-                    # Deferred: the ROB retains this entry until the release walk.
-                    pass
+            if op.is_load or op.is_store:
+                lsq.remove_committed(entry)
+                if op.is_store:
+                    # Drain the store to the cache (latency absorbed by the
+                    # store buffer).
+                    self.memory.access_data(op.mem_addr, True, op.pc, cycle)
+                    self.store_sets.store_completed(op.pc, op.seq)
                 else:
-                    self._reclaim_register(previous, arch_flat, entry.seq)
+                    counters["committed_loads"] += 1
+                    if entry.bypassed:
+                        counters["committed_bypassed_loads"] += 1
+            if entry.eliminated:
+                counters["committed_eliminated_moves"] += 1
 
-        # Commit-side SMB training (CSN table, DDT, distance predictor).
-        self.smb_engine.train_commit(op, csn, entry.history, entry.path, entry.smb_prediction)
-        self.committed += 1
-        if self._milestone_commits is not None \
-                and self.committed in self._milestone_commits:
-            self.milestone_cycles[self.committed] = self.cycle
+            dest_preg = entry.dest_preg
+            if entry.share_recorded and dest_preg is not None:
+                tracker.on_share_commit(dest_preg)
+
+            if op.dest is not None and dest_preg is not None:
+                arch_flat = op.dest_flat
+                previous = commit_raw[arch_flat]
+                commit_raw[arch_flat] = dest_preg
+                if entry.allocated:
+                    self._free_list_for_preg(dest_preg).on_commit_allocate(dest_preg)
+                if previous >= 0 and previous != dest_preg:
+                    if lazy_reclaim:
+                        # Deferred: the ROB retains this entry until the
+                        # release walk.
+                        pass
+                    else:
+                        self._reclaim_register(previous, arch_flat, entry.seq)
+
+            # Commit-side SMB training (CSN table, DDT, distance predictor);
+            # ``smb_train`` is None when SMB is disabled.
+            if smb_train is not None:
+                smb_train(op, csn, entry.history, entry.path, entry.smb_prediction)
+            self.committed += 1
+            if milestones is not None and self.committed in milestones:
+                self.milestone_cycles[self.committed] = cycle
+
+            committed_now += 1
+            entry = rob.head()
+            if entry is None or not entry.completed:
+                break
+        if committed_now:
+            self._progress = True
 
     def _reclaim_register(self, preg: int, arch_flat: int, seq: int) -> None:
         """Ask the sharing tracker whether ``preg`` can return to the free list."""
@@ -698,6 +900,7 @@ class Core:
 
     def _flush_at(self, entry: InflightOp) -> None:
         """Squash everything in flight and re-fetch starting at ``entry`` (trap at commit)."""
+        self._progress = True
         if entry.violation:
             self.counters["memory_order_violations"] += 1
         else:
@@ -705,6 +908,9 @@ class Core:
 
         squashed = self.rob.squash_all_inflight()
         self.iq.clear()
+        self._ready.clear()
+        self._ready_dirty = False
+        self._consumers.clear()
         self.lsq.squash_all()
         self.frontend_queue.clear()
         self.execution_wheel.clear()
@@ -806,6 +1012,14 @@ class Core:
         for key, value in self.memory.stats().items():
             stats[f"mem_{key}"] = value
         stats["first_commit_cycle"] = max(self._first_commit_cycle, 0)
+        # Event-driven loop effectiveness: how many cycles were jumped over
+        # and what fraction of simulated time actually held events.  These
+        # describe the *simulator's execution strategy*, not the simulated
+        # machine, so the skip-on/off differential tests exclude them.
+        stats["skipped_cycles"] = self._skipped_cycles
+        if self.cycle > 0:
+            stats["events_per_cycle"] = (
+                (self.cycle - self._skipped_cycles) / self.cycle)
         stats["rob_peak_occupancy"] = self.rob.peak_occupancy
         stats["iq_peak_occupancy"] = self.iq.peak_occupancy
         stats["lq_peak_occupancy"] = self.lsq.peak_lq

@@ -47,8 +47,10 @@ from dataclasses import dataclass
 
 from repro.bpred.btb import BranchTargetBuffer
 from repro.bpred.ras import ReturnAddressStack
-from repro.common.history import HistoryCheckpoint, PathHistory, ShiftHistory
+from repro.common.history import PathHistory, ShiftHistory
+from repro.isa.executor import Trace
 from repro.isa.functional import FunctionalCore
+from repro.isa.opcodes import Opcode
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core
@@ -121,8 +123,10 @@ def _aggregate_stats(window_results: list[SimulationResult]) -> dict[str, float]
     means: dict[str, list[float]] = {}
     for result in window_results:
         for key, value in result.stats.items():
-            if key == "first_commit_cycle":
-                continue  # window-local ramp measurement, meaningless summed
+            if key in ("first_commit_cycle", "events_per_cycle"):
+                continue  # window-local measurements, meaningless summed
+                # (events_per_cycle is re-derived from the summed cycle
+                # counts below)
             if "peak_occupancy" in key:
                 totals[key] = max(totals.get(key, 0), value)
             elif key.endswith(_CONSTANT_SUFFIXES):
@@ -139,20 +143,111 @@ def _aggregate_stats(window_results: list[SimulationResult]) -> dict[str, float]
     if totals.get("committed_loads"):
         totals["bypassed_load_fraction"] = (
             totals.get("committed_bypassed_loads", 0) / totals["committed_loads"])
+    detailed_cycles = sum(result.cycles for result in window_results)
+    if detailed_cycles:
+        totals["events_per_cycle"] = (
+            (detailed_cycles - totals.get("skipped_cycles", 0)) / detailed_cycles)
     return totals
 
 
+def _resume_with_warm_state(snap: CoreSnapshot | None,
+                            warm: "WarmState | None") -> CoreSnapshot | None:
+    """Merge a plan's boundary warm image into a scheme's chained snapshot.
+
+    The first stretch resumes from nothing (a cold core); later stretches
+    resume from the scheme's own snapshot with the functionally warmed
+    structures substituted in.  With gap warming disabled the snapshot is
+    used as-is (the structures stay frozen at the previous window's end).
+    """
+    if snap is None or warm is None:
+        return snap
+    # The L1I contents and the MSHR / DRAM bank-busy timing deltas are
+    # scheme-local (products of the scheme's own detailed windows) and
+    # chain through the scheme's snapshot; the warmed data side comes from
+    # the plan.  The split lives with the snapshot layout it depends on.
+    return dataclasses.replace(
+        snap,
+        memory=MemoryHierarchy.merge_warm_snapshot(warm.memory, snap.memory),
+        btb=warm.btb,
+        ras=warm.ras,
+        history=warm.history,
+        path=warm.path,
+    )
+
+
+@dataclass(frozen=True)
+class WarmState:
+    """Image of the functionally warmed structures at a stretch boundary.
+
+    A pure value: captured once per detailed stretch during planning and
+    merged (via :func:`_resume_with_warm_state`) into every scheme's resume
+    snapshot, so it must never be mutated -- every ``restore_snapshot``
+    implementation copies out of its snapshot rather than aliasing it.
+    """
+
+    memory: dict
+    btb: list
+    ras: list
+    history: int
+    path: int
+
+
+@dataclass(frozen=True)
+class PlannedStretch:
+    """One detailed stretch of a :class:`SamplePlan`.
+
+    ``measure_ops == 0`` marks a tail stretch that halted inside its warmup:
+    it is still simulated in detail (its cycles join the hybrid estimate)
+    but contributes no measured window.
+    """
+
+    trace: Trace
+    warm: WarmState | None
+    warm_ops: int
+    measure_ops: int
+
+
+@dataclass(frozen=True)
+class SamplePlan:
+    """Everything scheme-independent about a sampled run of one workload.
+
+    Produced by :meth:`SampledSimulator.plan` in a single functional pass:
+    the recorded window traces, the functional-warming images at each
+    stretch boundary and the fast-forward bookkeeping.  Executing the plan
+    under N tracker schemes (:meth:`SampledSimulator.execute_plan`) re-uses
+    all of it, which is what turns a sweep's warmup cost from
+    O(schemes x warmup) into O(warmup) -- the checkpoint farm.
+
+    ``sampling`` and ``warm_signature`` fingerprint the geometry and the
+    warm-relevant machine structure; ``execute_plan`` refuses a plan built
+    for a different one.
+    """
+
+    name: str
+    workload: str
+    max_ops: int
+    retired: int
+    fastforwarded: int
+    halted: bool
+    sampling: dict
+    warm_signature: str
+    stretches: tuple[PlannedStretch, ...]
+
+
 class _GapWarmer:
-    """SMARTS-style functional warming of long-lived state across fast-forward gaps.
+    """SMARTS-style functional warming of long-lived state.
 
     Holds its own instances of the structures whose useful history is much
     longer than a window warmup can rebuild -- the cache hierarchy (tags,
     LRU, dirty bits), the stride prefetcher, DRAM open rows, the BTB, the
-    RAS and the global branch/path history registers.  Between two detailed
-    windows it is (1) loaded from the previous window's snapshot,
-    (2) trained by the :class:`~repro.isa.functional.FunctionalCore`
-    fast-forward hooks, and (3) patched back into the snapshot the next
-    window resumes from.
+    RAS and the global branch/path history registers.  During planning it
+    is trained continuously over the *whole* architectural instruction
+    stream: by the :class:`~repro.isa.functional.FunctionalCore` hooks
+    across the fast-forward gaps and by :meth:`train_trace` over each
+    recorded detailed stretch.  Its state at a stretch boundary is
+    therefore a pure function of the instruction stream -- identical for
+    every tracker scheme -- which is what lets the checkpoint farm share
+    one warmup across a whole sweep.
 
     The TAGE branch predictor and the SMB distance predictor are *not*
     warmed (their per-branch training is as expensive as detailed
@@ -168,26 +263,43 @@ class _GapWarmer:
         self.history = ShiftHistory(max_bits=256)
         self.path = PathHistory(max_bits=32)
 
-    # -- snapshot plumbing --------------------------------------------------------
+    # -- planning plumbing ----------------------------------------------------------
 
-    def load_from(self, snap: CoreSnapshot) -> None:
-        """Adopt the warm state of a window-boundary snapshot."""
-        self.memory.restore_snapshot(snap.memory, now=0)
-        self.btb.restore_snapshot(snap.btb)
-        self.ras.restore_snapshot(snap.ras)
-        self.history.restore(HistoryCheckpoint(snap.history, self.history.max_bits))
-        self.path.restore(HistoryCheckpoint(snap.path, self.path.max_bits))
-
-    def patch(self, snap: CoreSnapshot) -> CoreSnapshot:
-        """Return ``snap`` with the warmed structures substituted in."""
-        return dataclasses.replace(
-            snap,
+    def capture(self) -> WarmState:
+        """Snapshot the warmed structures as an immutable boundary image."""
+        return WarmState(
             memory=self.memory.to_snapshot(0),
             btb=self.btb.to_snapshot(),
             ras=self.ras.to_snapshot(),
             history=self.history.value,
             path=self.path.value,
         )
+
+    def train_trace(self, trace: Trace) -> None:
+        """Architecturally warm over a recorded detailed stretch.
+
+        ``FunctionalCore.record`` runs the handler loop, which does not
+        invoke the warming hooks, so the planner feeds the recorded
+        micro-ops through the same hooks afterwards -- keeping the warmed
+        structures trained over the *entire* instruction stream.
+        """
+        load = self.load
+        store = self.store
+        cond = self.cond
+        for op in trace.ops:
+            if op.is_load:
+                load(op.pc, op.mem_addr)
+            elif op.is_store:
+                store(op.pc, op.mem_addr)
+            elif op.is_branch:
+                if op.is_conditional_branch:
+                    cond(op.pc, op.taken, op.target_pc)
+                elif op.opcode is Opcode.JMP:
+                    self.jump(op.pc, op.target_pc)
+                elif op.opcode is Opcode.CALL:
+                    self.call(op.pc, op.target_pc)
+                elif op.opcode is Opcode.RET:
+                    self.ret(op.pc)
 
     # -- FunctionalCore warming hooks ---------------------------------------------
 
@@ -242,82 +354,83 @@ class SampledSimulator:
         image = build_workload(workload, seed=seed)
         return self.run_image(image, workload, max_ops)
 
-    def run_image(self, image, name: str, max_ops: int) -> SimulationResult:
-        """Run a :class:`~repro.workloads.base.WorkloadImage` under sampling."""
+    def run_image(self, image, name: str, max_ops: int,
+                  workload: str | None = None) -> SimulationResult:
+        """Run a :class:`~repro.workloads.base.WorkloadImage` under sampling.
+
+        Thin composition of the two halves of the engine: one functional
+        planning pass (:meth:`plan`) followed by one detailed execution
+        pass (:meth:`execute_plan`).  The checkpoint farm calls the same
+        two halves with one plan shared across many scheme configurations;
+        by construction both paths produce identical results.
+        """
+        return self.execute_plan(self.plan(image, name, max_ops,
+                                           workload=workload))
+
+    # -- planning (scheme-independent, runs once per workload) ----------------------
+
+    def plan(self, image, name: str, max_ops: int,
+             workload: str | None = None) -> SamplePlan:
+        """One functional pass: fast-forward, warm, and record every stretch.
+
+        Everything this produces depends only on the architectural
+        instruction stream and the warm-relevant machine structure
+        (:meth:`CoreConfig.warm_signature`), never on the tracker scheme,
+        move elimination or SMB -- those only exist in the detailed
+        execution pass.
+        """
         if max_ops < 1:
             raise ValueError("max_ops must be >= 1")
         sampling = self.sampling
         warmer = _GapWarmer(self.config) if sampling.warm_gaps else None
         fcore = FunctionalCore.from_image(image, warmer=warmer)
-        core = Core(self.config)
-        snap = None
-        # One (window instructions, window cycles, detailed-run result)
-        # triple per completed window.
-        windows: list[tuple[int, int, SimulationResult]] = []
-        warmup_ops = 0
-        cooldown_ops = 0
+        stretches: list[PlannedStretch] = []
+        measured_windows = 0
         fastforwarded = 0
-        detailed_cycles_extra = 0  # cycles of warmup-only tail runs
 
         gap = sampling.period - sampling.detailed_per_period
         # Golden-ratio rotation of the detailed stretch inside the period
         # (see the module docstring): deterministic, near-uniform offsets.
         offset_stride = max(int(gap * 0.6180339887), 1) if gap > 0 else 0
 
-        def fast_forward_warmed(count: int) -> int:
-            nonlocal snap
-            if count <= 0:
-                return 0
-            if warmer is not None and snap is not None:
-                warmer.load_from(snap)
-            skipped = fcore.fast_forward(count)
-            if warmer is not None and snap is not None:
-                snap = warmer.patch(snap)
-            return skipped
-
         while fcore.retired < max_ops and not fcore.halted:
             remaining = max_ops - fcore.retired
             if gap > 0:
-                pre_skip = (len(windows) * offset_stride) % (gap + 1)
-                fastforwarded += fast_forward_warmed(min(pre_skip, remaining))
+                pre_skip = (measured_windows * offset_stride) % (gap + 1)
+                fastforwarded += fcore.fast_forward(min(pre_skip, remaining))
                 if fcore.halted:
                     break
                 remaining = max_ops - fcore.retired
             warm_ops = min(sampling.warmup, remaining)
             if remaining - warm_ops == 0:
                 # Tail shorter than a warmup: nothing measurable, skip it.
-                fastforwarded += fast_forward_warmed(remaining)
+                fastforwarded += fcore.fast_forward(remaining)
                 break
             measure_ops = min(sampling.window, remaining - warm_ops)
             cool_ops = min(sampling.cooldown, remaining - warm_ops - measure_ops)
             trace = fcore.record(warm_ops + measure_ops + cool_ops,
-                                 name=f"{name}#w{len(windows)}")
+                                 name=f"{name}#w{measured_windows}")
+            # The warm image belongs to the stretch *start*: capture before
+            # training the warmer over the stretch's own micro-ops.
+            warm_state = warmer.capture() if warmer is not None else None
+            if warmer is not None:
+                warmer.train_trace(trace)
             if len(trace) <= warm_ops:  # halted inside the warmup
-                warmup_ops += len(trace)
                 if len(trace):
-                    tail_result = core.run(trace, resume=snap)
-                    detailed_cycles_extra += tail_result.cycles
-                    snap = core.snapshot()
+                    stretches.append(PlannedStretch(
+                        trace=trace, warm=warm_state,
+                        warm_ops=len(trace), measure_ops=0))
                 break
             measure_ops = min(measure_ops, len(trace) - warm_ops)
-            window_end = warm_ops + measure_ops
-            milestones = [commit for commit in (warm_ops, window_end) if commit]
-            result = core.run(trace, resume=snap, commit_milestones=milestones)
-            snap = core.snapshot()
-            # With no warmup the window includes the pipeline-fill ramp;
-            # when the trace ends at the window (no cooldown ops recorded)
-            # it includes the end-of-run drain.
-            start = core.milestone_cycles.get(warm_ops, 0) if warm_ops else 0
-            end = core.milestone_cycles.get(window_end, result.cycles)
-            window_cycles = max(end - start, 1)
-            windows.append((measure_ops, window_cycles, result))
-            warmup_ops += warm_ops
-            cooldown_ops += len(trace) - warm_ops - measure_ops
+            stretches.append(PlannedStretch(
+                trace=trace, warm=warm_state,
+                warm_ops=warm_ops, measure_ops=measure_ops))
+            measured_windows += 1
             post_skip = gap - (pre_skip if gap > 0 else 0)
-            fastforwarded += fast_forward_warmed(
+            fastforwarded += fcore.fast_forward(
                 min(post_skip, max_ops - fcore.retired))
 
-        if not windows:
+        if not measured_windows:
             if fcore.halted:
                 raise ValueError(
                     f"workload {name!r} halted after {fcore.retired} micro-ops, "
@@ -326,8 +439,82 @@ class SampledSimulator:
                 f"max_ops={max_ops} leaves no room for a measured window "
                 f"(sampling warmup is {sampling.warmup}); raise max_ops or "
                 "shrink the warmup")
-        return self._aggregate(name, fcore.retired, windows, warmup_ops,
-                               cooldown_ops, fastforwarded, detailed_cycles_extra)
+        return SamplePlan(
+            name=name,
+            workload=workload or name,
+            max_ops=max_ops,
+            retired=fcore.retired,
+            fastforwarded=fastforwarded,
+            halted=fcore.halted,
+            sampling=self.sampling_fingerprint(),
+            warm_signature=self.config.warm_signature(),
+            stretches=tuple(stretches),
+        )
+
+    # -- execution (scheme-specific, runs once per configuration) -------------------
+
+    def execute_plan(self, plan: SamplePlan) -> SimulationResult:
+        """Replay a plan's detailed stretches under this simulator's config.
+
+        Scheme-local state -- the sharing tracker, rename maps and free
+        lists, the TAGE predictor, Store Sets, SMB tables -- chains through
+        the scheme's own :class:`CoreSnapshot` from stretch to stretch,
+        exactly as an unshared run would; only the functionally warmed
+        structures are adopted from the plan's boundary images.
+        """
+        if plan.sampling != self.sampling_fingerprint():
+            raise ValueError(
+                f"plan for workload {plan.workload!r} was built with sampling "
+                f"geometry {plan.sampling}, not {self.sampling_fingerprint()}")
+        if plan.warm_signature != self.config.warm_signature():
+            raise ValueError(
+                f"plan for workload {plan.workload!r} was built for a machine "
+                "with a different warm structure (memory/BTB/RAS geometry)")
+        core = Core(self.config)
+        snap: CoreSnapshot | None = None
+        # One (window instructions, window cycles, detailed-run result)
+        # triple per completed window.
+        windows: list[tuple[int, int, SimulationResult]] = []
+        warmup_ops = 0
+        cooldown_ops = 0
+        detailed_cycles_extra = 0  # cycles of warmup-only tail stretches
+
+        for stretch in plan.stretches:
+            trace = stretch.trace
+            resume = _resume_with_warm_state(snap, stretch.warm)
+            if not stretch.measure_ops:  # halted inside the warmup
+                warmup_ops += len(trace)
+                tail_result = core.run(trace, resume=resume)
+                detailed_cycles_extra += tail_result.cycles
+                snap = core.snapshot()
+                continue
+            warm_ops = stretch.warm_ops
+            window_end = warm_ops + stretch.measure_ops
+            milestones = [commit for commit in (warm_ops, window_end) if commit]
+            result = core.run(trace, resume=resume, commit_milestones=milestones)
+            snap = core.snapshot()
+            # With no warmup the window includes the pipeline-fill ramp;
+            # when the trace ends at the window (no cooldown ops recorded)
+            # it includes the end-of-run drain.
+            start = core.milestone_cycles.get(warm_ops, 0) if warm_ops else 0
+            end = core.milestone_cycles.get(window_end, result.cycles)
+            window_cycles = max(end - start, 1)
+            windows.append((stretch.measure_ops, window_cycles, result))
+            warmup_ops += warm_ops
+            cooldown_ops += len(trace) - warm_ops - stretch.measure_ops
+
+        if not windows:
+            raise ValueError(
+                f"plan for workload {plan.workload!r} contains no measured window")
+        return self._aggregate(plan.name, plan.retired, windows, warmup_ops,
+                               cooldown_ops, plan.fastforwarded,
+                               detailed_cycles_extra)
+
+    def sampling_fingerprint(self) -> dict:
+        """Geometry fingerprint a plan must match to be executable here."""
+        fingerprint = self.sampling.to_dict()
+        fingerprint["warm_gaps"] = self.sampling.warm_gaps
+        return fingerprint
 
     # -- aggregation --------------------------------------------------------------
 

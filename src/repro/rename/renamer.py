@@ -67,6 +67,31 @@ class RenameOutcome:
 ProducerResolver = Callable[[int], ProducerInfo | None]
 
 
+class _ScratchEntry:
+    """Stand-in for an InflightOp when renaming outside the pipeline.
+
+    Starts with the same renaming-outcome defaults as
+    :class:`~repro.backend.inflight.InflightOp`; :meth:`Renamer.rename_op`
+    uses one to serve its functional interface from the in-place
+    implementation.
+    """
+
+    __slots__ = ("src_pregs", "dest_preg", "old_preg", "allocated", "eliminated",
+                 "bypassed", "share_recorded", "bypass_producer",
+                 "bypass_value_matches")
+
+    def __init__(self) -> None:
+        self.src_pregs: tuple[int, ...] = ()
+        self.dest_preg: int | None = None
+        self.old_preg: int | None = None
+        self.allocated = False
+        self.eliminated = False
+        self.bypassed = False
+        self.share_recorded = False
+        self.bypass_producer: ProducerInfo | None = None
+        self.bypass_value_matches = True
+
+
 class Renamer:
     """Per-micro-op renaming with ME/SMB and a pluggable sharing tracker."""
 
@@ -98,69 +123,92 @@ class Renamer:
             return True
         return not self.free_list_for(op.dest.reg_class).is_empty()
 
-    # -- main entry point ---------------------------------------------------------
+    # -- main entry points --------------------------------------------------------
+
+    def rename_into(self, entry, op: DynamicOp,
+                    resolve_producer: ProducerResolver | None = None,
+                    smb_prediction=None,
+                    me_candidate: bool | None = None) -> None:
+        """Rename one micro-op, writing the outcome into ``entry`` in place.
+
+        ``entry`` is a freshly fetched :class:`~repro.backend.inflight
+        .InflightOp` (or any object with the same renaming-outcome
+        attributes at their defaults); only the fields that deviate from
+        those defaults are written, which is what makes this the pipeline's
+        hot path while :meth:`rename_op` remains the allocation-friendly
+        functional interface.  ``me_candidate`` lets the caller supply a
+        cached :meth:`MoveEliminationPolicy.is_candidate` verdict (the
+        candidacy of a static instruction never changes).
+        """
+        raw_map = self.rename_map.raw()
+        src_pregs = entry.src_pregs = tuple([raw_map[flat] for flat in op.src_flats])
+        self.move_stats.renamed_instructions += 1
+
+        if op.dest is None:
+            return
+
+        # 1. Move elimination.
+        if me_candidate is None:
+            me_candidate = self.move_policy.is_candidate(op)
+        if me_candidate and self._eliminate_into(entry, op, src_pregs):
+            return
+
+        # 2. Speculative memory bypassing.
+        if smb_prediction is not None \
+                and self._bypass_into(entry, op, src_pregs, resolve_producer,
+                                      smb_prediction):
+            return
+
+        # 3. Conventional allocation from the free list.
+        free_list = (self.int_free_list if op.dest.reg_class is RegClass.INT
+                     else self.fp_free_list)
+        new_preg = free_list.allocate()
+        entry.old_preg = self.rename_map.define_flat(op.dest_flat, new_preg)
+        entry.dest_preg = new_preg
+        entry.allocated = True
 
     def rename_op(self, op: DynamicOp, history: int = 0, path: int = 0,
                   resolve_producer: ProducerResolver | None = None,
                   smb_prediction=None) -> RenameOutcome:
         """Rename one micro-op and return the resulting mappings.
 
-        ``history`` / ``path`` are the front-end history values captured
-        when the op was fetched (used only for statistics here; the SMB
-        prediction itself is supplied by the pipeline through
-        ``smb_prediction`` so that prediction and training use identical
-        state).
+        Functional wrapper over :meth:`rename_into` (one shared
+        implementation): the pipeline writes outcomes straight into its
+        in-flight entries, while tests and alternative cores get a
+        self-contained :class:`RenameOutcome` value.  ``history`` / ``path``
+        are accepted for interface stability; the SMB prediction itself is
+        supplied by the pipeline through ``smb_prediction`` so that
+        prediction and training use identical state.
         """
-        raw_map = self.rename_map.raw()
-        src_pregs = tuple(raw_map[flat] for flat in op.src_flats)
-        self.move_stats.renamed_instructions += 1
-
-        if op.dest is None:
-            return RenameOutcome(
-                src_pregs=src_pregs, dest_preg=None, old_preg=None, allocated=False,
-                eliminated=False, bypassed=False, bypass_producer=None,
-                bypass_value_matches=True,
-            )
-
-        # 1. Move elimination.
-        outcome = self._try_move_elimination(op, src_pregs)
-        if outcome is not None:
-            return outcome
-
-        # 2. Speculative memory bypassing.
-        outcome = self._try_memory_bypass(op, src_pregs, resolve_producer, smb_prediction)
-        if outcome is not None:
-            return outcome
-
-        # 3. Conventional allocation from the free list.
-        free_list = self.free_list_for(op.dest.reg_class)
-        new_preg = free_list.allocate()
-        old_preg = self.rename_map.define_flat(op.dest_flat, new_preg)
+        scratch = _ScratchEntry()
+        self.rename_into(scratch, op, resolve_producer=resolve_producer,
+                         smb_prediction=smb_prediction)
         return RenameOutcome(
-            src_pregs=src_pregs, dest_preg=new_preg, old_preg=old_preg, allocated=True,
-            eliminated=False, bypassed=False, bypass_producer=None, bypass_value_matches=True,
+            src_pregs=scratch.src_pregs, dest_preg=scratch.dest_preg,
+            old_preg=scratch.old_preg, allocated=scratch.allocated,
+            eliminated=scratch.eliminated, bypassed=scratch.bypassed,
+            bypass_producer=scratch.bypass_producer,
+            bypass_value_matches=scratch.bypass_value_matches,
+            share_recorded=scratch.share_recorded,
         )
 
     # -- move elimination ---------------------------------------------------------
 
-    def _try_move_elimination(self, op: DynamicOp,
-                              src_pregs: tuple[int, ...]) -> RenameOutcome | None:
-        if not self.move_policy.is_candidate(op):
-            return None
+    def _eliminate_into(self, entry, op: DynamicOp, src_pregs: tuple[int, ...]) -> bool:
+        """Attempt move elimination; returns ``True`` when ``entry`` was renamed."""
         self.move_stats.candidates += 1
         if not self.tracker.supports_move_elimination:
-            return None
+            return False
         source_preg = src_pregs[0]
         if self.rename_map.lookup_flat(op.dest_flat) == source_preg:
             # The destination already maps to the source's register (e.g. a
             # repeated move): the mapping set does not change, so no new
             # reference needs to be recorded.
             self.move_stats.eliminated += 1
-            return RenameOutcome(
-                src_pregs=src_pregs, dest_preg=source_preg, old_preg=source_preg,
-                allocated=False, eliminated=True, bypassed=False, bypass_producer=None,
-                bypass_value_matches=True, share_recorded=False,
-            )
+            entry.dest_preg = source_preg
+            entry.old_preg = source_preg
+            entry.eliminated = True
+            return True
         granted = self.tracker.try_share(
             source_preg,
             dest_arch=op.dest_flat,
@@ -169,51 +217,52 @@ class Renamer:
         )
         if not granted:
             self.move_stats.rejected_by_tracker += 1
-            return None
-        old_preg = self.rename_map.define_flat(op.dest_flat, source_preg)
+            return False
+        entry.old_preg = self.rename_map.define_flat(op.dest_flat, source_preg)
         self.move_stats.eliminated += 1
-        return RenameOutcome(
-            src_pregs=src_pregs, dest_preg=source_preg, old_preg=old_preg, allocated=False,
-            eliminated=True, bypassed=False, bypass_producer=None, bypass_value_matches=True,
-            share_recorded=True,
-        )
+        entry.dest_preg = source_preg
+        entry.eliminated = True
+        entry.share_recorded = True
+        return True
 
     # -- speculative memory bypassing ----------------------------------------------
 
-    def _try_memory_bypass(self, op: DynamicOp, src_pregs: tuple[int, ...],
-                           resolve_producer: ProducerResolver | None,
-                           smb_prediction) -> RenameOutcome | None:
-        if (self.smb_engine is None or smb_prediction is None or resolve_producer is None
-                or not op.is_load or op.dest is None):
-            return None
+    def _bypass_into(self, entry, op: DynamicOp, src_pregs: tuple[int, ...],
+                     resolve_producer: ProducerResolver | None,
+                     smb_prediction) -> bool:
+        """Attempt speculative memory bypassing; ``True`` when ``entry`` was renamed."""
+        if self.smb_engine is None or resolve_producer is None \
+                or not op.is_load or op.dest is None:
+            return False
         if not self.tracker.supports_memory_bypass:
-            return None
+            return False
         producer_seq = op.seq - smb_prediction.distance
         if producer_seq < 0:
             self.smb_engine.note_rejection("no_producer")
-            return None
+            return False
         producer = resolve_producer(producer_seq)
         if producer is None:
             self.smb_engine.note_rejection("no_producer")
-            return None
+            return False
         if producer.preg is None or producer.preg < 0:
             self.smb_engine.note_rejection("no_producer")
-            return None
+            return False
         if op.dest.reg_class is not self._preg_class(producer.preg):
             # Bypassing across register classes would need a cross-file copy;
             # treat it as an unusable producer.
             self.smb_engine.note_rejection("no_producer")
-            return None
+            return False
         if self.rename_map.lookup_flat(op.dest_flat) == producer.preg:
             # The destination already maps to the producer's register; no new
             # reference is needed, the bypass is effectively free.
             self.smb_engine.note_bypass(producer.is_load, producer.is_committed)
-            matches = producer.value is not None and producer.value == op.result
-            return RenameOutcome(
-                src_pregs=src_pregs, dest_preg=producer.preg, old_preg=producer.preg,
-                allocated=False, eliminated=False, bypassed=True, bypass_producer=producer,
-                bypass_value_matches=matches, share_recorded=False,
-            )
+            entry.dest_preg = producer.preg
+            entry.old_preg = producer.preg
+            entry.bypassed = True
+            entry.bypass_producer = producer
+            entry.bypass_value_matches = (producer.value is not None
+                                          and producer.value == op.result)
+            return True
         granted = self.tracker.try_share(
             producer.preg,
             dest_arch=op.dest_flat,
@@ -222,15 +271,16 @@ class Renamer:
         )
         if not granted:
             self.smb_engine.note_rejection("tracker")
-            return None
-        old_preg = self.rename_map.define_flat(op.dest_flat, producer.preg)
+            return False
+        entry.old_preg = self.rename_map.define_flat(op.dest_flat, producer.preg)
         self.smb_engine.note_bypass(producer.is_load, producer.is_committed)
-        matches = producer.value is not None and producer.value == op.result
-        return RenameOutcome(
-            src_pregs=src_pregs, dest_preg=producer.preg, old_preg=old_preg, allocated=False,
-            eliminated=False, bypassed=True, bypass_producer=producer,
-            bypass_value_matches=matches, share_recorded=True,
-        )
+        entry.dest_preg = producer.preg
+        entry.bypassed = True
+        entry.bypass_producer = producer
+        entry.bypass_value_matches = (producer.value is not None
+                                      and producer.value == op.result)
+        entry.share_recorded = True
+        return True
 
     def _preg_class(self, preg: int) -> RegClass:
         """Register class a global physical register number belongs to."""

@@ -29,12 +29,16 @@ TINY = BenchConfig(
     sampled_max_ops=600,
     sampling=SamplingConfig(period=200, window=60, warmup=50, cooldown=40),
     long_workloads=(),
+    farm_workload="move_chain",
+    farm_schemes=("isrb", "refcount"),
+    farm_max_ops=800,
+    farm_sampling=SamplingConfig(period=200, window=60, warmup=50, cooldown=40),
 )
 
 #: CLI flags shared by the bench CLI tests: skip the expensive default-suite
-#: sampled and >=1M-op long tiers.
+#: sampled, >=1M-op long, and checkpoint-farm tiers.
 TINY_CLI = ("--max-ops", "300", "--repeat", "1", "--no-sweep",
-            "--no-sampled", "--no-long")
+            "--no-sampled", "--no-long", "--no-farm-sweep")
 
 
 class FakeClock:
@@ -96,7 +100,20 @@ def test_suite_produces_all_tiers(tiny_report):
     assert "sim/isrb/move_chain" in names
     assert "ff/move_chain" in names
     assert "sampled/move_chain" in names
+    assert "sweep_farm/move_chain" in names
     assert "sweep/small" in names
+
+
+def test_farm_tier_records_speedup(tiny_report):
+    by_name = {result.name: result for result in tiny_report.results}
+    farm = by_name["sweep_farm/move_chain"]
+    assert farm.ops == 3                      # baseline + two scheme jobs
+    assert farm.detail["speedup"] > 0
+    assert farm.detail["independent_wall_seconds"] > 0
+    assert farm.detail["failures"] == 0
+    summary = tiny_report.summary()
+    assert summary["sweep_farm_jobs_per_sec"] > 0
+    assert summary["sweep_farm_speedup_geomean"] > 0
 
 
 def test_sampled_tier_records_accuracy_and_speedup(tiny_report):
@@ -121,6 +138,10 @@ def test_suite_counts_real_work(tiny_report):
     assert sim.ops == TINY.max_ops          # committed micro-ops
     assert sim.cycles and sim.cycles > 0
     assert sim.detail["ipc"] > 0
+    # Event-driven loop effectiveness is part of every sim case, so the
+    # bench gate can compare cycles/s alongside the skip statistics.
+    assert sim.detail["skipped_cycles"] >= 0
+    assert 0 < sim.detail["events_per_cycle"] <= 1.0
     sweep = by_name["sweep/small"]
     assert sweep.ops == 2                   # baseline + one variant job
     assert sweep.detail["failures"] == 0
@@ -288,6 +309,30 @@ def test_cli_bench_check_compares_two_artifacts_without_running(tmp_path):
     fast = tmp_path / "fast.json"
     fast.write_text(json.dumps(data))
     assert main(["bench", "--check", str(head), "--baseline", str(fast)]) == 1
+
+
+def test_cli_bench_narrowed_run_skips_farm_tier(tmp_path, capsys):
+    """Explicit --workloads/--max-ops must not pay for the fixed-scale farm."""
+    out = tmp_path / "narrow.json"
+    code = main(["bench", "--workloads", "move_chain", "--schemes", "baseline",
+                 "--max-ops", "300", "--repeat", "1", "--no-sweep",
+                 "--no-sampled", "--no-long", "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "skip the fixed-scale sweep_farm tier" in captured.err
+    data = json.loads(out.read_text())
+    assert not any(row["kind"] == "sweep_farm" for row in data["results"])
+
+
+def test_cli_bench_profile_prints_hotspots_and_never_saves(tmp_path, capsys):
+    out = tmp_path / "profiled.json"
+    code = main(["bench", "--workloads", "move_chain", "--schemes", "baseline",
+                 *TINY_CLI, "--quiet", "--profile", "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "cumulative" in captured.err        # pstats table went to stderr
+    assert "not saved" in captured.err
+    assert not out.exists(), "profiler-inflated timings must never be saved"
 
 
 def test_cli_bench_check_requires_baseline(capsys):

@@ -93,14 +93,33 @@ def test_sampled_sweep_pool_size_does_not_change_artifact(sampled_spec):
     assert serial.to_json() == parallel.to_json()
 
 
-def test_sampled_sweep_ignores_trace_cache(sampled_spec, tmp_path):
-    """Sampled jobs never materialise traces, so a cache dir changes nothing."""
+def test_sampled_sweep_caches_plans_not_traces(sampled_spec, tmp_path):
+    """A cache dir holds shared-warmup plans for sampled sweeps, never traces.
+
+    The checkpoint farm must not change a single table cell: cached,
+    uncached and farm-less runs all aggregate identical results (the farm
+    only removes redundant warmup work).
+    """
     cache_dir = tmp_path / "c"
     cached = run_sweep(sampled_spec, workers=1, cache_dir=str(cache_dir))
     uncached = run_sweep(sampled_spec, workers=1, cache_dir=None)
-    assert cached.to_json() == uncached.to_json()
-    assert cached.cache_stats == {}
-    assert not cache_dir.exists() or not list(cache_dir.rglob("*.pkl"))
+    unfarmed = run_sweep(sampled_spec, workers=1, cache_dir=None, farm=False)
+    assert cached.to_markdown() == uncached.to_markdown() == unfarmed.to_markdown()
+    assert uncached.to_json() == unfarmed.to_json()
+    cached_dict = cached.to_dict()
+    uncached_dict = uncached.to_dict()
+    for key in ("workloads", "variants", "speedups", "geomean_speedups",
+                "ipc", "results", "failures", "meta"):
+        assert cached_dict[key] == uncached_dict[key]
+    # One plan per workload was generated and then shared by both jobs.
+    assert cached.cache_stats["plans_generated"] == 2
+    assert cached.cache_stats["plans_reused"] == 0
+    assert len(list(cache_dir.rglob("*.plan.pkl"))) == 2
+    assert not list(cache_dir.rglob("*.trace.pkl"))
+    # A second sweep over the same cache re-uses every plan.
+    again = run_sweep(sampled_spec, workers=1, cache_dir=str(cache_dir))
+    assert again.cache_stats["plans_reused"] == 2
+    assert again.to_markdown() == cached.to_markdown()
 
 
 def test_trace_generation_is_deterministic():

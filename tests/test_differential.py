@@ -85,6 +85,40 @@ def test_all_schemes_commit_identical_state(workload):
         assert result.cycles > 0
 
 
+#: Simulator-strategy statistics that legitimately differ between the
+#: event-driven and the per-cycle walk; everything else must be identical.
+_SKIP_STATS = frozenset({"skipped_cycles", "events_per_cycle"})
+
+
+@pytest.mark.parametrize("workload", list_workloads())
+def test_cycle_skipping_is_bit_identical(workload):
+    """Event-driven cycle skipping on vs off: same cycles, counters, state.
+
+    Covers every workload x every scheme (plus the no-sharing baseline).
+    The comparison is total: cycle count, every statistic except the skip
+    bookkeeping itself, and the SHA-256 digest of the full
+    micro-architectural snapshot after the run -- so skipping can never
+    silently jump over a cycle in which any stage could have acted.
+    """
+    from repro.pipeline.core import Core
+
+    trace = generate_trace(workload, max_ops=MAX_OPS, seed=SEED)
+    for name, config in _scheme_configs().items():
+        skipping = Core(config.replace(cycle_skipping=True))
+        walking = Core(config.replace(cycle_skipping=False))
+        fast = skipping.run(trace)
+        slow = walking.run(trace)
+        assert fast.cycles == slow.cycles, (
+            f"{workload}/{name}: event-driven loop changed the cycle count")
+        assert fast.instructions == slow.instructions
+        fast_stats = {k: v for k, v in fast.stats.items() if k not in _SKIP_STATS}
+        slow_stats = {k: v for k, v in slow.stats.items() if k not in _SKIP_STATS}
+        assert fast_stats == slow_stats, (
+            f"{workload}/{name}: counters diverge between skip modes")
+        assert skipping.snapshot().digest() == walking.snapshot().digest(), (
+            f"{workload}/{name}: micro-architectural state diverges")
+
+
 @pytest.mark.parametrize("workload", list_workloads())
 def test_functional_state_is_deterministic(workload):
     """Two functional executions produce bit-identical architectural state."""

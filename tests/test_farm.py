@@ -1,0 +1,217 @@
+"""Checkpoint-farm tests: shared-warmup plans, the plan cache, sweep wiring.
+
+The farm's load-bearing contract is *exact equality*: executing a shared
+:class:`~repro.pipeline.sampling.SamplePlan` under a scheme configuration
+must produce the identical :class:`SimulationResult` that the scheme's own
+independently warmed run produces.  Everything scheme-local (tracker,
+rename state, TAGE, Store Sets, SMB) chains through the scheme's own
+snapshots; only the functionally warmed structures -- which are a pure
+function of the architectural instruction stream -- are shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cache import TraceCache, plan_cache_key
+from repro.experiments.cli import main as cli_main
+from repro.experiments.grid import SCHEME_PRESETS, SweepSpec
+from repro.experiments.runner import run_sweep
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.sampling import SampledSimulator, SamplingConfig
+from repro.workloads import build_workload
+
+MAX_OPS = 4_000
+SAMPLING = SamplingConfig(period=1_000, window=300, warmup=200, cooldown=150)
+
+#: Schemes exercised by the equality property: the paper's headline scheme,
+#: a walk-recovery scheme, the MIT and the no-sharing baseline -- together
+#: they cover every recovery style the detailed execution distinguishes.
+FARM_SCHEMES = ("baseline", "isrb", "refcount", "mit")
+
+
+def _config_for(scheme: str) -> CoreConfig:
+    if scheme == "baseline":
+        return CoreConfig()
+    preset = SCHEME_PRESETS[scheme]
+    return (CoreConfig()
+            .with_tracker(scheme=preset["scheme"], entries=preset["entries"],
+                          counter_bits=preset["counter_bits"])
+            .with_move_elimination()
+            .with_smb())
+
+
+@pytest.fixture(scope="module")
+def shared_plan():
+    image = build_workload("spill_reload", seed=1)
+    return SampledSimulator(CoreConfig(), SAMPLING).plan(
+        image, "spill_reload", MAX_OPS, workload="spill_reload")
+
+
+# -- the equality property -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", FARM_SCHEMES)
+def test_farm_result_equals_independent_warming(shared_plan, scheme):
+    """execute_plan(shared plan) == run_workload, field for field."""
+    config = _config_for(scheme)
+    farmed = SampledSimulator(config, SAMPLING).execute_plan(shared_plan)
+    independent = SampledSimulator(config, SAMPLING).run_workload(
+        "spill_reload", max_ops=MAX_OPS, seed=1)
+    assert farmed.to_dict() == independent.to_dict()
+
+
+def test_plan_is_reusable_and_never_mutated(shared_plan):
+    """Executing a plan twice (different schemes between) changes nothing."""
+    first = SampledSimulator(_config_for("isrb"), SAMPLING).execute_plan(shared_plan)
+    SampledSimulator(_config_for("mit"), SAMPLING).execute_plan(shared_plan)
+    again = SampledSimulator(_config_for("isrb"), SAMPLING).execute_plan(shared_plan)
+    assert first.to_dict() == again.to_dict()
+
+
+def test_plan_is_deterministic():
+    image = build_workload("move_chain", seed=1)
+    simulator = SampledSimulator(CoreConfig(), SAMPLING)
+    first = simulator.plan(image, "move_chain", 2_000)
+    second = simulator.plan(build_workload("move_chain", seed=1),
+                            "move_chain", 2_000)
+    assert first == second
+
+
+def test_execute_plan_rejects_foreign_geometry(shared_plan):
+    other = SampledSimulator(_config_for("isrb"),
+                             SamplingConfig(period=2_000, window=300, warmup=200))
+    with pytest.raises(ValueError, match="sampling"):
+        other.execute_plan(shared_plan)
+
+
+def test_execute_plan_rejects_foreign_machine(shared_plan):
+    import dataclasses
+
+    from repro.memory.hierarchy import HierarchyConfig
+
+    small_btb = _config_for("isrb").replace(btb_entries=512)
+    with pytest.raises(ValueError, match="warm structure"):
+        SampledSimulator(small_btb, SAMPLING).execute_plan(shared_plan)
+    assert small_btb.warm_signature() != CoreConfig().warm_signature()
+    # Sanity: the signature really keys on the warm structures only.
+    assert _config_for("mit").warm_signature() == CoreConfig().warm_signature()
+    resized = dataclasses.replace(
+        HierarchyConfig())  # identical hierarchy -> identical signature
+    assert CoreConfig().replace(memory=resized).warm_signature() \
+        == CoreConfig().warm_signature()
+
+
+# -- the plan cache ---------------------------------------------------------------------
+
+
+def test_plan_cache_roundtrip(tmp_path, shared_plan):
+    cache = TraceCache(tmp_path)
+    simulator = SampledSimulator(CoreConfig(), SAMPLING)
+    assert cache.get_plan("spill_reload", MAX_OPS, 1, simulator) is None
+    cache.put_plan("spill_reload", MAX_OPS, 1, simulator, shared_plan)
+    loaded = cache.get_plan("spill_reload", MAX_OPS, 1, simulator)
+    assert loaded == shared_plan
+    # A simulator with different geometry never sees the foreign plan.
+    other = SampledSimulator(CoreConfig(),
+                             SamplingConfig(period=2_000, window=300, warmup=200))
+    assert other.sampling_fingerprint() != simulator.sampling_fingerprint()
+    assert cache.get_plan("spill_reload", MAX_OPS, 1, other) is None
+
+
+def test_warm_plans_counts_generated_and_reused(tmp_path):
+    cache = TraceCache(tmp_path)
+    simulator = SampledSimulator(CoreConfig(), SAMPLING)
+    keys = [("move_chain", 2_000, 1), ("spill_reload", 2_000, 1),
+            ("move_chain", 2_000, 1)]
+    assert cache.warm_plans(keys, simulator) == (2, 0)
+    assert cache.warm_plans(keys, simulator) == (0, 2)
+
+
+def test_plan_cache_key_separates_machines():
+    simulator = SampledSimulator(CoreConfig(), SAMPLING)
+    resized = SampledSimulator(CoreConfig().replace(btb_entries=512), SAMPLING)
+    assert plan_cache_key("w", 100, 1, simulator) \
+        != plan_cache_key("w", 100, 1, resized)
+
+
+# -- sweep wiring -------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def farm_spec() -> SweepSpec:
+    return SweepSpec(
+        schemes=("isrb", "refcount"),
+        workloads=("spill_reload",),
+        max_ops=3_000,
+        seed=1,
+        sample_period=1_000,
+        sample_window=300,
+        sample_warmup=200,
+        sample_cooldown=150,
+    )
+
+
+def test_farm_sweep_equals_unfarmed_sweep(farm_spec):
+    """The whole-artifact property: farm on == farm off, byte for byte."""
+    farmed = run_sweep(farm_spec, workers=1, cache_dir=None, farm=True)
+    unfarmed = run_sweep(farm_spec, workers=1, cache_dir=None, farm=False)
+    assert farmed.to_json() == unfarmed.to_json()
+
+
+def test_farm_sweep_equals_unfarmed_across_pool_sizes(farm_spec, tmp_path):
+    farmed = run_sweep(farm_spec, workers=3, cache_dir=str(tmp_path / "farm"))
+    unfarmed = run_sweep(farm_spec, workers=1, cache_dir=None, farm=False)
+    assert farmed.to_markdown() == unfarmed.to_markdown()
+    assert [r.to_dict() for r in farmed.results] \
+        == [r.to_dict() for r in unfarmed.results]
+
+
+def test_pooled_farm_sweep_without_cache_uses_ephemeral_plans(farm_spec):
+    """workers > 1 and no cache dir: plans still shared (ephemerally)."""
+    pooled = run_sweep(farm_spec, workers=2, cache_dir=None)
+    serial = run_sweep(farm_spec, workers=1, cache_dir=None)
+    assert pooled.to_json() == serial.to_json()
+    assert pooled.cache_stats == {}
+
+
+def test_sweep_warm_homogeneous(farm_spec):
+    assert farm_spec.warm_homogeneous()
+
+
+def test_failing_workload_fails_its_jobs_not_the_sweep(tmp_path):
+    """Planning failure (budget below warmup) degrades to per-job errors."""
+    spec = SweepSpec(
+        schemes=("isrb",),
+        workloads=("spill_reload",),
+        max_ops=100,                 # smaller than the warmup: no window fits
+        seed=1,
+        sample_period=1_000,
+        sample_window=300,
+        sample_warmup=200,
+    )
+    report = run_sweep(spec, workers=1, cache_dir=str(tmp_path))
+    assert len(report.failures) == 2  # baseline + variant, sweep still reports
+    assert all("no room for a measured window" in failure["error"]
+               for failure in report.failures)
+
+
+def test_cli_sweep_no_farm(tmp_path, capsys):
+    code = cli_main([
+        "sweep", "--schemes", "isrb", "--workloads", "move_chain",
+        "--max-ops", "3000", "--sample-period", "1000",
+        "--sample-window", "300", "--warmup", "200", "--no-farm", "--quiet",
+        "--cache-dir", "", "--out-dir", str(tmp_path)])
+    assert code == 0
+    assert (tmp_path / "sweep.json").exists()
+
+
+def test_cli_sweep_farm_reports_plan_cache(tmp_path, capsys):
+    code = cli_main([
+        "sweep", "--schemes", "isrb,refcount", "--workloads", "move_chain",
+        "--max-ops", "3000", "--sample-period", "1000",
+        "--sample-window", "300", "--warmup", "200", "--quiet",
+        "--cache-dir", str(tmp_path / "cache"), "--out-dir", str(tmp_path)])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "checkpoint farm: 1 shared warmup(s) planned" in err
