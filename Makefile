@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain `python -m` underneath.
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test docs bench bench-gate paper paper-smoke clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+docs:  ## doctest + link-check gate for README/docs/DESIGN
+	$(PYTHON) -m pytest -q tests/test_docs.py
+
+bench:
+	$(PYTHON) -m repro bench
+
+bench-gate:
+	$(PYTHON) -m repro bench --smoke --baseline BENCH_core.json
+
+paper:
+	$(PYTHON) -m repro paper
+
+paper-smoke:
+	$(PYTHON) -m repro paper --smoke
+
+clean:  ## remove bytecode and regenerable artifacts (never sources)
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .trace_cache sweep_out artifacts coverage.xml

@@ -28,9 +28,18 @@ experiment harness instead of one ``simulate`` call at a time::
     print(report.to_markdown())
 
 or, equivalently, ``python -m repro sweep --schemes isrb,refcount_checkpoint``.
+The paper's figures themselves come from the :mod:`repro.paper` pipeline::
 
-The subpackages are documented in DESIGN.md; the most useful entry points
-are re-exported here.
+    from repro import run_paper
+
+    summary = run_paper(smoke=True)   # Figures 7-9 -> artifacts/paper/
+
+which is ``python -m repro paper --smoke`` on the command line -- resumable
+via an append-only results store, so interrupted grids restart where they
+stopped.
+
+The subpackages are documented in DESIGN.md and docs/maintainer-guide.md;
+the most useful entry points are re-exported here.
 """
 
 from repro.core.isrb import InflightSharedRegisterBuffer, IsrbConfig
@@ -46,6 +55,7 @@ from repro.experiments import (
 )
 from repro.core.move_elim import MoveEliminationPolicy
 from repro.core.smb import SmbConfig
+from repro.paper import FIGURES, ResultsStore, run_paper
 from repro.core.tracker import TrackerConfig, make_tracker
 from repro.isa.functional import FunctionalCore
 from repro.pipeline.config import CoreConfig
@@ -55,10 +65,13 @@ from repro.pipeline.snapshot import CoreSnapshot
 from repro.pipeline.result import SimulationResult
 from repro.workloads import DEFAULT_SUITE, generate_trace, list_workloads
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
+    "FIGURES",
+    "ResultsStore",
+    "run_paper",
     "SweepSpec",
     "Job",
     "JobResult",

@@ -130,6 +130,12 @@ class BenchReport:
         sweeps = self.cases("sweep")
         if sweeps:
             out["sweep_jobs_per_sec"] = geomean(case.ops_per_sec for case in sweeps)
+        paper = self.cases("paper")
+        if paper:
+            # Cells-per-second of the end-to-end smoke figure pipeline
+            # (grid expansion + store + simulation + SVG/report rendering).
+            out["paper_cells_per_sec"] = geomean(
+                case.ops_per_sec for case in paper)
         farm = self.cases("sweep_farm")
         if farm:
             out["sweep_farm_jobs_per_sec"] = geomean(case.ops_per_sec for case in farm)

@@ -23,7 +23,11 @@ The suite has three tiers, mirroring where simulator time actually goes:
   identical by construction, and the tier verifies that);
 * ``sweep/small`` -- an end-to-end :func:`~repro.experiments.runner.run_sweep`
   over a tiny matrix (grid expansion + trace cache + in-process pool +
-  report aggregation), measured in jobs/second.
+  report aggregation), measured in jobs/second;
+* ``paper/smoke`` -- the paper-figure pipeline (``repro paper --smoke``)
+  end to end into a scratch directory: figure grids, results store, SVG
+  and report rendering, measured in grid cells/second.  Guards the
+  acceptance bar that the smoke deliverable stays CI-cheap.
 
 Wall time per case is best-of-``repeat`` (scheduler noise only ever adds
 time).  The clock is injectable for unit tests.
@@ -105,6 +109,13 @@ class BenchConfig:
     farm_max_ops: int = 1_000_000
     farm_sampling: SamplingConfig = field(default_factory=lambda: SamplingConfig(
         period=250_000, window=800, warmup=250, cooldown=150))
+    # -- the paper-figure pipeline tier ------------------------------------------------
+    #: Time ``run_paper(smoke=True)`` end to end (fresh store, scratch
+    #: output).  Like the other fixed-scale tiers it is *not* reduced by
+    #: the smoke preset: the smoke grid is already its CI-sized form, so
+    #: the case stays comparable between a smoke run and the committed
+    #: BENCH_core.json.
+    paper: bool = True
 
     def __post_init__(self) -> None:
         if self.max_ops < 1 or self.ff_max_ops < 1 or self.sampled_max_ops < 1 \
@@ -342,7 +353,39 @@ def run_benchmarks(config: BenchConfig | None = None, clock=None,
                 f"bench farm sweep had {len(farm_report.failures)} failed job(s): "
                 + ", ".join(f["job_id"] for f in farm_report.failures))
 
-    # Tier 7: a small end-to-end sweep (grid -> cache-less run -> report).
+    # Tier 7: the paper-figure pipeline, smoke-sized, end to end (grids ->
+    # results store -> charts/report).  A fresh scratch directory per
+    # repeat so every run simulates every cell (no store resume).
+    if config.paper:
+        name = "paper/smoke"
+        if progress is not None:
+            progress(name)
+        import shutil
+        import tempfile
+
+        from repro.paper import run_paper
+
+        def run_paper_smoke():
+            scratch = tempfile.mkdtemp(prefix="repro-bench-paper-")
+            try:
+                return run_paper(smoke=True, out_dir=scratch,
+                                 seed=config.seed)
+            finally:
+                shutil.rmtree(scratch, ignore_errors=True)
+
+        wall, paper_summary = timer.best_of(config.repeat, run_paper_smoke)
+        report.results.append(BenchResult(
+            name=name, kind="paper", ops=paper_summary.total_cells,
+            wall_seconds=wall,
+            detail={"figures": len(paper_summary.figure_data),
+                    "cells": paper_summary.total_cells,
+                    "failures": paper_summary.failures}))
+        if paper_summary.failures:
+            raise RuntimeError(
+                f"bench paper pipeline had {paper_summary.failures} "
+                "failed cell(s)")
+
+    # Tier 8: a small end-to-end sweep (grid -> cache-less run -> report).
     if config.sweep:
         name = "sweep/small"
         if progress is not None:

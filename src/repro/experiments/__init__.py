@@ -13,6 +13,25 @@ evaluation methodology:
   geomean rows and markdown/CSV/JSON export;
 * :mod:`repro.experiments.cli` -- the ``python -m repro`` / ``repro``
   command line gluing it all together.
+
+A worked example -- declare a matrix, expand it, run it, read the table::
+
+    >>> from repro.experiments import SweepSpec, run_sweep
+    >>> spec = SweepSpec(schemes=("isrb",), workloads=("move_chain",),
+    ...                  max_ops=2_000)
+    >>> spec.job_count()
+    2
+    >>> [job.job_id for job in spec.expand()]
+    ['move_chain__baseline', 'move_chain__isrb-e32-c3_me_smb.tage']
+    >>> report = run_sweep(spec)          # runs both cells in-process
+    >>> report.variants
+    ['isrb-e32-c3_me_smb.tage']
+    >>> report.speedups["move_chain"]["isrb-e32-c3_me_smb.tage"] > 0.9
+    True
+
+Passing a :class:`~repro.paper.store.ResultsStore` as ``store=`` makes the
+same call resumable (finished cells are never re-simulated); ``repro
+paper`` builds its figure grids out of exactly these sweeps.
 """
 
 from repro.experiments.cache import TraceCache

@@ -5,13 +5,18 @@ Subcommands::
     repro list                 # workloads and tracker schemes
     repro run WORKLOAD [...]   # one (workload, config) simulation
     repro sweep [...]          # parallel evaluation matrix + report artifacts
+    repro paper [...]          # the paper's Figures 7-9 -> artifacts/paper/
     repro report SWEEP.json    # re-render tables from a saved artifact
     repro bench [...]          # simulator throughput benchmarks -> BENCH_core.json
 
 ``sweep`` is the paper-table entry point: it expands a
 :class:`~repro.experiments.grid.SweepSpec` from the flags, runs it on a
 worker pool with a warm trace cache, prints the markdown speedup table and
-writes ``sweep.md`` / ``sweep.csv`` / ``sweep.json`` under ``--out-dir``.
+writes ``sweep.md`` / ``sweep.csv`` / ``sweep.json`` under ``--out-dir``;
+``--resume`` additionally keeps an append-only results store next to the
+artifacts so an interrupted matrix restarts where it stopped.  ``paper``
+runs the declarative figure grids on the same machinery and renders SVG
+charts, ``figures.json`` and a narrated ``REPORT.md``.
 """
 
 from __future__ import annotations
@@ -35,9 +40,13 @@ def _csv_list(text: str) -> tuple[str, ...]:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="HPCA'16 physical-register-sharing reproduction harness")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads and tracker schemes")
@@ -99,8 +108,38 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="trace/plan cache directory ('' disables caching)")
     sweep.add_argument("--out-dir", default="sweep_out",
                        help="directory for sweep.md / sweep.csv / sweep.json")
+    sweep.add_argument("--resume", action="store_true",
+                       help="keep an append-only results store under "
+                            "--out-dir and skip cells it already holds "
+                            "(interrupted sweeps restart where they stopped)")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
+
+    paper = sub.add_parser(
+        "paper",
+        help="reproduce the paper's Figures 7-9 (SVG charts + REPORT.md + "
+             "figures.json), resumably")
+    paper.add_argument("--figure", action="append", choices=("7", "8", "9"),
+                       default=None, metavar="N",
+                       help="figure to (re)produce; repeatable (default: all)")
+    paper.add_argument("--smoke", action="store_true",
+                       help="reduced grids (CI-sized: well under 2 minutes)")
+    paper.add_argument("--sample-period", type=int, default=None, metavar="N",
+                       help="run every grid cell in two-speed sampled mode "
+                            "with one detailed window every N retired "
+                            "micro-ops")
+    paper.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default 1 = in-process)")
+    paper.add_argument("--seed", type=int, default=1)
+    paper.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock budget in seconds")
+    paper.add_argument("--out-dir", default="artifacts/paper",
+                       help="artifact directory (default: artifacts/paper)")
+    paper.add_argument("--store", default=None, metavar="RESULTS.jsonl",
+                       help="results-store file (default: "
+                            "<out-dir>/store/results.jsonl)")
+    paper.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress lines")
 
     report = sub.add_parser("report", help="re-render a saved sweep artifact")
     report.add_argument("artifact", help="path to a sweep.json file")
@@ -132,6 +171,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the >=1M-op long-horizon tier")
     bench.add_argument("--no-farm-sweep", action="store_true",
                        help="skip the checkpoint-farm sweep tier")
+    bench.add_argument("--no-paper", action="store_true",
+                       help="skip the paper-figure pipeline tier")
     bench.add_argument("--out", default="BENCH_core.json",
                        help="output artifact path ('' = don't write)")
     bench.add_argument("--smoke", action="store_true",
@@ -255,9 +296,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(spec.describe(), file=sys.stderr)
     cache_dir = args.cache_dir or None
     progress = None if args.quiet else _progress_printer
+    store = None
+    if args.resume:
+        from repro.paper.store import ResultsStore
+
+        store = ResultsStore(Path(args.out_dir) / "results_store.jsonl")
     report = run_sweep(spec, workers=args.jobs, cache_dir=cache_dir,
                        timeout=args.timeout, progress=progress,
-                       farm=not args.no_farm)
+                       farm=not args.no_farm, store=store)
+    if store is not None:
+        store.close()
+        print(f"results store: {store.stats.appended} cell(s) appended, "
+              f"{store.stats.hits} resumed from {store.path}", file=sys.stderr)
 
     stats = report.cache_stats
     if stats:
@@ -274,6 +324,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"\nartifacts: {paths['markdown']}  {paths['csv']}  {paths['json']}",
           file=sys.stderr)
     return 1 if report.failures else 0
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    from repro.paper import run_paper
+
+    def slice_progress(figure: str, label: str, job_count: int) -> None:
+        print(f"figure {figure} [{label}]: {job_count} cell(s)",
+              file=sys.stderr)
+
+    try:
+        summary = run_paper(
+            figures=tuple(args.figure) if args.figure else None,
+            smoke=args.smoke,
+            sample_period=args.sample_period,
+            out_dir=args.out_dir,
+            workers=args.jobs,
+            seed=args.seed,
+            timeout=args.timeout,
+            progress=None if args.quiet else _progress_printer,
+            slice_progress=None if args.quiet else slice_progress,
+            store_path=args.store,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summary.describe())
+    print(f"report    : {summary.paths['report']}")
+    return 1 if summary.failures else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -340,19 +418,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["sampled"] = False
     if args.no_long:
         overrides["long_workloads"] = ()
-    if args.no_farm_sweep:
+    # A deliberately narrowed local run must not pay for the fixed-scale
+    # tiers (the farm tier is a double multi-scheme sweep over 1M
+    # micro-ops; the paper tier ignores the narrowing flags entirely); the
+    # full default suite and --smoke keep them so the committed artifact
+    # and the CI gate always carry the cases.
+    narrowed = not args.smoke and (args.workloads or args.schemes
+                                   or args.max_ops is not None)
+    if args.no_paper or narrowed:
+        overrides["paper"] = False
+    if args.no_farm_sweep or narrowed:
         overrides["farm_sweep"] = False
-    elif not args.smoke and (args.workloads or args.schemes
-                             or args.max_ops is not None):
-        # A deliberately narrowed local run must not pay for the
-        # fixed-scale farm tier (a double multi-scheme sweep over 1M
-        # micro-ops); the full default suite and --smoke keep it so the
-        # committed artifact and the CI gate always carry the case.
-        overrides["farm_sweep"] = False
-        if not args.quiet:
-            print("note: explicit --workloads/--schemes/--max-ops skip the "
-                  "fixed-scale sweep_farm tier; run without them (or with "
-                  "--smoke) to include it", file=sys.stderr)
+    if narrowed and not args.quiet:
+        print("note: explicit --workloads/--schemes/--max-ops skip the "
+              "fixed-scale sweep_farm and paper tiers; run without them "
+              "(or with --smoke) to include them", file=sys.stderr)
     # None means "not passed": explicit --max-ops/--repeat always win, the
     # preset (smoke or full) supplies the default otherwise.
     if args.max_ops is not None:
@@ -423,8 +503,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also installed as the ``repro`` console script)."""
     args = _build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
-                "sweep": _cmd_sweep, "report": _cmd_report,
-                "bench": _cmd_bench}
+                "sweep": _cmd_sweep, "paper": _cmd_paper,
+                "report": _cmd_report, "bench": _cmd_bench}
     return handlers[args.command](args)
 
 

@@ -12,9 +12,9 @@ is provided: the parent warms the cache (one execution per distinct
 ``(workload, max_ops, seed)``), each worker memory-maps the pickled trace
 from disk, and a per-process memo keeps a worker from re-reading the same
 pickle for every job it executes.  When no cache directory is given, a
-sweep that would otherwise rebuild the same trace in every worker gets an
-*ephemeral* cache for the duration of the call, so the executor still runs
-exactly once per workload.
+sweep that would otherwise rebuild the same trace per worker (or, run
+in-process, per job) gets an *ephemeral* cache for the duration of the
+call, so the executor still runs exactly once per workload.
 
 Two-speed (sampled) sweeps go one step further -- the **checkpoint farm**:
 the parent runs the scheme-independent planning pass (functional
@@ -51,13 +51,19 @@ from repro.workloads import build_workload
 
 @dataclass
 class JobResult:
-    """Outcome of one job: either a :class:`SimulationResult` or an error."""
+    """Outcome of one job: either a :class:`SimulationResult` or an error.
+
+    ``from_store`` marks a cell that was *not* simulated this run but read
+    back from a :class:`~repro.paper.store.ResultsStore` (resume); it never
+    enters report artifacts, which must be identical either way.
+    """
 
     job: Job
     ok: bool
     result: SimulationResult | None = None
     error: str | None = None
     elapsed: float = 0.0
+    from_store: bool = False
 
 
 #: Progress callback signature: ``(completed_count, total, job_result)``.
@@ -134,7 +140,8 @@ def _execute_job(payload: tuple[Job, str | None, object | None, bool]
 def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
              cache_dir: str | None = None,
              progress: ProgressCallback | None = None,
-             plans: dict | None = None, farm: bool = True) -> list[JobResult]:
+             plans: dict | None = None, farm: bool = True,
+             store=None) -> list[JobResult]:
     """Run every job; returns one :class:`JobResult` per job, in input order.
 
     ``workers`` <= 1 runs in-process (easier to debug, no fork overhead for
@@ -148,7 +155,18 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
     in-process checkpoint farm).  Pool workers ignore it -- shipping the
     recorded window traces through pickle per job would cost more than it
     saves -- and read plans from ``cache_dir`` instead.
+
+    ``store`` is an optional :class:`~repro.paper.store.ResultsStore`:
+    jobs it already holds are returned immediately (``from_store=True``)
+    without simulating, and every freshly simulated success is appended to
+    it *as it completes*, so an interrupted grid loses at most the cell in
+    flight.  Results are identical with or without a store (the
+    determinism tests pin the artifact bytes).
     """
+    if store is not None:
+        return _run_jobs_resumable(jobs, store, workers=workers,
+                                   timeout=timeout, cache_dir=cache_dir,
+                                   progress=progress, plans=plans, farm=farm)
     cache_root = str(cache_dir) if cache_dir is not None else None
     total = len(jobs)
     results: list[JobResult] = []
@@ -195,10 +213,53 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
     return results
 
 
+def _run_jobs_resumable(jobs: list[Job], store, workers: int,
+                        timeout: float | None, cache_dir: str | None,
+                        progress: ProgressCallback | None,
+                        plans: dict | None, farm: bool) -> list[JobResult]:
+    """The resume path of :func:`run_jobs`: store hits first, misses simulated.
+
+    Store hits are reported through ``progress`` up front (elapsed 0), then
+    the missing cells run through the normal machinery; each fresh success
+    is appended to the store the moment it is collected, *before* the
+    caller's progress callback sees it.
+    """
+    total = len(jobs)
+    by_index: dict[int, JobResult] = {}
+    missing: list[Job] = []
+    missing_indices: list[int] = []
+    for index, job in enumerate(jobs):
+        cached = store.get(job)
+        if cached is not None:
+            by_index[index] = JobResult(job=job, ok=True, result=cached,
+                                        from_store=True)
+        else:
+            missing.append(job)
+            missing_indices.append(index)
+    resumed = len(by_index)
+    if progress is not None:
+        for count, index in enumerate(sorted(by_index), start=1):
+            progress(count, total, by_index[index])
+
+    def _record_and_report(completed: int, _subtotal: int,
+                           job_result: JobResult) -> None:
+        if job_result.ok and job_result.result is not None:
+            store.record(job_result.job, job_result.result)
+        if progress is not None:
+            progress(resumed + completed, total, job_result)
+
+    fresh = run_jobs(missing, workers=workers, timeout=timeout,
+                     cache_dir=cache_dir, progress=_record_and_report,
+                     plans=plans, farm=farm)
+    for index, job_result in zip(missing_indices, fresh):
+        by_index[index] = job_result
+    return [by_index[index] for index in range(total)]
+
+
 def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
               timeout: float | None = None,
               progress: ProgressCallback | None = None,
-              farm: bool = True) -> SweepReport:
+              farm: bool = True, store=None) -> SweepReport:
     """Expand ``spec``, warm the cache/farm, run the pool, aggregate the report.
 
     Full-detail sweeps materialise each distinct trace exactly once before
@@ -212,8 +273,25 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
     ``cache_stats`` records generated-versus-reused counts only for a
     caller-supplied ``cache_dir``, so the artifact stays byte-identical
     however the sweep was scheduled.
+
+    ``store`` (a :class:`~repro.paper.store.ResultsStore`) makes the sweep
+    resumable: finished cells are skipped, fresh ones are appended to the
+    store as they complete, and trace/plan warming only covers workloads
+    that still have cells to run.  Tables and report JSON are identical to
+    a storeless run; only ``cache_stats`` can differ (fewer traces or
+    plans are materialised on a resumed run), so byte-for-byte resume
+    comparisons should use ``cache_dir=None``, as ``repro paper`` does.
     """
     jobs = spec.expand()
+    # Warming only needs to cover cells that will actually simulate; on a
+    # resumed run the store supplies the rest.  The probe is cheap (an
+    # in-memory index after the first read) and does not perturb artifact
+    # bytes because warming is invisible to the report tables.
+    if store is not None:
+        pending = [job for job in jobs if not store.has(job)]
+    else:
+        pending = jobs
+    pending_traces = len({job.trace_key for job in pending})
     sampling = spec.sampling_config()
     cache_stats: dict[str, int] = {}
     plans: dict | None = None
@@ -223,31 +301,34 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
         if sampling is None:
             if cache_dir is not None:
                 cache = TraceCache(cache_dir)
-                generated, reused = cache.warm(job.trace_key for job in jobs)
+                generated, reused = cache.warm(job.trace_key for job in pending)
                 cache_stats = {"traces_generated": generated, "traces_reused": reused,
                                **cache.stats.as_dict()}
-            elif workers > 1 and len(jobs) > spec.trace_count():
-                # Deduplicate trace builds across the pool: without a cache
-                # every worker would re-execute the functional executor for
-                # every job it picks up.
+            elif len(pending) > pending_traces:
+                # Deduplicate trace builds: without a cache every pool
+                # worker -- and, in-process, every job sharing a workload
+                # -- would re-execute the functional executor.  An
+                # ephemeral cache keeps the executor at one run per
+                # workload either way (serial jobs after the first hit the
+                # per-process read memo, not even the disk).
                 ephemeral_dir = tempfile.mkdtemp(prefix="repro-sweep-cache-")
-                TraceCache(ephemeral_dir).warm(job.trace_key for job in jobs)
+                TraceCache(ephemeral_dir).warm(job.trace_key for job in pending)
                 effective_cache_dir = ephemeral_dir
         elif farm and spec.warm_homogeneous():
             simulator = SampledSimulator(spec.base_config, sampling)
-            keys = [job.trace_key for job in jobs]
+            keys = [job.trace_key for job in pending]
             if cache_dir is not None:
                 cache = TraceCache(cache_dir)
                 generated, reused = cache.warm_plans(keys, simulator,
                                                      lenient=True)
                 cache_stats = {"plans_generated": generated, "plans_reused": reused,
                                **cache.stats.as_dict()}
-            elif workers > 1:
+            elif workers > 1 and pending:
                 ephemeral_dir = tempfile.mkdtemp(prefix="repro-sweep-farm-")
                 TraceCache(ephemeral_dir).warm_plans(keys, simulator,
                                                      lenient=True)
                 effective_cache_dir = ephemeral_dir
-            else:
+            elif pending:
                 plans = {}
                 for key in dict.fromkeys(keys):
                     workload, max_ops, seed = key
@@ -260,7 +341,7 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
                         continue
         results = run_jobs(jobs, workers=workers, timeout=timeout,
                            cache_dir=effective_cache_dir, progress=progress,
-                           plans=plans, farm=farm)
+                           plans=plans, farm=farm, store=store)
     finally:
         if ephemeral_dir is not None:
             shutil.rmtree(ephemeral_dir, ignore_errors=True)

@@ -1,0 +1,62 @@
+"""Paper-figure reproduction pipeline (``repro paper``).
+
+This subsystem turns sweep results into the deliverable the paper actually
+presents: analogues of its Figures 7--9 as SVG charts, markdown tables and
+a narrated ``REPORT.md``, produced resumably from an append-only results
+store.  The pieces:
+
+* :mod:`repro.paper.figures` -- declarative :class:`FigureSpec` grids
+  (scheme comparison, PRF-size sensitivity, tracker-capacity sensitivity)
+  that expand into ordinary :class:`~repro.experiments.grid.SweepSpec`
+  slices and fold reports back into renderable figure data with automated
+  checks of the paper's claims;
+* :mod:`repro.paper.store` -- :class:`ResultsStore`, the append-only JSONL
+  store that makes grids resumable at cell granularity (also behind
+  ``repro sweep --resume``);
+* :mod:`repro.paper.charts` -- zero-dependency SVG bar/line renderers;
+* :mod:`repro.paper.render` -- ``figures.json`` + ``REPORT.md`` emission;
+* :mod:`repro.paper.cli` -- :func:`run_paper`, the driver behind
+  ``python -m repro paper [--figure 7|8|9] [--smoke] [--sample-period N]``.
+
+A worked example, smoke-sized (the full grids just take longer)::
+
+    >>> from repro.paper import FIGURES
+    >>> spec = FIGURES["9"]
+    >>> [s.label for s in spec.slices(smoke=True)]
+    ['main']
+    >>> spec.slices(smoke=True)[0].spec.job_count()
+    12
+
+and the store's contract in one breath -- record once, hit forever:
+
+    >>> from repro.paper import ResultsStore, job_key
+    >>> from repro.experiments.grid import SweepSpec
+    >>> job = SweepSpec(workloads=("move_chain",), max_ops=500).expand()[0]
+    >>> job_key(job).split("|")[:4]
+    ['move_chain', 'ops500', 'seed1', 'baseline']
+    >>> import tempfile, os
+    >>> store = ResultsStore(os.path.join(tempfile.mkdtemp(), "r.jsonl"))
+    >>> store.get(job) is None  # nothing recorded yet -> the cell must run
+    True
+"""
+
+from repro.paper.charts import bar_chart, line_chart
+from repro.paper.cli import ALL_FIGURES, PaperRunSummary, run_paper
+from repro.paper.figures import FIGURES, FigureData, FigureSpec, GridSlice
+from repro.paper.render import render_figures
+from repro.paper.store import ResultsStore, job_key
+
+__all__ = [
+    "ALL_FIGURES",
+    "FIGURES",
+    "FigureData",
+    "FigureSpec",
+    "GridSlice",
+    "PaperRunSummary",
+    "ResultsStore",
+    "bar_chart",
+    "job_key",
+    "line_chart",
+    "render_figures",
+    "run_paper",
+]

@@ -1,0 +1,150 @@
+"""Rendering of figure data into the ``artifacts/paper/`` deliverable.
+
+:func:`render_figures` turns a list of :class:`~repro.paper.figures
+.FigureData` objects into the three-part artifact the pipeline ships:
+
+* one SVG chart per figure (``figure7.svg`` ...), drawn by
+  :mod:`repro.paper.charts`;
+* ``figures.json`` -- the machine-readable data behind every chart (series,
+  categories, claim verdicts), so a reader can diff the reproduction
+  against the paper numerically;
+* ``REPORT.md`` -- the narrated report: each figure embedded, its data as a
+  markdown table (the accessibility/table view of every chart), and a
+  commentary section comparing the reproduced trends against the paper's
+  claims, with an explicit verdict per claim.
+
+Everything written here is a pure function of the simulation results -- no
+wall-clock times, no hostnames, no dates -- so re-rendering from the
+results store is byte-identical, which the determinism tests enforce.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.paper.charts import bar_chart, line_chart
+from repro.paper.figures import FigureData
+
+#: Bumped when the figures.json layout changes.
+FIGURES_FORMAT_VERSION = 1
+
+_VERDICT_BADGES = {"holds": "**reproduced**", "diverges": "**diverges**",
+                   "inconclusive": "inconclusive"}
+
+
+def render_chart(data: FigureData) -> str:
+    """The SVG document for one figure."""
+    if data.chart == "bar":
+        return bar_chart(f"Figure {data.figure}: {data.title}",
+                         data.categories, data.series, y_label=data.y_label)
+    return line_chart(f"Figure {data.figure}: {data.title}", data.x_values,
+                      data.series, x_label=data.x_label, y_label=data.y_label)
+
+
+def figure_table(data: FigureData) -> str:
+    """The figure's data as a GitHub-markdown table (the chart's table view)."""
+    header = [data.x_label] + [name for name, _ in data.series]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join(["---"] * len(header)) + "|"]
+    for index, category in enumerate(data.categories):
+        row = [category if category != "geomean" else "**geomean**"]
+        for _, values in data.series:
+            value = values[index] if index < len(values) else None
+            if value is None:
+                row.append("-")
+            elif category == "geomean":
+                row.append(f"**{value:.3f}**")
+            else:
+                row.append(f"{value:.3f}")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def figure_section(data: FigureData) -> str:
+    """One figure's REPORT.md section: chart, table, commentary, verdicts."""
+    lines = [f"## Figure {data.figure} — {data.title}", ""]
+    lines.append(f"![Figure {data.figure}]({data.slug}.svg)")
+    lines.append("")
+    lines.append(data.description)
+    lines.append("")
+    lines.append(figure_table(data))
+    lines.append("")
+    lines.append(f"**The paper's claim.** {data.paper_claim}")
+    lines.append("")
+    if data.claims:
+        lines.append("**Checks against the claim:**")
+        lines.append("")
+        for claim in data.claims:
+            badge = _VERDICT_BADGES.get(claim.verdict, claim.verdict)
+            lines.append(f"- {badge} — {claim.claim} Observed: "
+                         f"{claim.observed}.")
+        lines.append("")
+    else:
+        lines.append("*No claim checks could run (missing data).*")
+        lines.append("")
+    if data.failures:
+        lines.append(f"**{len(data.failures)} cell(s) failed** and are "
+                     "missing from the figure: "
+                     + ", ".join(f["job_id"] for f in data.failures))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def report_markdown(figures: list[FigureData], mode: str,
+                    cells: int | None = None) -> str:
+    """The full REPORT.md text (deterministic: no wall times or dates)."""
+    lines = [
+        "# Paper-figure reproduction report",
+        "",
+        'Reproduction of the evaluation figures of *"Cost Effective Physical '
+        'Register Sharing"* (Perais & Seznec, HPCA 2016) on the synthetic '
+        "workload suite. Every speedup is the cycle-count ratio of the "
+        "no-sharing Table-1 baseline to the named configuration on the "
+        "identical dynamic trace; geomeans are over the workloads shown.",
+        "",
+        f"- mode: **{mode}**" + ("" if mode == "full" else
+                                 " (reduced grid — trends, not headline numbers)"),
+    ]
+    if cells is not None:
+        lines.append(f"- grid cells: {cells}")
+    lines.append("- data: [`figures.json`](figures.json) (machine-readable "
+                 "series and claim verdicts behind every chart)")
+    lines.append("")
+    for data in figures:
+        lines.append(figure_section(data))
+    lines.append("---")
+    lines.append("")
+    lines.append("Regenerate with `python -m repro paper` (add `--smoke` for "
+                 "the reduced grid). Completed cells live in the results "
+                 "store next to this report; a re-run only simulates what "
+                 "is missing.")
+    return "\n".join(lines) + "\n"
+
+
+def figures_json(figures: list[FigureData], mode: str) -> str:
+    """The machine-readable ``figures.json`` document."""
+    payload = {
+        "version": FIGURES_FORMAT_VERSION,
+        "paper": "conf_hpca_PeraisS16",
+        "mode": mode,
+        "figures": [data.to_dict() for data in figures],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_figures(figures: list[FigureData], out_dir: str | Path,
+                   mode: str, cells: int | None = None) -> dict[str, Path]:
+    """Write every artifact under ``out_dir``; returns the paths written."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, Path] = {}
+    for data in figures:
+        path = out / f"{data.slug}.svg"
+        path.write_text(render_chart(data) + "\n")
+        paths[data.slug] = path
+    paths["figures_json"] = out / "figures.json"
+    paths["figures_json"].write_text(figures_json(figures, mode))
+    paths["report"] = out / "REPORT.md"
+    paths["report"].write_text(report_markdown(figures, mode, cells=cells))
+    return paths

@@ -1,0 +1,202 @@
+"""Append-only on-disk store of completed simulation results.
+
+A paper-figure grid is hundreds of ``(workload, config)`` cells, each worth
+seconds to minutes of simulation.  :class:`ResultsStore` makes the grid
+*resumable*: every finished cell is appended to a JSONL file the moment it
+completes, and a restarted run skips every cell the store already holds.
+``repro paper`` and ``repro sweep --resume`` both run on top of it.
+
+Keying
+------
+A cell is identified by :func:`job_key`: the trace key ``(workload,
+max_ops, seed)``, the report variant, the sampling-geometry fingerprint and
+a fingerprint of the *entire* :class:`~repro.pipeline.config.CoreConfig`
+(which subsumes :meth:`~repro.pipeline.config.CoreConfig.warm_signature`).
+Two jobs that could ever simulate differently therefore never share a key:
+a PRF-sizing sweep reuses variant names across sizing points, but each
+sizing point hashes to a different config fingerprint.
+
+Durability model
+----------------
+The store is a plain append-only JSONL file, one completed cell per line,
+flushed after every append.  Loading tolerates arbitrary corruption: a torn
+final line (the process was killed mid-append), garbage bytes, stale
+versions and unreadable files are all skipped -- the affected cells simply
+re-simulate on the next run, which the determinism tests prove yields a
+byte-identical artifact.  Duplicate keys keep the *last* record so a
+re-recorded cell wins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.pipeline.result import SimulationResult
+
+#: Bumped whenever the record layout changes; stale lines are ignored (the
+#: cells re-simulate) instead of being misread.
+STORE_FORMAT_VERSION = 1
+
+
+def job_key(job) -> str:
+    """Stable identity of one sweep cell (see the module docstring).
+
+    ``job`` is any object with the :class:`~repro.experiments.grid.Job`
+    surface: ``workload``, ``max_ops``, ``seed``, ``variant``, ``config``
+    and ``sampling``.  The key is human-readable up front (trace key and
+    variant for debugging a store file by eye) and exact at the back (full
+    config and sampling fingerprints).
+    """
+    config_fp = hashlib.sha256(repr(job.config).encode()).hexdigest()[:16]
+    if job.sampling is None:
+        sampling_fp = "full"
+    else:
+        sampling_fp = "s" + hashlib.sha256(
+            repr(job.sampling).encode()).hexdigest()[:12]
+    return (f"{job.workload}|ops{job.max_ops}|seed{job.seed}|{job.variant}"
+            f"|w{job.config.warm_signature()}|c{config_fp}|{sampling_fp}")
+
+
+@dataclass
+class StoreStats:
+    """Accounting for one :class:`ResultsStore` (reported by ``repro paper``)."""
+
+    hits: int = 0
+    misses: int = 0
+    appended: int = 0
+    corrupt_lines: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "appended": self.appended, "corrupt_lines": self.corrupt_lines}
+
+
+class ResultsStore:
+    """Append-only JSONL store of completed ``(job, SimulationResult)`` cells.
+
+    The store is safe to share across the many :func:`~repro.experiments
+    .runner.run_sweep` calls of one figure grid (one open handle, one
+    in-memory index) and across *processes over time* (every run reloads
+    the file).  It is **not** a concurrency primitive: results are always
+    appended from the sweep parent process, never from pool workers.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.stats = StoreStats()
+        self._index: dict[str, dict] | None = None
+        self._handle = None
+
+    # -- loading --------------------------------------------------------------------
+
+    def _load(self) -> dict[str, dict]:
+        """Parse the store file into the key index, skipping corrupt lines."""
+        if self._index is not None:
+            return self._index
+        index: dict[str, dict] = {}
+        try:
+            text = self.path.read_text(errors="replace")
+        except FileNotFoundError:
+            self._index = index
+            return index
+        except OSError:
+            # Unreadable store: behave as empty, the run re-simulates.
+            self.stats.corrupt_lines += 1
+            self._index = index
+            return index
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.stats.corrupt_lines += 1
+                continue
+            if (not isinstance(record, dict)
+                    or record.get("v") != STORE_FORMAT_VERSION
+                    or not isinstance(record.get("key"), str)
+                    or not isinstance(record.get("result"), dict)):
+                self.stats.corrupt_lines += 1
+                continue
+            index[record["key"]] = record["result"]
+        self._index = index
+        return index
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    # -- lookup / append ------------------------------------------------------------
+
+    def has(self, job) -> bool:
+        """Whether a record for ``job`` exists.
+
+        Unlike :meth:`get` this neither deserialises nor touches
+        :attr:`stats` -- it is the planning probe the sweep runner uses to
+        decide which traces/plans still need warming.
+        """
+        return job_key(job) in self._load()
+
+    def get(self, job) -> SimulationResult | None:
+        """The stored result for ``job``, or ``None`` (cell must run)."""
+        payload = self._load().get(job_key(job))
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        try:
+            result = SimulationResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            # A record whose body does not deserialize is corruption too.
+            self.stats.corrupt_lines += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def record(self, job, result: SimulationResult) -> None:
+        """Append one completed cell and flush it to disk immediately.
+
+        The flush is what makes a killed grid resumable: every cell that
+        finished before the kill is recoverable, at worst the one being
+        appended is lost as a torn line (and silently re-simulated).
+        """
+        key = job_key(job)
+        payload = result.to_dict()
+        line = json.dumps({"v": STORE_FORMAT_VERSION, "key": key,
+                           "job_id": getattr(job, "job_id", ""),
+                           "result": payload}, sort_keys=True)
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # A pre-existing file that does not end in a newline (torn
+            # final append, foreign corruption) must not swallow the first
+            # fresh record by concatenation -- start it on its own line.
+            needs_newline = False
+            try:
+                with self.path.open("rb") as existing:
+                    existing.seek(0, 2)
+                    if existing.tell() > 0:
+                        existing.seek(-1, 2)
+                        needs_newline = existing.read(1) != b"\n"
+            except OSError:
+                pass
+            self._handle = self.path.open("a")
+            if needs_newline:
+                self._handle.write("\n")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self._load()[key] = payload
+        self.stats.appended += 1
+
+    def close(self) -> None:
+        """Close the append handle (the store remains usable; it reopens)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

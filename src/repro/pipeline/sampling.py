@@ -37,6 +37,25 @@ Measurement methodology (see DESIGN.md for the error analysis):
 * the per-window IPC sample additionally yields a mean, standard deviation
   and a normal-approximation 95% confidence interval, all recorded on the
   :class:`~repro.pipeline.result.SimulationResult`.
+
+A worked example -- a 28%-detailed geometry, run end to end::
+
+    >>> from repro.pipeline.config import CoreConfig
+    >>> from repro.pipeline.sampling import SamplingConfig, simulate_sampled
+    >>> cfg = SamplingConfig(period=10_000, window=2_000, warmup=500,
+    ...                      cooldown=300)
+    >>> cfg.detailed_per_period
+    2800
+    >>> f"{cfg.detailed_fraction:.0%}"
+    '28%'
+    >>> result = simulate_sampled("move_chain", CoreConfig(), cfg,
+    ...                           max_ops=20_000)
+    >>> result.instructions          # every retired micro-op is accounted
+    20000
+    >>> int(result.stat("sampling_windows"))
+    2
+    >>> result.stat("fastforwarded_instructions") > 10_000
+    True
 """
 
 from __future__ import annotations

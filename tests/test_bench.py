@@ -33,6 +33,9 @@ TINY = BenchConfig(
     farm_schemes=("isrb", "refcount"),
     farm_max_ops=800,
     farm_sampling=SamplingConfig(period=200, window=60, warmup=50, cooldown=40),
+    # The paper tier runs the fixed-scale smoke figure grids; it has its
+    # own dedicated test below and would dominate this fixture's runtime.
+    paper=False,
 )
 
 #: CLI flags shared by the bench CLI tests: skip the expensive default-suite
@@ -158,6 +161,21 @@ def test_summary_metrics_present_and_positive(tiny_report):
     for key in ("trace_gen_ops_per_sec_geomean", "sim_ops_per_sec_geomean",
                 "sim_cycles_per_sec_geomean", "sweep_jobs_per_sec"):
         assert summary[key] > 0, key
+
+
+def test_paper_tier_times_the_smoke_pipeline():
+    """The paper/smoke case records cells-per-second of the whole pipeline."""
+    config = BenchConfig(workloads=("move_chain",), schemes=("baseline",),
+                         max_ops=300, repeat=1, sweep=False, sampled=False,
+                         long_workloads=(), farm_sweep=False, paper=True)
+    report = run_benchmarks(config)
+    by_name = {result.name: result for result in report.results}
+    paper = by_name["paper/smoke"]
+    assert paper.kind == "paper"
+    assert paper.detail["figures"] == 3
+    assert paper.detail["failures"] == 0
+    assert paper.ops == paper.detail["cells"] > 0
+    assert report.summary()["paper_cells_per_sec"] > 0
 
 
 def test_progress_callback_sees_every_case():
@@ -319,9 +337,10 @@ def test_cli_bench_narrowed_run_skips_farm_tier(tmp_path, capsys):
                  "--no-sampled", "--no-long", "--out", str(out)])
     assert code == 0
     captured = capsys.readouterr()
-    assert "skip the fixed-scale sweep_farm tier" in captured.err
+    assert "skip the fixed-scale sweep_farm and paper tiers" in captured.err
     data = json.loads(out.read_text())
-    assert not any(row["kind"] == "sweep_farm" for row in data["results"])
+    assert not any(row["kind"] in ("sweep_farm", "paper")
+                   for row in data["results"])
 
 
 def test_cli_bench_profile_prints_hotspots_and_never_saves(tmp_path, capsys):

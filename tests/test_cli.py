@@ -37,6 +37,48 @@ def test_sweep_and_report(tmp_path, capsys):
     assert capsys.readouterr().out.startswith("workload,")
 
 
+def test_version_flag(capsys):
+    import repro
+
+    try:
+        main(["--version"])
+    except SystemExit as exc:
+        assert exc.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_sweep_resume_skips_finished_cells(tmp_path, capsys):
+    argv = ["sweep", "--schemes", "isrb", "--workloads", "move_chain",
+            "--max-ops", "500", "--quiet", "--resume",
+            "--cache-dir", "", "--out-dir", str(tmp_path / "out")]
+    assert main(argv) == 0
+    err = capsys.readouterr().err
+    assert "2 cell(s) appended, 0 resumed" in err
+    assert (tmp_path / "out" / "results_store.jsonl").exists()
+    assert main(argv) == 0
+    assert "0 cell(s) appended, 2 resumed" in capsys.readouterr().err
+
+
+def test_paper_smoke_single_figure(tmp_path, capsys):
+    out = tmp_path / "paper"
+    assert main(["paper", "--smoke", "--figure", "9", "--quiet",
+                 "--out-dir", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "cells" in captured.out
+    assert (out / "REPORT.md").exists()
+    assert (out / "figure9.svg").exists()
+    assert (out / "figures.json").exists()
+    assert (out / "store" / "results.jsonl").exists()
+
+
+def test_paper_rejects_unknown_figure_value(tmp_path, capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["paper", "--figure", "12", "--out-dir", str(tmp_path)])
+    assert "--figure" in capsys.readouterr().err
+
+
 def test_sweep_rejects_unknown_scheme(tmp_path, capsys):
     code = main(["sweep", "--schemes", "bogus",
                  "--out-dir", str(tmp_path / "out"),

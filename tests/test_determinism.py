@@ -122,6 +122,77 @@ def test_sampled_sweep_caches_plans_not_traces(sampled_spec, tmp_path):
     assert again.to_markdown() == cached.to_markdown()
 
 
+def test_resumed_sweep_artifact_is_byte_identical(small_spec, tmp_path):
+    """A sweep killed mid-grid and resumed equals the uninterrupted bytes.
+
+    The results store is the resume mechanism: the "killed" run only
+    manages to append its first jobs, the resumed run supplies the rest,
+    and sweep.json must come out byte-identical either way.
+    """
+    from repro.experiments.runner import run_jobs
+    from repro.paper.store import ResultsStore
+
+    uninterrupted = run_sweep(small_spec, workers=1, cache_dir=None)
+
+    store_path = tmp_path / "results.jsonl"
+    killed = ResultsStore(store_path)
+    run_jobs(small_spec.expand()[:2], store=killed)
+    killed.close()  # the process dies here; two cells survived on disk
+
+    resumed = run_sweep(small_spec, workers=1, cache_dir=None,
+                        store=ResultsStore(store_path))
+    assert resumed.to_json() == uninterrupted.to_json()
+
+    out_a = tmp_path / "a"
+    out_b = tmp_path / "b"
+    uninterrupted.save(out_a)
+    resumed.save(out_b)
+    assert (out_a / "sweep.json").read_bytes() == (out_b / "sweep.json").read_bytes()
+
+
+def test_paper_figures_survive_interruption_byte_identically(tmp_path):
+    """An interrupted ``repro paper`` grid re-renders identical figures.json.
+
+    Uninterrupted run vs a run whose store starts with only a partial
+    grid: figures.json and REPORT.md must match byte for byte, because
+    both are pure functions of the simulation results.
+    """
+    from repro.experiments.runner import run_jobs
+    from repro.paper import FIGURES, run_paper
+    from repro.paper.store import ResultsStore
+
+    clean = run_paper(figures=("9",), smoke=True, out_dir=tmp_path / "clean")
+
+    out = tmp_path / "resumed"
+    store_path = out / "store" / "results.jsonl"
+    partial = ResultsStore(store_path)
+    jobs = FIGURES["9"].slices(smoke=True)[0].spec.expand()
+    run_jobs(jobs[:3], store=partial)
+    partial.close()  # interrupted here
+
+    resumed = run_paper(figures=("9",), smoke=True, out_dir=out)
+    assert resumed.simulated == len(jobs) - 3
+    assert (resumed.paths["figures_json"].read_bytes()
+            == clean.paths["figures_json"].read_bytes())
+    assert (resumed.paths["report"].read_bytes()
+            == clean.paths["report"].read_bytes())
+    assert (resumed.paths["figure9"].read_bytes()
+            == clean.paths["figure9"].read_bytes())
+
+
+def test_store_corruption_degrades_to_clean_rerun_with_same_bytes(small_spec,
+                                                                  tmp_path):
+    """A trashed results store never changes the artifact, only the work."""
+    from repro.paper.store import ResultsStore
+
+    reference = run_sweep(small_spec, workers=1, cache_dir=None)
+    store_path = tmp_path / "results.jsonl"
+    store_path.write_bytes(b"\xde\xad not a store \xbe\xef\n" * 20)
+    rerun = run_sweep(small_spec, workers=1, cache_dir=None,
+                      store=ResultsStore(store_path))
+    assert rerun.to_json() == reference.to_json()
+
+
 def test_trace_generation_is_deterministic():
     from repro.workloads import generate_trace
 

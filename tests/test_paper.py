@@ -1,0 +1,302 @@
+"""Tests for the paper-figure pipeline: results store, figure grids, charts.
+
+The acceptance properties pinned here:
+
+* the store round-trips results, distinguishes configurations that could
+  simulate differently, survives corruption by re-running, and makes
+  ``run_jobs``/``run_sweep``/``run_paper`` resumable;
+* ``repro paper --smoke`` produces REPORT.md, three SVG figures and
+  figures.json, and a second invocation after deleting rendered artifacts
+  re-renders them from the store **without simulating anything**;
+* the SVG renderer emits well-formed standalone documents with a legend,
+  tooltips and the series data.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.grid import SweepSpec
+from repro.experiments.runner import run_jobs, run_sweep
+from repro.paper import FIGURES, ResultsStore, bar_chart, job_key, line_chart, run_paper
+from repro.pipeline.config import CoreConfig
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture()
+def small_jobs():
+    return SweepSpec(schemes=("isrb",), workloads=("move_chain",),
+                     max_ops=800).expand()
+
+
+# -- store keying -------------------------------------------------------------------
+
+
+def test_job_key_distinguishes_prf_sizing(small_jobs):
+    """Same variant name on a resized machine must never share a key."""
+    job = small_jobs[1]
+    resized = SweepSpec(
+        schemes=("isrb",), workloads=("move_chain",), max_ops=800,
+        base_config=CoreConfig().replace(num_int_pregs=128,
+                                         num_fp_pregs=128)).expand()[1]
+    assert job.variant == resized.variant
+    assert job_key(job) != job_key(resized)
+
+
+def test_job_key_distinguishes_sampling_and_trace(small_jobs):
+    job = small_jobs[0]
+    sampled = SweepSpec(schemes=("isrb",), workloads=("move_chain",),
+                        max_ops=6_000, sample_period=2_000,
+                        sample_window=600, sample_warmup=300).expand()[0]
+    longer = SweepSpec(schemes=("isrb",), workloads=("move_chain",),
+                       max_ops=900).expand()[0]
+    keys = {job_key(job), job_key(sampled), job_key(longer)}
+    assert len(keys) == 3
+
+
+# -- store durability ---------------------------------------------------------------
+
+
+def test_store_roundtrip_and_resume(tmp_path, small_jobs):
+    store = ResultsStore(tmp_path / "results.jsonl")
+    first = run_jobs(small_jobs, store=store)
+    assert all(r.ok and not r.from_store for r in first)
+    assert store.stats.appended == len(small_jobs)
+
+    # A brand-new store object over the same file resumes everything.
+    store.close()
+    reopened = ResultsStore(tmp_path / "results.jsonl")
+    second = run_jobs(small_jobs, store=reopened)
+    assert all(r.ok and r.from_store for r in second)
+    for a, b in zip(first, second):
+        assert a.result.to_dict() == b.result.to_dict()
+
+
+def test_store_skips_corrupt_lines_and_reruns_those_cells(tmp_path, small_jobs):
+    path = tmp_path / "results.jsonl"
+    store = ResultsStore(path)
+    run_jobs(small_jobs, store=store)
+    store.close()
+
+    # Corrupt one record (garbage) and tear the final line mid-append.
+    lines = path.read_text().splitlines()
+    lines[0] = "{this is not json"
+    text = "\n".join(lines) + "\n" + '{"v": 1, "key": "torn", "resu'
+    path.write_text(text)
+
+    resumed = ResultsStore(path)
+    results = run_jobs(small_jobs, store=resumed)
+    assert all(r.ok for r in results)
+    # Exactly the corrupted cell re-simulated; the intact one resumed.
+    assert sum(1 for r in results if r.from_store) == len(small_jobs) - 1
+    assert resumed.stats.corrupt_lines >= 2
+
+
+def test_store_total_corruption_falls_back_to_clean_rerun(tmp_path, small_jobs):
+    path = tmp_path / "results.jsonl"
+    path.write_bytes(b"\x00\xff garbage \x00" * 50)
+    store = ResultsStore(path)
+    results = run_jobs(small_jobs, store=store)
+    assert all(r.ok and not r.from_store for r in results)
+    # The re-run repopulated the store; a fresh handle resumes fully.
+    store.close()
+    again = run_jobs(small_jobs, store=ResultsStore(path))
+    assert all(r.from_store for r in again)
+
+
+def test_store_ignores_records_with_wrong_version(tmp_path, small_jobs):
+    path = tmp_path / "results.jsonl"
+    store = ResultsStore(path)
+    run_jobs(small_jobs, store=store)
+    store.close()
+    bumped = path.read_text().replace('"v": 1', '"v": 99')
+    path.write_text(bumped)
+    results = run_jobs(small_jobs, store=ResultsStore(path))
+    assert all(not r.from_store for r in results)
+
+
+# -- resumable sweeps ----------------------------------------------------------------
+
+
+def test_run_sweep_resume_after_kill_is_byte_identical(tmp_path):
+    """An interrupted grid, resumed, equals the uninterrupted artifact."""
+    spec = SweepSpec(schemes=("isrb", "refcount_checkpoint"),
+                     workloads=("spill_reload", "move_chain"), max_ops=1_500)
+    uninterrupted = run_sweep(spec, cache_dir=None)
+
+    # "Kill" a run after three jobs: only those cells reach the store.
+    path = tmp_path / "results.jsonl"
+    partial = ResultsStore(path)
+    run_jobs(spec.expand()[:3], store=partial)
+    partial.close()  # the process dies here
+
+    resumed_store = ResultsStore(path)
+    resumed = run_sweep(spec, cache_dir=None, store=resumed_store)
+    assert sum(1 for _ in spec.expand()) == 6
+    assert resumed_store.stats.appended == 3  # only the missing cells ran
+    assert resumed.to_json() == uninterrupted.to_json()
+    assert resumed.to_markdown() == uninterrupted.to_markdown()
+
+
+def test_run_sweep_sampled_resume_matches_fresh_run(tmp_path):
+    """Resume composes with the checkpoint farm (sampled sweeps)."""
+    spec = SweepSpec(schemes=("isrb",), workloads=("spill_reload",),
+                     max_ops=3_000, sample_period=1_000, sample_window=300,
+                     sample_warmup=200)
+    fresh = run_sweep(spec, cache_dir=None)
+    store = ResultsStore(tmp_path / "results.jsonl")
+    first = run_sweep(spec, cache_dir=None, store=store)
+    second = run_sweep(spec, cache_dir=None, store=store)
+    store.close()
+    assert first.to_json() == fresh.to_json()
+    assert second.to_json() == fresh.to_json()
+    assert store.stats.appended == spec.job_count()  # second run added nothing
+
+
+# -- the paper pipeline --------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def paper_smoke(tmp_path_factory):
+    out = tmp_path_factory.mktemp("paper_smoke")
+    summary = run_paper(smoke=True, out_dir=out)
+    return out, summary
+
+
+def test_paper_smoke_produces_all_artifacts(paper_smoke):
+    out, summary = paper_smoke
+    assert summary.failures == 0
+    assert summary.simulated > 0
+    assert (out / "REPORT.md").exists()
+    assert (out / "figures.json").exists()
+    svgs = sorted(p.name for p in out.glob("*.svg"))
+    assert svgs == ["figure7.svg", "figure8.svg", "figure9.svg"]
+    report = (out / "REPORT.md").read_text()
+    for figure in ("Figure 7", "Figure 8", "Figure 9"):
+        assert figure in report
+    assert "**geomean**" in report
+    # The report narrates the claims with explicit verdicts.
+    assert "Checks against the claim" in report
+    data = json.loads((out / "figures.json").read_text())
+    assert [f["figure"] for f in data["figures"]] == ["7", "8", "9"]
+    for figure in data["figures"]:
+        assert figure["series"], figure["figure"]
+        assert figure["claims"], figure["figure"]
+
+
+def test_paper_smoke_report_contains_no_wallclock(paper_smoke):
+    """The artifact must be a pure function of the simulation results."""
+    out, _ = paper_smoke
+    report = (out / "REPORT.md").read_text()
+    for forbidden in ("seconds", "elapsed", "20.7.", "2026"):
+        assert forbidden not in report
+
+
+def test_paper_rerender_after_artifact_delete_never_simulates(paper_smoke):
+    out, _ = paper_smoke
+    figures_json = (out / "figures.json").read_bytes()
+    (out / "figure7.svg").unlink()
+    (out / "figures.json").unlink()
+    summary = run_paper(smoke=True, out_dir=out)
+    assert summary.simulated == 0
+    assert summary.from_store == summary.total_cells
+    assert (out / "figure7.svg").exists()
+    assert (out / "figures.json").read_bytes() == figures_json
+
+
+def test_paper_single_figure_subset_reuses_store(paper_smoke):
+    out, _ = paper_smoke
+    summary = run_paper(figures=("9",), smoke=True, out_dir=out)
+    assert summary.simulated == 0
+    assert summary.figures == ["9"]
+
+
+def test_paper_rejects_unknown_figure(tmp_path):
+    with pytest.raises(ValueError, match="unknown figure"):
+        run_paper(figures=("11",), smoke=True, out_dir=tmp_path)
+
+
+def test_paper_figures_json_is_deterministic_across_runs(tmp_path):
+    first = run_paper(figures=("9",), smoke=True, out_dir=tmp_path / "a")
+    second = run_paper(figures=("9",), smoke=True, out_dir=tmp_path / "b")
+    assert (first.paths["figures_json"].read_bytes()
+            == second.paths["figures_json"].read_bytes())
+    assert (first.paths["report"].read_bytes()
+            == second.paths["report"].read_bytes())
+    assert (first.paths["figure9"].read_bytes()
+            == second.paths["figure9"].read_bytes())
+
+
+# -- figure grids --------------------------------------------------------------------
+
+
+def test_figure_smoke_grids_are_small_and_valid():
+    for key, spec in FIGURES.items():
+        slices = spec.slices(smoke=True)
+        assert slices, key
+        total = sum(s.spec.job_count() for s in slices)
+        assert total <= 24, f"figure {key} smoke grid too large ({total})"
+
+
+def test_figure7_full_grid_has_sampled_long_slice():
+    labels = {s.label: s for s in FIGURES["7"].slices(smoke=False)}
+    assert set(labels) == {"main", "long"}
+    assert labels["long"].spec.sample_period is not None
+    assert labels["main"].spec.sample_period is None
+    # An explicit sample period converts the whole figure to sampled mode.
+    sampled = {s.label: s for s in FIGURES["7"].slices(smoke=False,
+                                                       sample_period=10_000)}
+    assert sampled["main"].spec.sample_period == 10_000
+    assert sampled["long"].spec.sample_period == 10_000
+
+
+def test_figure8_slices_resize_both_register_classes():
+    for grid_slice in FIGURES["8"].slices(smoke=False):
+        config = grid_slice.spec.base_config
+        assert config.num_int_pregs == grid_slice.x_value
+        assert config.num_fp_pregs == grid_slice.x_value
+
+
+# -- the SVG renderer ----------------------------------------------------------------
+
+
+def _parse_svg(document: str) -> ET.Element:
+    root = ET.fromstring(document)
+    assert root.tag == f"{SVG_NS}svg"
+    return root
+
+
+def test_bar_chart_is_wellformed_with_legend_and_tooltips():
+    svg = bar_chart("Speedup", ["w1", "w2", "geomean"],
+                    [("isrb", [1.1, 1.2, 1.15]), ("mit", [1.0, None, 1.0])],
+                    y_label="speedup (x)")
+    root = _parse_svg(svg)
+    texts = [t.text for t in root.iter(f"{SVG_NS}text")]
+    assert "isrb" in texts and "mit" in texts  # legend for >= 2 series
+    tooltips = [t.text for t in root.iter(f"{SVG_NS}title")]
+    assert any("isrb / w1: 1.100x" in t for t in tooltips)
+    # The missing cell renders nothing rather than a zero bar.
+    assert not any("mit / w2" in t for t in tooltips)
+
+
+def test_line_chart_is_wellformed_with_markers():
+    svg = line_chart("Capacity", [8, 16, 32],
+                     [("isrb", [1.05, 1.1, 1.12]),
+                      ("unlimited", [1.13, 1.13, 1.13])],
+                     x_label="entries", y_label="speedup (x)")
+    root = _parse_svg(svg)
+    circles = list(root.iter(f"{SVG_NS}circle"))
+    assert len(circles) >= 6  # one ringed marker per point
+    paths = [p for p in root.iter(f"{SVG_NS}path")]
+    assert len(paths) == 2  # one polyline per series
+
+
+def test_charts_escape_hostile_text():
+    svg = bar_chart('<&"evil>', ["<cat>"], [("<series&>", [1.0])],
+                    y_label="<y>")
+    _parse_svg(svg)  # must stay well-formed XML
