@@ -38,6 +38,12 @@ which is ``python -m repro paper --smoke`` on the command line -- resumable
 via an append-only results store, so interrupted grids restart where they
 stopped.
 
+Observability lives in :mod:`repro.telemetry` (docs/observability.md):
+opt-in per-instruction pipeline tracing (``CoreConfig.with_trace()`` /
+``python -m repro trace``), the unified :class:`MetricsRegistry` behind
+every stat dictionary, and structured run logging with live progress for
+the sweep and paper pipelines.
+
 The subpackages are documented in DESIGN.md and docs/maintainer-guide.md;
 the most useful entry points are re-exported here.
 """
@@ -63,9 +69,16 @@ from repro.pipeline.core import Core, simulate, simulate_trace
 from repro.pipeline.sampling import SampledSimulator, SamplingConfig, simulate_sampled
 from repro.pipeline.snapshot import CoreSnapshot
 from repro.pipeline.result import SimulationResult
+from repro.telemetry import (
+    MetricsRegistry,
+    PipelineTracer,
+    ProgressReporter,
+    RunLogger,
+    TraceConfig,
+)
 from repro.workloads import DEFAULT_SUITE, generate_trace, list_workloads
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -99,4 +112,9 @@ __all__ = [
     "generate_trace",
     "list_workloads",
     "DEFAULT_SUITE",
+    "MetricsRegistry",
+    "PipelineTracer",
+    "ProgressReporter",
+    "RunLogger",
+    "TraceConfig",
 ]

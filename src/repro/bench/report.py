@@ -205,7 +205,8 @@ def default_meta(**extra) -> dict:
 
 
 def compare_reports(current: BenchReport, baseline: BenchReport,
-                    tolerance: float = 0.30) -> list[str]:
+                    tolerance: float = 0.30,
+                    kinds: list[str] | None = None) -> list[str]:
     """Compare throughput against a committed baseline.
 
     Returns a list of human-readable regression messages; empty means the
@@ -218,6 +219,11 @@ def compare_reports(current: BenchReport, baseline: BenchReport,
     never failures.  ``tolerance`` is the allowed fractional slowdown
     (0.30 = 30%), sized generously because CI machines differ in absolute
     speed run-to-run.
+
+    ``kinds`` restricts the gate to those benchmark kinds (e.g.
+    ``["sim"]`` for the tight tracing-off overhead gate, which needs a
+    much smaller tolerance than the microbenchmark kinds can hold on
+    shared CI runners).  ``None`` gates every shared kind.
     """
     if not 0 <= tolerance < 1:
         raise ValueError("tolerance must be in [0, 1)")
@@ -226,8 +232,10 @@ def compare_reports(current: BenchReport, baseline: BenchReport,
     shared = sorted(set(current_by_name) & set(baseline_by_name))
 
     metrics: list[tuple[str, float, float]] = []
-    kinds = sorted({baseline_by_name[name].kind for name in shared})
-    for kind in kinds:
+    shared_kinds = sorted({baseline_by_name[name].kind for name in shared})
+    if kinds is not None:
+        shared_kinds = [kind for kind in shared_kinds if kind in kinds]
+    for kind in shared_kinds:
         names = [name for name in shared if baseline_by_name[name].kind == kind]
         metrics.append((
             f"{kind}_ops_per_sec_geomean[{len(names)} shared case(s)]",

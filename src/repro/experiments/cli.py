@@ -4,6 +4,7 @@ Subcommands::
 
     repro list                 # workloads and tracker schemes
     repro run WORKLOAD [...]   # one (workload, config) simulation
+    repro trace WORKLOAD [...] # traced window -> JSONL/Chrome/Kanata/SVG
     repro sweep [...]          # parallel evaluation matrix + report artifacts
     repro paper [...]          # the paper's Figures 7-9 -> artifacts/paper/
     repro report SWEEP.json    # re-render tables from a saved artifact
@@ -28,10 +29,11 @@ from pathlib import Path
 
 from repro.experiments.grid import SCHEME_PRESETS, SweepSpec, known_schemes
 from repro.experiments.report import SweepReport
-from repro.experiments.runner import JobResult, run_sweep
+from repro.experiments.runner import run_sweep
 from repro.pipeline.config import CoreConfig
-from repro.pipeline.core import simulate
-from repro.workloads import workload_specs
+from repro.pipeline.core import Core, simulate
+from repro.telemetry import ProgressReporter, RunLogger
+from repro.workloads import generate_trace, workload_specs
 
 
 def _csv_list(text: str) -> tuple[str, ...]:
@@ -71,6 +73,37 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="detailed warmup before each window (default 500)")
     run.add_argument("--json", action="store_true",
                      help="print the full result as JSON")
+    run.add_argument("--trace-out", default=None, metavar="DIR",
+                     help="record pipeline lifecycle events for the first "
+                          "--trace-window micro-ops and write trace.jsonl / "
+                          "trace.chrome.json / trace.kanata / timeline.svg "
+                          "under DIR (full-detail runs only)")
+    run.add_argument("--trace-window", type=int, default=256, metavar="N",
+                     help="traced window length in micro-ops (default 256)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a bounded traced window and render the pipeline timeline "
+             "(JSONL + Chrome trace-event JSON + Kanata + SVG)")
+    trace.add_argument("workload")
+    trace.add_argument("--scheme", default="isrb", choices=known_schemes())
+    trace.add_argument("--baseline", action="store_true",
+                       help="trace the no-sharing Table-1 baseline instead")
+    trace.add_argument("--no-move-elim", action="store_true",
+                       help="disable move elimination")
+    trace.add_argument("--no-smb", action="store_true",
+                       help="disable speculative memory bypassing")
+    trace.add_argument("--max-ops", type=int, default=4_000,
+                       help="trace length to simulate (default 4000)")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--start", type=int, default=0, metavar="SEQ",
+                       help="first traced sequence number (default 0)")
+    trace.add_argument("--window", type=int, default=200, metavar="N",
+                       help="traced window length in micro-ops (default 200)")
+    trace.add_argument("--rows", type=int, default=64, metavar="N",
+                       help="max instruction rows in timeline.svg (default 64)")
+    trace.add_argument("--out-dir", default="trace_out",
+                       help="artifact directory (default: trace_out)")
 
     sweep = sub.add_parser("sweep", help="run an evaluation matrix in parallel")
     sweep.add_argument("--schemes", type=_csv_list, default=("isrb",),
@@ -114,6 +147,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(interrupted sweeps restart where they stopped)")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
+    sweep.add_argument("--log", default=None, metavar="RUN.jsonl",
+                       help="append structured run events (phases, per-job "
+                            "outcomes, failure warnings) as JSON lines")
 
     paper = sub.add_parser(
         "paper",
@@ -140,6 +176,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "<out-dir>/store/results.jsonl)")
     paper.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress lines")
+    paper.add_argument("--log", default=None, metavar="RUN.jsonl",
+                       help="append structured run events (phases, per-cell "
+                            "outcomes, failure warnings) as JSON lines")
 
     report = sub.add_parser("report", help="re-render a saved sweep artifact")
     report.add_argument("artifact", help="path to a sweep.json file")
@@ -187,6 +226,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.30,
                        help="allowed fractional slowdown vs the baseline "
                             "(default 0.30)")
+    bench.add_argument("--gate-kinds", type=_csv_list, default=(),
+                       metavar="KINDS",
+                       help="restrict the baseline gate to these benchmark "
+                            "kinds (e.g. 'sim' for the tight tracing-off "
+                            "overhead gate; default: every shared kind)")
     bench.add_argument("--profile", action="store_true",
                        help="run the selected benchmark tiers under cProfile "
                             "and print the top-20 cumulative functions, so "
@@ -212,18 +256,50 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _config_from_flags(args: argparse.Namespace) -> CoreConfig:
+    """The core configuration described by run/trace scheme flags."""
     if args.baseline:
-        config = CoreConfig()
-    else:
-        preset = SCHEME_PRESETS[args.scheme]
-        config = CoreConfig().with_tracker(
-            scheme=preset["scheme"], entries=preset["entries"],
-            counter_bits=preset["counter_bits"])
-        if not args.no_move_elim:
-            config = config.with_move_elimination()
-        if not args.no_smb:
-            config = config.with_smb()
+        return CoreConfig()
+    preset = SCHEME_PRESETS[args.scheme]
+    config = CoreConfig().with_tracker(
+        scheme=preset["scheme"], entries=preset["entries"],
+        counter_bits=preset["counter_bits"])
+    if not args.no_move_elim:
+        config = config.with_move_elimination()
+    if not args.no_smb:
+        config = config.with_smb()
+    return config
+
+
+def _write_trace_artifacts(tracer, out_dir, rows: int = 64) -> dict[str, Path]:
+    """Write every trace export format for one completed traced run."""
+    from repro.paper.charts import timeline_chart
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "jsonl": out / "trace.jsonl",
+        "chrome": out / "trace.chrome.json",
+        "kanata": out / "trace.kanata",
+        "svg": out / "timeline.svg",
+    }
+    paths["jsonl"].write_text(tracer.to_jsonl())
+    paths["chrome"].write_text(
+        json.dumps(tracer.to_chrome_trace(), indent=1, sort_keys=True) + "\n")
+    paths["kanata"].write_text(tracer.to_kanata())
+    title = f"{tracer.workload} pipeline timeline [{tracer.scheme}]"
+    paths["svg"].write_text(
+        timeline_chart(title, tracer.timeline(), max_rows=rows) + "\n")
+    return paths
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_flags(args)
+    if args.trace_out is not None and args.sample_period is not None:
+        print("error: --trace-out requires a full-detail run "
+              "(drop --sample-period)", file=sys.stderr)
+        return 2
+    core = None
     try:
         if args.sample_period is not None:
             from repro.pipeline.sampling import SamplingConfig, simulate_sampled
@@ -233,6 +309,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                       warmup=args.warmup)
             result = simulate_sampled(args.workload, config, sampling,
                                       max_ops=args.max_ops, seed=args.seed)
+        elif args.trace_out is not None:
+            trace = generate_trace(args.workload, max_ops=args.max_ops,
+                                   seed=args.seed)
+            core = Core(config.with_trace(start=0, limit=args.trace_window))
+            result = core.run(trace)
         else:
             result = simulate(args.workload, config, max_ops=args.max_ops,
                               seed=args.seed)
@@ -253,6 +334,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"{result.stat('sampling_ipc_ci95_high'):.3f}] 95% CI, "
                   f"{result.stat('fastforwarded_instructions'):.0f} micro-ops "
                   "fast-forwarded")
+    if core is not None and core.tracer is not None:
+        paths = _write_trace_artifacts(core.tracer, args.trace_out)
+        print(f"trace artifacts: {paths['jsonl'].parent}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        config = _config_from_flags(args).with_trace(start=args.start,
+                                                     limit=args.window)
+        trace = generate_trace(args.workload, max_ops=args.max_ops,
+                               seed=args.seed)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    core = Core(config)
+    result = core.run(trace)
+    tracer = core.tracer
+    print(result.summary())
+    summary = tracer.summary()
+    note = ", event cap hit (raise --window care or TraceConfig.max_events)" \
+        if tracer.truncated else ""
+    print(f"traced window: seq [{args.start}, {args.start + args.window}) -> "
+          f"{summary.value('traced_instructions'):.0f} lifecycle(s), "
+          f"{len(tracer.events)} event(s), "
+          f"{summary.value('traced_squashes'):.0f} squash(es){note}")
+    paths = _write_trace_artifacts(tracer, args.out_dir, rows=args.rows)
+    for name in ("jsonl", "chrome", "kanata", "svg"):
+        print(f"  {name:6s}: {paths[name]}")
     return 0
 
 
@@ -268,11 +381,35 @@ def _parse_entries(text: str) -> tuple[int | None, ...]:
     return tuple(values)
 
 
-def _progress_printer(completed: int, total: int, job_result: JobResult) -> None:
-    status = "ok" if job_result.ok else "FAILED"
-    ipc = f" ipc={job_result.result.ipc:.2f}" if job_result.result else ""
-    print(f"[{completed}/{total}] {job_result.job.job_id:48s} {status}"
-          f"{ipc} ({job_result.elapsed:.1f}s)", file=sys.stderr)
+def _make_observability(args: argparse.Namespace, label: str):
+    """(progress callback, logger) for a sweep-shaped command.
+
+    Progress is a live ``[completed/total]`` line with cells/s and ETA
+    (suppressed by ``--quiet``); the logger collects phase timings and
+    failure warnings, and also appends JSON lines when ``--log`` is given.
+    """
+    progress = None
+    if not args.quiet:
+        progress = ProgressReporter(stream=sys.stderr, label=label).job_progress
+    log_path = getattr(args, "log", None)
+    logger = None
+    if log_path or not args.quiet:
+        logger = RunLogger(path=log_path,
+                           stream=None if args.quiet else sys.stderr)
+    return progress, logger
+
+
+def _finish_observability(logger) -> None:
+    """Print the phase-time summary and close the log file."""
+    if logger is None:
+        return
+    if logger.phase_seconds:
+        phases = "  ".join(f"{name} {seconds:.1f}s"
+                           for name, seconds in logger.phase_seconds.items())
+        print(f"phases: {phases}", file=sys.stderr)
+    if logger.path is not None:
+        print(f"run log: {logger.path}", file=sys.stderr)
+    logger.close()
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -295,7 +432,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     print(spec.describe(), file=sys.stderr)
     cache_dir = args.cache_dir or None
-    progress = None if args.quiet else _progress_printer
+    progress, logger = _make_observability(args, label="jobs")
     store = None
     if args.resume:
         from repro.paper.store import ResultsStore
@@ -303,7 +440,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store = ResultsStore(Path(args.out_dir) / "results_store.jsonl")
     report = run_sweep(spec, workers=args.jobs, cache_dir=cache_dir,
                        timeout=args.timeout, progress=progress,
-                       farm=not args.no_farm, store=store)
+                       farm=not args.no_farm, store=store, logger=logger)
+    _finish_observability(logger)
     if store is not None:
         store.close()
         print(f"results store: {store.stats.appended} cell(s) appended, "
@@ -333,6 +471,7 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         print(f"figure {figure} [{label}]: {job_count} cell(s)",
               file=sys.stderr)
 
+    progress, logger = _make_observability(args, label="cells")
     try:
         summary = run_paper(
             figures=tuple(args.figure) if args.figure else None,
@@ -342,13 +481,15 @@ def _cmd_paper(args: argparse.Namespace) -> int:
             workers=args.jobs,
             seed=args.seed,
             timeout=args.timeout,
-            progress=None if args.quiet else _progress_printer,
+            progress=progress,
             slice_progress=None if args.quiet else slice_progress,
             store_path=args.store,
+            logger=logger,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _finish_observability(logger)
     print(summary.describe())
     print(f"report    : {summary.paths['report']}")
     return 1 if summary.failures else 0
@@ -371,7 +512,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _gate_against_baseline(report, baseline_path: str, tolerance: float) -> int:
+def _gate_against_baseline(report, baseline_path: str, tolerance: float,
+                           kinds: tuple[str, ...] = ()) -> int:
     from repro.bench import BenchReport, compare_reports
 
     try:
@@ -379,13 +521,15 @@ def _gate_against_baseline(report, baseline_path: str, tolerance: float) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
         return 2
-    regressions = compare_reports(report, baseline, tolerance=tolerance)
+    regressions = compare_reports(report, baseline, tolerance=tolerance,
+                                  kinds=list(kinds) or None)
+    scope = f" [{','.join(kinds)} only]" if kinds else ""
     if regressions:
-        print("\nperformance regressions vs baseline:", file=sys.stderr)
+        print(f"\nperformance regressions vs baseline{scope}:", file=sys.stderr)
         for message in regressions:
             print(f"  {message}", file=sys.stderr)
         return 1
-    print(f"\nno regressions vs {baseline_path} "
+    print(f"\nno regressions vs {baseline_path}{scope} "
           f"(tolerance {tolerance * 100:.0f}%)", file=sys.stderr)
     return 0
 
@@ -405,7 +549,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: cannot read artifact {args.check}: {exc}", file=sys.stderr)
             return 2
-        return _gate_against_baseline(report, args.baseline, args.tolerance)
+        return _gate_against_baseline(report, args.baseline, args.tolerance,
+                                      kinds=args.gate_kinds)
 
     config = BenchConfig.smoke() if args.smoke else BenchConfig()
     overrides = {}
@@ -471,6 +616,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(20)
+        # The full profile rides along as a .pstats artifact so hotspots
+        # can be explored offline (snakeviz, pstats.Stats) instead of
+        # being limited to the printed top 20.
+        pstats_path = Path(args.out or "BENCH_core.json").with_suffix(".pstats")
+        stats.dump_stats(str(pstats_path))
+        print(f"profile artifact: {pstats_path}", file=sys.stderr)
     print(report.to_text())
     if args.out and args.profile:
         # Profiled wall times are inflated by instrumentation; never let
@@ -495,14 +646,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print("note: skipping baseline gate (profiled timings are not "
                   "comparable)", file=sys.stderr)
             return 0
-        return _gate_against_baseline(report, args.baseline, args.tolerance)
+        return _gate_against_baseline(report, args.baseline, args.tolerance,
+                                      kinds=args.gate_kinds)
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also installed as the ``repro`` console script)."""
     args = _build_parser().parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run,
+    handlers = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
                 "sweep": _cmd_sweep, "paper": _cmd_paper,
                 "report": _cmd_report, "bench": _cmd_bench}
     return handlers[args.command](args)

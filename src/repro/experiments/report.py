@@ -19,6 +19,14 @@ from pathlib import Path
 from repro.pipeline.result import SimulationResult
 
 
+def _failure_gist(error: str | None) -> str:
+    """One-line summary of a recorded failure (tracebacks keep only the
+    exception line; see :func:`repro.experiments.runner.failure_summary`)."""
+    from repro.experiments.runner import failure_summary
+
+    return failure_summary(error)
+
+
 def geomean(values) -> float:
     """Geometric mean of positive values (0.0 for an empty sequence)."""
     values = list(values)
@@ -85,9 +93,17 @@ class SweepReport:
             lines.append("")
             lines.append(skip_line)
         if self.failures:
+            # Structured failure footer: one line per failed cell with the
+            # job identity and a one-line failure summary (the exception
+            # line of the traceback), so the report alone explains which
+            # cells are FAIL and why.
             lines.append("")
-            lines.append(f"{len(self.failures)} job(s) failed: "
-                         + ", ".join(f["job_id"] for f in self.failures))
+            lines.append(f"{len(self.failures)} job(s) failed:")
+            for failure in self.failures:
+                lines.append(f"- `{failure['job_id']}` "
+                             f"({failure.get('workload', '?')}, "
+                             f"{failure.get('variant', '?')}): "
+                             f"{_failure_gist(failure.get('error'))}")
         return "\n".join(lines)
 
     def _cycle_skipping_line(self) -> str:

@@ -32,6 +32,7 @@ pool -> report together.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import shutil
 import tempfile
@@ -68,6 +69,32 @@ class JobResult:
 
 #: Progress callback signature: ``(completed_count, total, job_result)``.
 ProgressCallback = Callable[[int, int, JobResult], None]
+
+
+def failure_summary(error: str | None) -> str:
+    """One-line gist of a job failure (the exception line of a traceback)."""
+    if not error:
+        return "unknown failure"
+    lines = [line.strip() for line in error.strip().splitlines() if line.strip()]
+    return lines[-1] if lines else "unknown failure"
+
+
+def _note_failure(logger, job_result: JobResult) -> None:
+    """Surface a failed job as a structured warning event (satellite of the
+    sweep footer: the same summary lands in ``SweepReport.to_markdown``)."""
+    if logger is None or job_result.ok:
+        return
+    job = job_result.job
+    logger.warning("job_failed", job_id=job.job_id, workload=job.workload,
+                   variant=job.config.variant_name(),
+                   error=failure_summary(job_result.error))
+
+
+def _phase(logger, name: str, **fields):
+    """``logger.phase(name)`` or a no-op context when no logger is wired."""
+    if logger is None:
+        return contextlib.nullcontext()
+    return logger.phase(name, **fields)
 
 #: Per-process read memos: a pool worker executes many jobs on the same few
 #: workloads, so re-reading the pickled trace/plan for every job is wasted
@@ -141,7 +168,7 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
              cache_dir: str | None = None,
              progress: ProgressCallback | None = None,
              plans: dict | None = None, farm: bool = True,
-             store=None) -> list[JobResult]:
+             store=None, logger=None) -> list[JobResult]:
     """Run every job; returns one :class:`JobResult` per job, in input order.
 
     ``workers`` <= 1 runs in-process (easier to debug, no fork overhead for
@@ -162,11 +189,16 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
     it *as it completes*, so an interrupted grid loses at most the cell in
     flight.  Results are identical with or without a store (the
     determinism tests pin the artifact bytes).
+
+    ``logger`` is an optional :class:`~repro.telemetry.runlog.RunLogger`:
+    each failed job is surfaced as a structured ``job_failed`` warning
+    event carrying the job identity and a one-line failure summary.
     """
     if store is not None:
         return _run_jobs_resumable(jobs, store, workers=workers,
                                    timeout=timeout, cache_dir=cache_dir,
-                                   progress=progress, plans=plans, farm=farm)
+                                   progress=progress, plans=plans, farm=farm,
+                                   logger=logger)
     cache_root = str(cache_dir) if cache_dir is not None else None
     total = len(jobs)
     results: list[JobResult] = []
@@ -177,6 +209,7 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
             ok, result, error, elapsed = _execute_job((job, cache_root, plan, farm))
             job_result = JobResult(job=job, ok=ok, result=result, error=error,
                                    elapsed=elapsed)
+            _note_failure(logger, job_result)
             results.append(job_result)
             if progress is not None:
                 progress(index + 1, total, job_result)
@@ -200,6 +233,7 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
             except Exception as exc:  # worker died (e.g. OOM kill)
                 job_result = JobResult(job=job, ok=False,
                                        error=f"worker failed: {exc!r}")
+            _note_failure(logger, job_result)
             results.append(job_result)
             if progress is not None:
                 progress(index + 1, total, job_result)
@@ -216,7 +250,8 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
 def _run_jobs_resumable(jobs: list[Job], store, workers: int,
                         timeout: float | None, cache_dir: str | None,
                         progress: ProgressCallback | None,
-                        plans: dict | None, farm: bool) -> list[JobResult]:
+                        plans: dict | None, farm: bool,
+                        logger=None) -> list[JobResult]:
     """The resume path of :func:`run_jobs`: store hits first, misses simulated.
 
     Store hits are reported through ``progress`` up front (elapsed 0), then
@@ -244,13 +279,16 @@ def _run_jobs_resumable(jobs: list[Job], store, workers: int,
     def _record_and_report(completed: int, _subtotal: int,
                            job_result: JobResult) -> None:
         if job_result.ok and job_result.result is not None:
-            store.record(job_result.job, job_result.result)
+            # Wall time travels as record *metadata*: written for per-cell
+            # attribution, never read back into results (determinism).
+            store.record(job_result.job, job_result.result,
+                         meta={"elapsed_seconds": round(job_result.elapsed, 3)})
         if progress is not None:
             progress(resumed + completed, total, job_result)
 
     fresh = run_jobs(missing, workers=workers, timeout=timeout,
                      cache_dir=cache_dir, progress=_record_and_report,
-                     plans=plans, farm=farm)
+                     plans=plans, farm=farm, logger=logger)
     for index, job_result in zip(missing_indices, fresh):
         by_index[index] = job_result
     return [by_index[index] for index in range(total)]
@@ -259,7 +297,7 @@ def _run_jobs_resumable(jobs: list[Job], store, workers: int,
 def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
               timeout: float | None = None,
               progress: ProgressCallback | None = None,
-              farm: bool = True, store=None) -> SweepReport:
+              farm: bool = True, store=None, logger=None) -> SweepReport:
     """Expand ``spec``, warm the cache/farm, run the pool, aggregate the report.
 
     Full-detail sweeps materialise each distinct trace exactly once before
@@ -281,6 +319,12 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
     a storeless run; only ``cache_stats`` can differ (fewer traces or
     plans are materialised on a resumed run), so byte-for-byte resume
     comparisons should use ``cache_dir=None``, as ``repro paper`` does.
+
+    ``logger`` (a :class:`~repro.telemetry.runlog.RunLogger`) times the
+    warming and execution phases (``trace_build`` / ``plan`` / ``execute``
+    in :attr:`~repro.telemetry.runlog.RunLogger.phase_seconds`) and
+    records each job failure as a warning event.  Purely observational:
+    report artifacts are identical with or without it.
     """
     jobs = spec.expand()
     # Warming only needs to cover cells that will actually simulate; on a
@@ -301,7 +345,8 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
         if sampling is None:
             if cache_dir is not None:
                 cache = TraceCache(cache_dir)
-                generated, reused = cache.warm(job.trace_key for job in pending)
+                with _phase(logger, "trace_build", traces=pending_traces):
+                    generated, reused = cache.warm(job.trace_key for job in pending)
                 cache_stats = {"traces_generated": generated, "traces_reused": reused,
                                **cache.stats.as_dict()}
             elif len(pending) > pending_traces:
@@ -312,36 +357,42 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
                 # workload either way (serial jobs after the first hit the
                 # per-process read memo, not even the disk).
                 ephemeral_dir = tempfile.mkdtemp(prefix="repro-sweep-cache-")
-                TraceCache(ephemeral_dir).warm(job.trace_key for job in pending)
+                with _phase(logger, "trace_build", traces=pending_traces):
+                    TraceCache(ephemeral_dir).warm(job.trace_key for job in pending)
                 effective_cache_dir = ephemeral_dir
         elif farm and spec.warm_homogeneous():
             simulator = SampledSimulator(spec.base_config, sampling)
             keys = [job.trace_key for job in pending]
             if cache_dir is not None:
                 cache = TraceCache(cache_dir)
-                generated, reused = cache.warm_plans(keys, simulator,
-                                                     lenient=True)
+                with _phase(logger, "plan", plans=len(set(keys))):
+                    generated, reused = cache.warm_plans(keys, simulator,
+                                                         lenient=True)
                 cache_stats = {"plans_generated": generated, "plans_reused": reused,
                                **cache.stats.as_dict()}
             elif workers > 1 and pending:
                 ephemeral_dir = tempfile.mkdtemp(prefix="repro-sweep-farm-")
-                TraceCache(ephemeral_dir).warm_plans(keys, simulator,
-                                                     lenient=True)
+                with _phase(logger, "plan", plans=len(set(keys))):
+                    TraceCache(ephemeral_dir).warm_plans(keys, simulator,
+                                                         lenient=True)
                 effective_cache_dir = ephemeral_dir
             elif pending:
                 plans = {}
-                for key in dict.fromkeys(keys):
-                    workload, max_ops, seed = key
-                    try:
-                        image = build_workload(workload, seed=seed)
-                        plans[key] = simulator.plan(image, workload, max_ops,
-                                                    workload=workload)
-                    except Exception:
-                        # The job-side fallback reproduces and reports it.
-                        continue
-        results = run_jobs(jobs, workers=workers, timeout=timeout,
-                           cache_dir=effective_cache_dir, progress=progress,
-                           plans=plans, farm=farm, store=store)
+                with _phase(logger, "plan", plans=len(dict.fromkeys(keys))):
+                    for key in dict.fromkeys(keys):
+                        workload, max_ops, seed = key
+                        try:
+                            image = build_workload(workload, seed=seed)
+                            plans[key] = simulator.plan(image, workload, max_ops,
+                                                        workload=workload)
+                        except Exception:
+                            # The job-side fallback reproduces and reports it.
+                            continue
+        with _phase(logger, "execute", jobs=len(jobs)):
+            results = run_jobs(jobs, workers=workers, timeout=timeout,
+                               cache_dir=effective_cache_dir, progress=progress,
+                               plans=plans, farm=farm, store=store,
+                               logger=logger)
     finally:
         if ephemeral_dir is not None:
             shutil.rmtree(ephemeral_dir, ignore_errors=True)

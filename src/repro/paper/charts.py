@@ -274,3 +274,106 @@ def line_chart(title: str, x_values: list[int],
         body.append(f'<circle cx="{right + 18:.1f}" cy="{y:.1f}" r="3.5" '
                     f'fill="{series_color(series_index)}"/>')
     return _frame(width, height, title, body)
+
+
+#: Pipeline-segment names and palette slots for the timeline chart, in
+#: lifecycle order.  Each segment spans two stage cycle marks from a
+#: :meth:`repro.telemetry.trace.PipelineTracer.timeline` row.
+TIMELINE_SEGMENTS: tuple[tuple[str, str, str], ...] = (
+    ("frontend", "fetch", "rename"),
+    ("queue", "rename", "issue"),
+    ("execute", "issue", "writeback"),
+    ("retire", "writeback", "commit"),
+)
+
+
+def timeline_chart(title: str, rows: list[dict], *, max_rows: int = 64) -> str:
+    """Pipeline-timeline (Gantt) SVG for traced instruction lifecycles.
+
+    ``rows`` is :meth:`~repro.telemetry.trace.PipelineTracer.timeline`
+    output: one row per (seq, attempt) lifecycle with the cycle each stage
+    was reached.  Each occupied segment -- frontend (fetch to rename),
+    queue (rename to issue), execute (issue to writeback), retire
+    (writeback to commit) -- renders as a colored span on the row; a
+    squashed lifecycle ends in a red cap at its squash cycle.  Only the
+    first ``max_rows`` rows are drawn (the caller windows the trace).
+    """
+    rows = [row for row in rows if row.get("fetch") is not None][:max_rows]
+    if not rows:
+        return _frame(420, 120, title,
+                      [_text(16, 64, "no traced instructions", size=12,
+                             color=INK_MUTED, anchor="start")])
+
+    def _end_cycle(row: dict) -> int:
+        marks = [row.get(stage) for stage in
+                 ("fetch", "rename", "issue", "writeback", "commit")]
+        marks.append(row.get("squash_cycle"))
+        return max(mark for mark in marks if mark is not None)
+
+    first_cycle = min(row["fetch"] for row in rows)
+    last_cycle = max(_end_cycle(row) for row in rows)
+    if last_cycle <= first_cycle:
+        last_cycle = first_cycle + 1
+
+    row_height, row_gap = 12, 4
+    left, right_pad, top, bottom_pad = 132, 24, 44, 48
+    width = 960
+    right = width - right_pad
+    height = top + len(rows) * (row_height + row_gap) + bottom_pad
+
+    span = last_cycle - first_cycle
+
+    def x_pos(cycle: float) -> float:
+        return left + (cycle - first_cycle) / span * (right - left)
+
+    body: list[str] = []
+    # Vertical cycle gridlines and axis labels.
+    ticks = _nice_ticks(first_cycle, last_cycle)
+    step = ticks[1] - ticks[0] if len(ticks) > 1 else 1.0
+    plot_bottom = top + len(rows) * (row_height + row_gap)
+    for tick in ticks:
+        if tick < first_cycle or tick > last_cycle:
+            continue
+        x = x_pos(tick)
+        body.append(f'<line x1="{x:.1f}" y1="{top - 6:.1f}" x2="{x:.1f}" '
+                    f'y2="{plot_bottom:.1f}" stroke="{GRIDLINE}" '
+                    'stroke-width="1"/>')
+        body.append(_text(x, plot_bottom + 14, _fmt(tick, step),
+                          color=INK_MUTED, size=10))
+    body.append(_text((left + right) / 2, plot_bottom + 30, "cycle",
+                      color=INK_SECONDARY, size=11))
+
+    segment_names = [name for name, _, _ in TIMELINE_SEGMENTS]
+    for index, row in enumerate(rows):
+        y = top + index * (row_height + row_gap)
+        mid = y + row_height / 2
+        label = f"{row.get('op', '')}#{row['seq']}"
+        if row.get("attempt"):
+            label += f".{row['attempt']}"
+        body.append(_text(left - 8, mid + 3.5, label, anchor="end", size=10,
+                          color=INK_SECONDARY))
+        end_of_life = row.get("squash_cycle")
+        for slot, (name, begin_stage, end_stage) in enumerate(TIMELINE_SEGMENTS):
+            begin = row.get(begin_stage)
+            if begin is None:
+                continue
+            end = row.get(end_stage)
+            if end is None:
+                end = end_of_life if end_of_life is not None else begin
+            x0, x1 = x_pos(begin), x_pos(max(end, begin))
+            tip = f"{label} {name}: cycle {begin}-{end}"
+            body.append(
+                f'<rect x="{x0:.1f}" y="{y:.1f}" '
+                f'width="{max(x1 - x0, 2.0):.1f}" height="{row_height}" '
+                f'rx="2" fill="{series_color(slot)}">'
+                f"<title>{escape(tip)}</title></rect>")
+        if row.get("squashed"):
+            x = x_pos(end_of_life if end_of_life is not None else row["fetch"])
+            tip = f"{label} squashed at cycle {end_of_life}"
+            body.append(
+                f'<rect x="{x - 1.5:.1f}" y="{y - 1:.1f}" width="3" '
+                f'height="{row_height + 2}" fill="{PALETTE[7]}">'
+                f"<title>{escape(tip)}</title></rect>")
+
+    body.extend(_legend(segment_names, left, 34))
+    return _frame(width, height, title, body)

@@ -62,7 +62,8 @@ def run_paper(figures: tuple[str, ...] | None = None, smoke: bool = False,
               seed: int = 1, timeout: float | None = None,
               progress: ProgressCallback | None = None,
               slice_progress=None,
-              store_path: str | Path | None = None) -> PaperRunSummary:
+              store_path: str | Path | None = None,
+              logger=None) -> PaperRunSummary:
     """Run the figure grids (resumably) and render the paper artifact.
 
     ``figures`` selects a subset of :data:`ALL_FIGURES`; ``smoke`` runs the
@@ -75,6 +76,10 @@ def run_paper(figures: tuple[str, ...] | None = None, smoke: bool = False,
     as they complete, so interrupting and restarting never repeats finished
     cells -- and deleting rendered figures re-renders them from the store
     alone.
+
+    ``logger`` (a :class:`~repro.telemetry.runlog.RunLogger`) times the
+    sweep phases plus the figure ``render`` phase and surfaces per-cell
+    failures as warning events; artifacts are identical without it.
     """
     wanted = list(dict.fromkeys(figures or ALL_FIGURES))
     unknown = [key for key in wanted if key not in FIGURES]
@@ -109,12 +114,19 @@ def run_paper(figures: tuple[str, ...] | None = None, smoke: bool = False,
                     slice_progress(key, grid_slice.label, job_count)
                 report = run_sweep(grid_slice.spec, workers=workers,
                                    cache_dir=None, timeout=timeout,
-                                   progress=_counting_progress, store=store)
+                                   progress=_counting_progress, store=store,
+                                   logger=logger)
                 reports[grid_slice.label] = report
                 summary.failures += len(report.failures)
             summary.figure_data.append(spec.extract(reports, smoke=smoke))
 
-    summary.paths = render_figures(summary.figure_data, out,
-                                   mode=summary.mode,
-                                   cells=summary.total_cells)
+    if logger is not None:
+        with logger.phase("render", figures=len(summary.figure_data)):
+            summary.paths = render_figures(summary.figure_data, out,
+                                           mode=summary.mode,
+                                           cells=summary.total_cells)
+    else:
+        summary.paths = render_figures(summary.figure_data, out,
+                                       mode=summary.mode,
+                                       cells=summary.total_cells)
     return summary

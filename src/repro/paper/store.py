@@ -155,18 +155,26 @@ class ResultsStore:
         self.stats.hits += 1
         return result
 
-    def record(self, job, result: SimulationResult) -> None:
+    def record(self, job, result: SimulationResult, meta: dict | None = None) -> None:
         """Append one completed cell and flush it to disk immediately.
 
         The flush is what makes a killed grid resumable: every cell that
         finished before the kill is recoverable, at worst the one being
         appended is lost as a torn line (and silently re-simulated).
+
+        ``meta`` carries observability-only record metadata (wall-time,
+        worker identity): it is written to the store line but never read
+        back into results -- :meth:`get` deserialises only ``result`` --
+        so it cannot leak into the deterministic report artifacts.
         """
         key = job_key(job)
         payload = result.to_dict()
-        line = json.dumps({"v": STORE_FORMAT_VERSION, "key": key,
-                           "job_id": getattr(job, "job_id", ""),
-                           "result": payload}, sort_keys=True)
+        record = {"v": STORE_FORMAT_VERSION, "key": key,
+                  "job_id": getattr(job, "job_id", ""),
+                  "result": payload}
+        if meta:
+            record["meta"] = dict(meta)
+        line = json.dumps(record, sort_keys=True)
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             # A pre-existing file that does not end in a newline (torn

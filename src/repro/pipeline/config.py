@@ -23,6 +23,7 @@ from repro.core.tracker import TrackerConfig
 from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS
 from repro.memdep.store_sets import StoreSetsConfig
 from repro.memory.hierarchy import HierarchyConfig
+from repro.telemetry.trace import TraceConfig
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,14 @@ class CoreConfig:
     #: the per-cycle walk (enforced by the differential tests); the flag only
     #: exists so those tests can run both modes.
     cycle_skipping: bool = True
+    #: Opt-in per-instruction pipeline event tracing
+    #: (:class:`~repro.telemetry.trace.TraceConfig`).  ``None`` -- the
+    #: default -- constructs no tracer at all, keeping the hot loops on
+    #: their event-driven fast path; a traced run records lifecycle events
+    #: for the configured sequence window with bit-identical simulation
+    #: results (the tracer only reads pipeline state; enforced by
+    #: ``tests/test_telemetry.py``).
+    trace: TraceConfig | None = None
 
     # -- safety -------------------------------------------------------------------
     max_cycles_per_instruction: int = 400
@@ -137,6 +146,12 @@ class CoreConfig:
             ddt=DdtConfig(entries=ddt_entries, tag_bits=ddt_tag_bits))
         lazy = bypass_from_committed or self.lazy_reclaim
         return self.replace(smb=smb, lazy_reclaim=lazy)
+
+    def with_trace(self, start: int = 0, limit: int = 256,
+                   max_events: int = 100_000) -> "CoreConfig":
+        """A copy with pipeline event tracing enabled for one seq window."""
+        return self.replace(trace=TraceConfig(start=start, limit=limit,
+                                              max_events=max_events))
 
     def variant_name(self) -> str:
         """Filesystem- and table-safe name for this configuration variant.

@@ -48,6 +48,8 @@ from repro.pipeline.result import SimulationResult
 from repro.pipeline.snapshot import CoreSnapshot
 from repro.rename.maps import CommitRenameMap, FreeList, RenameMap
 from repro.rename.renamer import ProducerInfo, Renamer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import PipelineTracer
 
 _NEVER = 1 << 60
 _MASK64 = (1 << 64) - 1
@@ -193,6 +195,15 @@ class Core:
         # latency, NOP-ness -- cached by static index so each dynamic op
         # costs one dict probe instead of re-deriving all four.
         self._static_dispatch_cache: dict[int, tuple] = {}
+        # Opt-in pipeline event tracing.  ``None`` (the default) keeps every
+        # stage on its fast path: each hook site hoists this to a local and
+        # pays one ``is not None`` test per micro-op at most.  The tracer
+        # only reads pipeline state, so results are bit-identical either
+        # way (pinned by tests/test_telemetry.py).
+        self.tracer = (PipelineTracer(config.trace, workload=trace.name,
+                                      scheme=config.tracker.scheme,
+                                      config_label=config.label())
+                       if config.trace is not None else None)
 
     # -------------------------------------------------------------------- run --
 
@@ -347,6 +358,7 @@ class Core:
         hit_latency = self.memory.config.l1i.hit_latency
         history = self.history
         path = self.path
+        tracer = self.tracer
         fetch_index = self.fetch_index
         while (fetched < fetch_width
                and fetch_index < total_ops
@@ -369,6 +381,8 @@ class Core:
             if op.is_branch:
                 stop_fetching, taken_branches = self._fetch_branch(entry, taken_branches)
             queue.append(entry)
+            if tracer is not None:
+                tracer.on_fetch(entry, self.cycle)
             fetch_index += 1
             fetched += 1
             if entry.branch_mispredicted:
@@ -455,6 +469,7 @@ class Core:
         preg_ready = self.preg_ready
         ready = self._ready
         consumers = self._consumers
+        tracer = self.tracer
         # Fast path: when every structure has at least ``rename_width`` free
         # slots (and reclaiming is eager, so no release walk can be owed),
         # this cycle's group cannot stall and the per-op resource checks --
@@ -549,6 +564,8 @@ class Core:
                 entry.issued = True
                 entry.completed = True
                 entry.complete_cycle = cycle
+            if tracer is not None:
+                tracer.on_rename(entry, cycle)
             renamed += 1
         if renamed:
             self._progress = True
@@ -622,6 +639,7 @@ class Core:
         store_latency = self.config.store_latency
         wheel = self.execution_wheel
         load_issue_latency = self._load_issue_latency
+        tracer = self.tracer
         issued = 0
         # ``remaining`` is materialised lazily: on cycles where every ready
         # instruction stays put, the pass allocates nothing.
@@ -668,6 +686,8 @@ class Core:
                             wheel[bucket_key] = [entry]
                         else:
                             bucket.append(entry)
+                        if tracer is not None:
+                            tracer.on_issue(entry, cycle)
                         issued += 1
                         if remaining is None:
                             remaining = ready[:position]
@@ -727,10 +747,13 @@ class Core:
         bucket.sort(key=_by_seq)
         ready = self._ready
         consumers = self._consumers
+        tracer = self.tracer
         for entry in bucket:
             if entry.completed:
                 continue
             entry.completed = True
+            if tracer is not None:
+                tracer.on_writeback(entry, cycle)
             if entry.allocated and entry.dest_preg is not None:
                 self.preg_ready[entry.dest_preg] = entry.complete_cycle
                 # Wake every instruction waiting on this register; those
@@ -794,6 +817,7 @@ class Core:
         commit_raw = self.commit_map.raw()
         smb_train = self._smb_train_commit
         lazy_reclaim = config.lazy_reclaim
+        tracer = self.tracer
         cycle = self.cycle
         milestones = self._milestone_commits
         committed_now = 0
@@ -809,6 +833,8 @@ class Core:
             entry.committed = True
             entry.commit_cycle = cycle
             rob.pop_head()
+            if tracer is not None:
+                tracer.on_commit(entry, cycle)
 
             if op.is_load or op.is_store:
                 lsq.remove_committed(entry)
@@ -907,6 +933,14 @@ class Core:
             self.counters["bypass_validation_flushes"] += 1
 
         squashed = self.rob.squash_all_inflight()
+        tracer = self.tracer
+        if tracer is not None:
+            reason = ("memory_order_violation" if entry.violation
+                      else "bypass_validation")
+            # Both the in-flight window and the not-yet-renamed frontend
+            # queue are thrown away (recorded before the clears below).
+            tracer.on_squash(squashed, self.cycle, reason)
+            tracer.on_squash(self.frontend_queue, self.cycle, reason)
         self.iq.clear()
         self._ready.clear()
         self._ready_dirty = False
@@ -1001,39 +1035,56 @@ class Core:
     def _free_list_for_preg(self, preg: int) -> FreeList:
         return self.int_free if preg < self.config.num_int_pregs else self.fp_free
 
-    def _build_result(self) -> SimulationResult:
-        stats: dict[str, float] = dict(self.counters)
-        stats.update(self.renamer.move_stats.as_dict())
-        stats.update(self.smb_engine.stats_dict())
+    def metrics(self) -> MetricsRegistry:
+        """This run's statistics as a unified, merge-aware registry.
+
+        Same keys and values as ``SimulationResult.stats`` (which is the
+        flattened view of this registry), but with every metric's kind and
+        merge policy declared by :func:`repro.telemetry.metrics.classify_stat`
+        -- the sampling aggregator folds per-window copies of this with
+        :meth:`MetricsRegistry.merge`.
+        """
+        registry = MetricsRegistry()
+        put = registry.put
+        for key, value in self.counters.items():
+            put(key, value)
+        for key, value in self.renamer.move_stats.as_dict().items():
+            put(key, value)
+        for key, value in self.smb_engine.stats_dict().items():
+            put(key, value)
         for key, value in self.tracker.stats.as_dict().items():
-            stats[f"tracker_{key}"] = value
-        stats["tracker_storage_bits"] = self.tracker.storage_bits()
-        stats["tracker_checkpoint_bits"] = self.tracker.checkpoint_bits()
+            put(f"tracker_{key}", value)
+        put("tracker_storage_bits", self.tracker.storage_bits())
+        put("tracker_checkpoint_bits", self.tracker.checkpoint_bits())
         for key, value in self.memory.stats().items():
-            stats[f"mem_{key}"] = value
-        stats["first_commit_cycle"] = max(self._first_commit_cycle, 0)
+            put(f"mem_{key}", value)
+        put("first_commit_cycle", max(self._first_commit_cycle, 0))
         # Event-driven loop effectiveness: how many cycles were jumped over
         # and what fraction of simulated time actually held events.  These
         # describe the *simulator's execution strategy*, not the simulated
         # machine, so the skip-on/off differential tests exclude them.
-        stats["skipped_cycles"] = self._skipped_cycles
+        put("skipped_cycles", self._skipped_cycles)
         if self.cycle > 0:
-            stats["events_per_cycle"] = (
+            put("events_per_cycle",
                 (self.cycle - self._skipped_cycles) / self.cycle)
-        stats["rob_peak_occupancy"] = self.rob.peak_occupancy
-        stats["iq_peak_occupancy"] = self.iq.peak_occupancy
-        stats["lq_peak_occupancy"] = self.lsq.peak_lq
-        stats["sq_peak_occupancy"] = self.lsq.peak_sq
-        stats["renamed_instructions"] = self.renamer.move_stats.renamed_instructions
+        put("rob_peak_occupancy", self.rob.peak_occupancy)
+        put("iq_peak_occupancy", self.iq.peak_occupancy)
+        put("lq_peak_occupancy", self.lsq.peak_lq)
+        put("sq_peak_occupancy", self.lsq.peak_sq)
+        put("renamed_instructions", self.renamer.move_stats.renamed_instructions)
         if self._share_attempt_count:
-            stats["isrb_alloc_mean_distance"] = (
+            put("isrb_alloc_mean_distance",
                 self._share_attempt_gaps / self._share_attempt_count)
         if self._reclaim_check_count:
-            stats["isrb_reclaim_mean_distance"] = (
+            put("isrb_reclaim_mean_distance",
                 self._reclaim_check_gaps / self._reclaim_check_count)
         if self.counters["committed_loads"]:
-            stats["bypassed_load_fraction"] = (
+            put("bypassed_load_fraction",
                 self.counters["committed_bypassed_loads"] / self.counters["committed_loads"])
+        return registry
+
+    def _build_result(self) -> SimulationResult:
+        stats = self.metrics().as_stats()
         return SimulationResult(
             workload=self.trace.name,
             config_label=self.config.label(),

@@ -75,6 +75,11 @@ from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core
 from repro.pipeline.result import SimulationResult
 from repro.pipeline.snapshot import CoreSnapshot
+from repro.telemetry.metrics import (
+    CONSTANT_SUFFIXES,
+    MEAN_SUFFIXES,
+    MetricsRegistry,
+)
 
 
 @dataclass(frozen=True)
@@ -131,31 +136,33 @@ class SamplingConfig:
 #: Per-window statistics that must not be summed across windows when
 #: aggregating: occupancy peaks take the maximum, storage figures are
 #: configuration constants, and ratio/mean statistics are re-derived or
-#: averaged.  Everything else is an additive event counter.
-_MEAN_SUFFIXES = ("_rate", "_fraction", "_mean_distance")
-_CONSTANT_SUFFIXES = ("storage_bits", "checkpoint_bits")
+#: averaged.  Everything else is an additive event counter.  The suffix
+#: conventions live in :mod:`repro.telemetry.metrics` (the registry is
+#: what actually applies them); these aliases remain for readers of this
+#: module.
+_MEAN_SUFFIXES = MEAN_SUFFIXES
+_CONSTANT_SUFFIXES = CONSTANT_SUFFIXES
+
+#: Window-local measurements that are meaningless summed and therefore
+#: excluded from aggregation (``events_per_cycle`` is re-derived from the
+#: summed cycle counts afterwards).
+_WINDOW_LOCAL_STATS = ("first_commit_cycle", "events_per_cycle")
 
 
 def _aggregate_stats(window_results: list[SimulationResult]) -> dict[str, float]:
-    """Combine per-window statistics dictionaries into whole-run statistics."""
-    totals: dict[str, float] = {}
-    means: dict[str, list[float]] = {}
+    """Combine per-window statistics dictionaries into whole-run statistics.
+
+    A left-to-right fold of per-window :class:`MetricsRegistry` views under
+    each metric's declared merge policy (counters add, peaks take the max,
+    constants keep the last value, rates average) -- bit-identical to the
+    hand-rolled accumulation this function used to perform, which is pinned
+    by the sampled-simulation determinism tests.
+    """
+    registry = MetricsRegistry()
     for result in window_results:
-        for key, value in result.stats.items():
-            if key in ("first_commit_cycle", "events_per_cycle"):
-                continue  # window-local measurements, meaningless summed
-                # (events_per_cycle is re-derived from the summed cycle
-                # counts below)
-            if "peak_occupancy" in key:
-                totals[key] = max(totals.get(key, 0), value)
-            elif key.endswith(_CONSTANT_SUFFIXES):
-                totals[key] = value
-            elif key.endswith(_MEAN_SUFFIXES):
-                means.setdefault(key, []).append(value)
-            else:
-                totals[key] = totals.get(key, 0) + value
-    for key, values in means.items():
-        totals[key] = sum(values) / len(values)
+        registry.merge(MetricsRegistry.from_stats(result.stats,
+                                                  skip=_WINDOW_LOCAL_STATS))
+    totals = registry.as_stats()
     # Ratios with both parts summed are re-derived exactly.
     if totals.get("mem_l1d_accesses"):
         totals["mem_l1d_miss_rate"] = totals["mem_l1d_misses"] / totals["mem_l1d_accesses"]

@@ -1,0 +1,67 @@
+"""Telemetry: unified metrics, pipeline event tracing, run observability.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* :class:`MetricsRegistry` -- counters / gauges / histograms with labels
+  and declared merge semantics, behind one schema-versioned export; the
+  single home of the stat-classification conventions the sampling
+  aggregator relies on;
+* :class:`PipelineTracer` / :class:`TraceConfig` -- opt-in
+  per-instruction lifecycle tracing on the cycle-level core, exporting
+  JSONL, Chrome trace-event JSON (Perfetto) and the Kanata pipeline
+  -viewer format.  Off by default with near-zero overhead and
+  bit-identical results (pinned by ``tests/test_telemetry.py``);
+* :class:`RunLogger` / :class:`ProgressReporter` -- structured JSONL run
+  logs, named phase timers and live ``completed/total`` progress with
+  ETA for the long-running sweep and paper pipelines.
+
+A worked example -- registries merge under each metric's declared policy
+(counters add, peaks take the max, rates average), exactly the rules the
+sampling aggregator applies across detailed windows::
+
+    >>> from repro.telemetry import MetricsRegistry
+    >>> first = MetricsRegistry.from_stats(
+    ...     {"commits": 100, "rob_peak_occupancy": 60, "mem_l1d_miss_rate": 0.10})
+    >>> second = MetricsRegistry.from_stats(
+    ...     {"commits": 50, "rob_peak_occupancy": 48, "mem_l1d_miss_rate": 0.30})
+    >>> merged = first.merge(second)
+    >>> merged.as_stats()["commits"]
+    150
+    >>> merged.as_stats()["rob_peak_occupancy"]
+    60
+    >>> round(merged.as_stats()["mem_l1d_miss_rate"], 3)
+    0.2
+    >>> restored = MetricsRegistry.from_dict(merged.to_dict())
+    >>> restored.as_stats() == merged.as_stats()
+    True
+"""
+
+from repro.telemetry.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Metric,
+    MetricsRegistry,
+    classify_stat,
+)
+from repro.telemetry.runlog import ProgressReporter, RunLogger, format_eta
+from repro.telemetry.trace import (
+    EVENT_REQUIRED_FIELDS,
+    STAGES,
+    TRACE_SCHEMA_VERSION,
+    PipelineTracer,
+    TraceConfig,
+)
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "Metric",
+    "MetricsRegistry",
+    "classify_stat",
+    "TRACE_SCHEMA_VERSION",
+    "STAGES",
+    "EVENT_REQUIRED_FIELDS",
+    "PipelineTracer",
+    "TraceConfig",
+    "RunLogger",
+    "ProgressReporter",
+    "format_eta",
+]

@@ -1,0 +1,186 @@
+"""Structured run observability: JSONL logs, phase timers, live progress.
+
+The long-running layers (``repro sweep``, ``repro paper``) used to be
+silent between per-job lines: no phase attribution (how long did trace
+building take versus simulation versus rendering?), no rate or ETA, and
+failures scrolled past as one-word statuses.  This module supplies the
+three missing pieces:
+
+* :class:`RunLogger` -- structured events as JSON lines (one file per
+  run), with ``warning`` severity for surfaced failures and a
+  :meth:`RunLogger.phase` context manager that times named phases
+  (``trace_build``, ``plan``, ``execute``, ``render``) into
+  :attr:`RunLogger.phase_seconds`;
+* :class:`ProgressReporter` -- a live ``completed/total`` line with
+  cells-per-second and ETA, fed by the runner's existing progress
+  callback;
+* both keep wall-clock readings strictly *outside* the deterministic
+  report artifacts: timings go to the log file, stderr and ResultsStore
+  record *metadata* only, never into ``sweep.json`` / ``figures.json``
+  (the determinism tests pin those bytes).
+
+Clocks are injectable so the tests drive them deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+
+class RunLogger:
+    """Append structured events to a JSONL file and/or a text stream.
+
+    ``path=None`` keeps the logger purely in-memory (events are still
+    collected and phases timed); ``stream`` (default ``None``) receives
+    one-line renderings of warning-and-above events so failures are
+    visible without tailing the log file.
+    """
+
+    def __init__(self, path: str | Path | None = None, stream=None,
+                 clock=time.perf_counter, wall_clock=time.time) -> None:
+        self.path = Path(path) if path is not None else None
+        self.stream = stream
+        self._clock = clock
+        self._wall_clock = wall_clock
+        self._handle = None
+        self.events: list[dict] = []
+        #: Accumulated seconds per named phase (see :meth:`phase`).
+        self.phase_seconds: dict[str, float] = {}
+        self.warnings: list[dict] = []
+
+    # -- events ---------------------------------------------------------------------
+
+    def event(self, event: str, level: str = "info", **fields) -> dict:
+        """Record one structured event (and flush it to the log file)."""
+        record = {"t": round(self._wall_clock(), 6), "level": level,
+                  "event": event}
+        record.update(fields)
+        self.events.append(record)
+        if level in ("warning", "error"):
+            self.warnings.append(record)
+            if self.stream is not None:
+                detail = " ".join(f"{key}={value}" for key, value in fields.items())
+                print(f"{level.upper()}: {event} {detail}".rstrip(),
+                      file=self.stream)
+        if self.path is not None:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a")
+            self._handle.write(json.dumps(record, sort_keys=True,
+                                          default=str) + "\n")
+            self._handle.flush()
+        return record
+
+    def warning(self, event: str, **fields) -> dict:
+        """Record a warning event (always surfaced on the stream)."""
+        return self.event(event, level="warning", **fields)
+
+    # -- phase timers ---------------------------------------------------------------
+
+    def phase(self, name: str, **fields) -> "_Phase":
+        """Context manager timing one named phase.
+
+        Elapsed seconds accumulate in :attr:`phase_seconds` (re-entering a
+        name adds to its total) and a ``phase_end`` event records the
+        duration.
+        """
+        return _Phase(self, name, fields)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunLogger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _Phase:
+    def __init__(self, logger: RunLogger, name: str, fields: dict) -> None:
+        self._logger = logger
+        self._name = name
+        self._fields = fields
+        self._start = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._start = self._logger._clock()
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        elapsed = self._logger._clock() - self._start
+        seconds = self._logger.phase_seconds
+        seconds[self._name] = seconds.get(self._name, 0.0) + elapsed
+        self._logger.event("phase_end", phase=self._name,
+                           seconds=round(elapsed, 6),
+                           ok=exc_type is None, **self._fields)
+
+
+def format_eta(seconds: float) -> str:
+    """``M:SS`` / ``H:MM:SS`` rendering of a duration estimate."""
+    total = max(int(round(seconds)), 0)
+    hours, rest = divmod(total, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Live ``[completed/total]`` progress with rate and ETA.
+
+    Designed to sit behind the runner's ``progress(completed, total,
+    job_result)`` callback (:meth:`job_progress`); cells resumed from a
+    results store count toward completion but not toward the simulation
+    rate, so the ETA reflects actual simulating speed.  A fresh counting
+    epoch starts whenever ``completed`` resets (the paper pipeline runs
+    many sweep slices through one reporter).
+    """
+
+    def __init__(self, stream=None, label: str = "cells",
+                 clock=time.perf_counter) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self._clock = clock
+        self._epoch_start: float | None = None
+        self._last_completed = 0
+        self._simulated = 0
+
+    def job_progress(self, completed: int, total: int, job_result) -> None:
+        """Adapter matching :data:`repro.experiments.runner.ProgressCallback`."""
+        from_store = getattr(job_result, "from_store", False)
+        status = "ok" if job_result.ok else "FAILED"
+        if from_store:
+            status = "stored"
+        result = getattr(job_result, "result", None)
+        ipc = f" ipc={result.ipc:.2f}" if result is not None else ""
+        job = getattr(job_result, "job", None)
+        job_id = getattr(job, "job_id", "?")
+        elapsed = getattr(job_result, "elapsed", 0.0)
+        self.update(completed, total, simulated=not from_store,
+                    detail=f"{job_id:48s} {status}{ipc} ({elapsed:.1f}s)")
+
+    def update(self, completed: int, total: int, simulated: bool = True,
+               detail: str = "") -> None:
+        """Print one progress line; rate/ETA appear once measurable."""
+        now = self._clock()
+        if completed <= self._last_completed or self._epoch_start is None:
+            self._epoch_start = now
+            self._simulated = 0
+        self._last_completed = completed
+        if simulated:
+            self._simulated += 1
+        pace = ""
+        window = now - self._epoch_start
+        if self._simulated > 1 and window > 0:
+            rate = self._simulated / window
+            remaining = max(total - completed, 0)
+            pace = (f"  {rate:5.1f} {self.label}/s"
+                    f"  ETA {format_eta(remaining / rate)}")
+        print(f"[{completed}/{total}]{pace}  {detail}".rstrip(),
+              file=self.stream)

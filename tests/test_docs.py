@@ -26,6 +26,7 @@ DOC_FILES = [
     REPO / "DESIGN.md",
     REPO / "docs" / "user-guide.md",
     REPO / "docs" / "maintainer-guide.md",
+    REPO / "docs" / "observability.md",
 ]
 
 DOCTEST_MODULES = [
@@ -34,6 +35,7 @@ DOCTEST_MODULES = [
     "repro.paper",
     "repro.paper.figures",
     "repro.paper.store",
+    "repro.telemetry",
 ]
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
@@ -106,8 +108,15 @@ def test_readme_is_a_quickstart_that_links_the_guides():
 def test_user_guide_covers_the_whole_pipeline():
     guide = (REPO / "docs" / "user-guide.md").read_text()
     for command in ("repro run", "repro sweep", "repro paper", "repro bench",
-                    "--sample-period", "--resume", "--smoke"):
+                    "repro trace", "--sample-period", "--resume", "--smoke"):
         assert command in guide, f"user guide never mentions `{command}`"
+
+
+def test_observability_guide_covers_the_telemetry_surface():
+    guide = (REPO / "docs" / "observability.md").read_text()
+    for topic in ("repro trace", "Perfetto", "Kanata", "MetricsRegistry",
+                  "--log", "RunLogger", "zero-overhead"):
+        assert topic in guide, f"observability guide never mentions {topic}"
 
 
 def test_maintainer_guide_maps_the_modules():
