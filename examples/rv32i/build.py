@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Rebuild checksum.bin from checksum.s with the in-tree assembler.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python examples/rv32i/build.py
+
+The binary is checked in so users (and CI) can run the sample without an
+assembly step; run this after editing checksum.s and commit both files.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent.parent / "src"))
+
+from repro.isa.riscv import assemble  # noqa: E402
+
+
+def main() -> int:
+    source = HERE / "checksum.s"
+    target = HERE / "checksum.bin"
+    blob = assemble(source.read_text())
+    target.write_bytes(blob)
+    print(f"assembled {source.name}: {len(blob)} bytes -> {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

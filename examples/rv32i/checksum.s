@@ -1,0 +1,74 @@
+# checksum.s -- the checked-in RV32I sample program.
+#
+# Fletcher-style checksum over a 64-byte table, computed byte-by-byte
+# through a helper function, repeated for a large number of rounds (the
+# simulator's --max-ops budget truncates the run, like every synthetic
+# workload).  Exercises: calls/returns, nested loops, signed compares,
+# byte loads, sub-word stores, shifts and pc-relative-free data addressing.
+#
+# Build:  python examples/rv32i/build.py      (writes checksum.bin)
+# Run:    repro run riscv:examples/rv32i/checksum.bin
+#
+# Register use: s0 table base, s1 output base, a0/a1 checksum accumulators,
+# t0 round counter, t1 byte index, a5 scratch result.
+
+start:
+    la   s0, table
+    la   s1, out
+    li   a0, 0              # fletcher low
+    li   a1, 0              # fletcher high
+    li   t0, 1              # round counter
+    li   t2, 100000         # rounds (truncated by --max-ops long before)
+
+round:
+    li   t1, 0              # byte index
+byte_loop:
+    add  a2, s0, t1
+    lbu  a3, 0(a2)          # table byte
+    jal  ra, mix            # a5 = mix(a3, t1)
+    mv   a4, a0             # eliminable move chain: shuffle the
+    add  a0, a4, a5         # accumulators through a4 (compiler idiom)
+    mv   a4, a1
+    add  a1, a4, a0
+    addi t1, t1, 1
+    slti a4, t1, 64         # signed compare drives the inner loop
+    bnez a4, byte_loop
+
+    # fold the high accumulator and store the running digest
+    srli a4, a1, 16
+    xor  a1, a1, a4
+    sw   a0, 0(s1)
+    sw   a1, 4(s1)
+    sb   a0, 8(s1)          # sub-word stores: low byte and halfword
+    sh   a1, 10(s1)
+    lh   a6, 10(s1)         # read the halfword back (sign-extending)
+    blt  a6, zero, negative # signed branch on the reloaded halfword
+    addi a0, a0, 1
+negative:
+    # perturb the table so rounds differ: table[round % 64] ^= low byte
+    andi a2, t0, 63
+    add  a2, s0, a2
+    lbu  a3, 0(a2)
+    xor  a3, a3, a0
+    sb   a3, 0(a2)
+
+    addi t0, t0, 1
+    blt  t0, t2, round
+    ecall                   # syscall-lite exit
+
+# a5 = ((byte << 3) - byte + index) & 0xffff, via a few ALU shapes
+mix:
+    slli a5, a3, 3
+    sub  a5, a5, a3
+    add  a5, a5, t1
+    li   a7, 0xffff
+    and  a5, a5, a7
+    ret
+
+table:
+    .word 0x03020100, 0x07060504, 0x0b0a0908, 0x0f0e0d0c
+    .word 0x13121110, 0x17161514, 0x1b1a1918, 0x1f1e1d1c
+    .word 0x23222120, 0x27262524, 0x2b2a2928, 0x2f2e2d2c
+    .word 0x33323130, 0x37363534, 0x3b3a3938, 0x3f3e3d3c
+out:
+    .word 0, 0, 0

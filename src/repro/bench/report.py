@@ -115,6 +115,11 @@ class BenchReport:
         ff = self.cases("ff")
         if ff:
             out["ff_ops_per_sec_geomean"] = geomean(case.ops_per_sec for case in ff)
+        decode = self.cases("decode")
+        if decode:
+            # RV32I source instructions decoded + lowered per second.
+            out["decode_insns_per_sec_geomean"] = geomean(
+                case.ops_per_sec for case in decode)
         for kind in ("sampled", "sampled_long"):
             cases = self.cases(kind)
             if not cases:

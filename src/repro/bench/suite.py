@@ -21,6 +21,9 @@ The suite has three tiers, mirroring where simulator time actually goes:
   shared-warmup checkpoint farm and again with per-scheme independent
   warming; the case detail records the wall-clock speedup (results are
   identical by construction, and the tier verifies that);
+* ``decode/<binary>`` -- the RISC-V frontend (RV32I decode + lowering into
+  the micro-op ISA) on the checked-in sample binary, replicated to a fixed
+  instruction budget, measured in source instructions/second;
 * ``sweep/small`` -- an end-to-end :func:`~repro.experiments.runner.run_sweep`
   over a tiny matrix (grid expansion + trace cache + in-process pool +
   report aggregation), measured in jobs/second;
@@ -37,6 +40,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.bench.report import BenchReport, BenchResult, default_meta
 from repro.experiments.grid import SCHEME_PRESETS, SweepSpec
@@ -58,6 +62,10 @@ DEFAULT_BENCH_WORKLOADS: tuple[str, ...] = (
 #: Tracker schemes the default suite times (the paper's headline scheme, the
 #: unlimited reference, a walk-recovery scheme and the no-sharing baseline).
 DEFAULT_BENCH_SCHEMES: tuple[str, ...] = ("baseline", "isrb", "refcount", "matrix")
+
+#: Repository root, used to resolve the decode tier's sample binary so the
+#: bench suite works from any working directory.
+_REPO_ROOT = Path(__file__).resolve().parents[3]
 
 
 @dataclass(frozen=True)
@@ -96,6 +104,14 @@ class BenchConfig:
     long_workloads: tuple[str, ...] = ("long_phase_mix", "long_stride_drift")
     long_max_ops: int = 1_000_000
     long_sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    # -- the RISC-V frontend (decode) tier ---------------------------------------------
+    #: Times RV32I decode + lowering of the checked-in sample binary,
+    #: replicated to ``decode_target_insns`` source instructions.  Cheap and
+    #: fixed-scale, so the smoke preset keeps it and the case stays
+    #: comparable between a smoke run and the committed BENCH_core.json.
+    decode: bool = True
+    decode_binary: str = "examples/rv32i/checksum.bin"
+    decode_target_insns: int = 20_000
     # -- the checkpoint-farm sweep tier ----------------------------------------------
     #: A multi-scheme sampled sweep on one workload, run twice: with the
     #: shared-warmup checkpoint farm and with per-scheme independent
@@ -121,6 +137,8 @@ class BenchConfig:
         if self.max_ops < 1 or self.ff_max_ops < 1 or self.sampled_max_ops < 1 \
                 or self.long_max_ops < 1:
             raise ValueError("max_ops values must be >= 1")
+        if self.decode_target_insns < 1:
+            raise ValueError("decode_target_insns must be >= 1")
         if self.repeat < 1:
             raise ValueError("repeat must be >= 1")
         known = list_workloads()
@@ -252,6 +270,35 @@ def run_benchmarks(config: BenchConfig | None = None, clock=None,
         wall, _ = timer.best_of(config.repeat, run_ff)
         report.results.append(BenchResult(
             name=name, kind="ff", ops=retired, wall_seconds=wall))
+
+    # Tier 3b: the RISC-V frontend -- RV32I decode + lowering into the
+    # micro-op ISA, in source instructions per second.  The sample binary is
+    # tiny, so decode+lower is repeated to a fixed instruction budget; ops
+    # counts source instructions, not the (larger) lowered micro-op count.
+    if config.decode:
+        from repro.isa.riscv import decode_all, load_binary, lower
+
+        binary_path = Path(config.decode_binary)
+        if not binary_path.is_absolute():
+            binary_path = _REPO_ROOT / binary_path
+        name = f"decode/{binary_path.stem}"
+        if progress is not None:
+            progress(name)
+        binary = load_binary(binary_path)
+        insns = sum(1 for word in decode_all(binary.text) if word is not None)
+        reps = max(1, -(-config.decode_target_insns // max(insns, 1)))
+
+        def run_decode():
+            program = None
+            for _ in range(reps):
+                decode_all(binary.text)
+                program = lower(binary, name=binary_path.stem)
+            return program
+        wall, program = timer.best_of(config.repeat, run_decode)
+        report.results.append(BenchResult(
+            name=name, kind="decode", ops=reps * insns, wall_seconds=wall,
+            detail={"insns": insns, "reps": reps,
+                    "uops_per_insn": len(program) / insns if insns else 0.0}))
 
     # Tiers 4 and 5: sampled-vs-full accuracy and speedup (timed once per
     # case -- the full-detail reference run is exactly the cost sampling

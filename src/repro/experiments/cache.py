@@ -31,7 +31,12 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.isa.executor import Trace
-from repro.workloads import build_workload, install_trace_provider
+from repro.workloads import (
+    build_workload,
+    install_trace_provider,
+    materialize_trace,
+    workload_cache_token,
+)
 
 #: Bumped whenever the trace layout changes; stale files are regenerated.
 #: v2: ``DynamicOp`` gained slots and precomputed classification fields.
@@ -63,7 +68,7 @@ def plan_cache_key(workload: str, max_ops: int, seed: int, simulator) -> str:
     """
     sampling = simulator.sampling
     warm = "w1" if sampling.warm_gaps else "w0"
-    return (f"{workload}__ops{max_ops}__seed{seed}"
+    return (f"{workload_cache_token(workload)}__ops{max_ops}__seed{seed}"
             f"__p{sampling.period}-{sampling.window}-{sampling.warmup}"
             f"-{sampling.cooldown}-{warm}"
             f"__m{simulator.config.warm_signature()}")
@@ -82,8 +87,13 @@ class TraceCache:
 
     @staticmethod
     def key(workload: str, max_ops: int, seed: int) -> str:
-        """Stable, filesystem-safe cache key."""
-        return f"{workload}__ops{max_ops}__seed{seed}"
+        """Stable, filesystem-safe cache key.
+
+        Plainly registered workloads key by name (existing cache files stay
+        valid); family workloads (``riscv:<path>``, ``trace:<path>``,
+        ``fuzz:...``) key by their sanitised, content-hashed cache token.
+        """
+        return f"{workload_cache_token(workload)}__ops{max_ops}__seed{seed}"
 
     def path(self, workload: str, max_ops: int, seed: int) -> Path:
         """Path of the cache file for one key (whether or not it exists)."""
@@ -143,7 +153,10 @@ class TraceCache:
         trace = self.get(workload, max_ops, seed)
         if trace is not None:
             return trace
-        trace = build_workload(workload, seed=seed).execute(max_ops=max_ops)
+        # materialize_trace (not generate_trace): the provider hook may be
+        # this very cache, and imported-trace workloads have no image to
+        # execute -- their spec reads the trace file instead.
+        trace = materialize_trace(workload, max_ops=max_ops, seed=seed)
         self.stats.generated += 1
         self.put(workload, max_ops, seed, trace)
         return trace

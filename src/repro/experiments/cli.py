@@ -33,7 +33,7 @@ from repro.experiments.runner import run_sweep
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core, simulate
 from repro.telemetry import ProgressReporter, RunLogger
-from repro.workloads import generate_trace, workload_specs
+from repro.workloads import generate_trace, workload_families, workload_specs
 
 
 def _csv_list(text: str) -> tuple[str, ...]:
@@ -212,6 +212,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the checkpoint-farm sweep tier")
     bench.add_argument("--no-paper", action="store_true",
                        help="skip the paper-figure pipeline tier")
+    bench.add_argument("--no-decode", action="store_true",
+                       help="skip the RV32I decode+lower frontend tier")
     bench.add_argument("--out", default="BENCH_core.json",
                        help="output artifact path ('' = don't write)")
     bench.add_argument("--smoke", action="store_true",
@@ -247,6 +249,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("workloads:")
     for spec in workload_specs():
         print(f"  {spec.name:16s} [{spec.category}] {spec.description}")
+    print("\nworkload families (usable anywhere a workload name is):")
+    for prefix, description in sorted(workload_families().items()):
+        print(f"  {prefix + ':...':16s} {description}")
     print("\ntracker schemes:")
     for name in known_schemes():
         preset = SCHEME_PRESETS[name]
@@ -586,6 +591,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["repeat"] = args.repeat
     if args.no_sweep:
         overrides["sweep"] = False
+    if args.no_decode:
+        overrides["decode"] = False
     try:
         config = replace(config, **overrides) if overrides else config
     except ValueError as exc:

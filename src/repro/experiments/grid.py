@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.sampling import SamplingConfig
-from repro.workloads import DEFAULT_SUITE, workload_registry
+from repro.workloads import DEFAULT_SUITE, get_workload, workload_registry
 
 #: Paper-default tracker sizing per scheme name.  ``entries``/``counter_bits``
 #: of ``None`` mean unlimited/unbounded, matching :class:`TrackerConfig`.
@@ -138,11 +138,20 @@ class SweepSpec:
         if unknown:
             raise ValueError(
                 f"unknown scheme(s) {unknown}; known schemes: {known_schemes()}")
-        registry = workload_registry()
-        bad = [name for name in self.resolved_workloads() if name not in registry]
+        # Resolver-aware lookup: family workloads (riscv:<path>, fuzz:...,
+        # trace:<path>) validate through their resolver, which also checks
+        # that backing files exist before any job is launched.
+        bad = []
+        for name in self.resolved_workloads():
+            try:
+                get_workload(name)
+            except KeyError as exc:
+                bad.append(f"{name} ({exc.args[0].split(';')[0]})"
+                           if ":" in name else name)
         if bad:
             raise ValueError(
-                f"unknown workload(s) {bad}; known workloads: {sorted(registry)}")
+                f"unknown workload(s) {bad}; known workloads: "
+                f"{sorted(workload_registry())}")
         if self.max_ops < 1:
             raise ValueError("max_ops must be >= 1")
         if not self.move_elim or not self.smb:

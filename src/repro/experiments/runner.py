@@ -47,7 +47,7 @@ from repro.experiments.report import SweepReport, build_report
 from repro.pipeline.core import simulate_trace
 from repro.pipeline.result import SimulationResult
 from repro.pipeline.sampling import SampledSimulator
-from repro.workloads import build_workload
+from repro.workloads import build_workload, materialize_trace
 
 
 @dataclass
@@ -124,7 +124,9 @@ def _load_trace(job: Job, cache_root: str | None):
         return _memoized(
             _TRACE_MEMO, (cache_root, *job.trace_key),
             lambda: TraceCache(cache_root).get_or_generate(*job.trace_key))
-    return build_workload(job.workload, seed=job.seed).execute(max_ops=job.max_ops)
+    # materialize_trace handles imported-trace workloads (trace:<path>),
+    # which have no functional image to execute.
+    return materialize_trace(job.workload, max_ops=job.max_ops, seed=job.seed)
 
 
 def _load_plan(job: Job, cache_root: str, simulator: SampledSimulator):

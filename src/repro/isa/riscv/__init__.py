@@ -1,0 +1,46 @@
+"""RISC-V RV32I front end.
+
+A second ISA front end that lets the simulator run *real* programs instead
+of only hand-written synthetic micro-op workloads:
+
+* :mod:`repro.isa.riscv.decoder` -- decode (and re-encode) the full RV32I
+  base instruction set,
+* :mod:`repro.isa.riscv.asm` -- a two-pass assembler-lite for building test
+  fixtures and the checked-in sample binary,
+* :mod:`repro.isa.riscv.loader` -- flat-binary / ELF-lite loader producing a
+  byte-addressed memory image,
+* :mod:`repro.isa.riscv.lower` -- the lowering pass that cracks each RV32I
+  instruction into the existing micro-op ISA so the functional core, the
+  detailed core, the sampling planner and every tracker scheme run decoded
+  programs unchanged.
+
+The user-visible entry point is the ``riscv:<path>`` workload family (see
+:mod:`repro.workloads.riscv`).
+"""
+
+from repro.isa.riscv.decoder import (
+    DecodeError,
+    DecodedInsn,
+    decode,
+    decode_all,
+    encode,
+)
+from repro.isa.riscv.asm import AsmError, assemble
+from repro.isa.riscv.loader import LoadedBinary, LoaderError, load_binary
+from repro.isa.riscv.lower import LoweringError, lower, lower_image
+
+__all__ = [
+    "AsmError",
+    "DecodeError",
+    "DecodedInsn",
+    "LoadedBinary",
+    "LoaderError",
+    "LoweringError",
+    "assemble",
+    "decode",
+    "decode_all",
+    "encode",
+    "load_binary",
+    "lower",
+    "lower_image",
+]

@@ -1,0 +1,274 @@
+"""A two-pass RV32I assembler-lite.
+
+Just enough assembler to write test fixtures and the checked-in sample
+binary in readable source form -- not a general-purpose toolchain.
+
+Supported syntax::
+
+    # comment              ; comment
+    label:
+    .word 0x12345678       # raw data word(s), comma separated
+    .zero 16               # n zero bytes (n % 4 == 0)
+    add   x1, x2, x3       # R-type (ABI names like a0/sp/ra also accepted)
+    addi  a0, a0, -1       # I-type ALU
+    lw    a1, 8(sp)        # loads,  imm(base)
+    sw    a1, 8(sp)        # stores, imm(base)
+    beq   a0, a1, loop     # branches to a label
+    jal   ra, func         # jal  (also:  jal func  /  j label)
+    jalr  x0, 0(ra)        # jalr
+    lui   a2, 0x12345      # U-type, *unshifted* imm20 (as in real assemblers)
+    auipc a2, 0            #
+    ecall                  # syscall-lite: terminates the program
+
+Pseudo-instructions: ``nop``, ``mv rd, rs``, ``li rd, imm`` (1 or 2 words),
+``la rd, label`` (always 2 words: ``lui+addi`` against the absolute
+address), ``j label``, ``ret``, ``call label``, ``not``/``neg``/``seqz``/
+``snez``, ``beqz``/``bnez rs, label``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.riscv.decoder import encode
+
+__all__ = ["AsmError", "assemble"]
+
+_REG_NAMES = {f"x{i}": i for i in range(32)}
+_ABI = ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1",
+        "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+        "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6"]
+_REG_NAMES.update({name: i for i, name in enumerate(_ABI)})
+_REG_NAMES["fp"] = 8
+
+
+class AsmError(ValueError):
+    """Raised on a syntax or range error, with the source line number."""
+
+
+@dataclass
+class _Item:
+    """One sized unit of output: an instruction, pseudo-op or data words."""
+
+    lineno: int
+    kind: str            # "insn" | "word"
+    mnemonic: str = ""
+    operands: tuple[str, ...] = ()
+    words: tuple[int, ...] = ()
+    size: int = 4        # bytes this item occupies (pseudo-ops may expand)
+
+
+def _reg(token: str, lineno: int) -> int:
+    try:
+        return _REG_NAMES[token.strip().lower()]
+    except KeyError:
+        raise AsmError(f"line {lineno}: unknown register {token.strip()!r}") from None
+
+
+def _int(token: str, lineno: int) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError:
+        raise AsmError(f"line {lineno}: bad integer {token.strip()!r}") from None
+
+
+def _mem_operand(token: str, lineno: int) -> tuple[int, int]:
+    """Parse ``imm(reg)`` -> (imm, reg)."""
+    token = token.strip()
+    if not token.endswith(")") or "(" not in token:
+        raise AsmError(f"line {lineno}: expected imm(reg), got {token!r}")
+    imm_part, reg_part = token[:-1].split("(", 1)
+    imm = _int(imm_part, lineno) if imm_part.strip() else 0
+    return imm, _reg(reg_part, lineno)
+
+
+def _li_words(imm: int) -> int:
+    """Number of instructions ``li`` expands to for this immediate."""
+    return 1 if -2048 <= imm < 2048 else 2
+
+
+def _split_hi_lo(value: int) -> tuple[int, int]:
+    """Split an absolute 32-bit value into (lui imm20<<12, addi imm12)."""
+    value &= 0xFFFFFFFF
+    hi = (value + 0x800) & 0xFFFFF000
+    lo = ((value - hi) + 0x800) % 0x1000 - 0x800
+    return hi, lo
+
+
+_BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+_LOADS = {"lb", "lh", "lw", "lbu", "lhu"}
+_STORES = {"sb", "sh", "sw"}
+_R_OPS = {"add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and"}
+_I_OPS = {"addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai"}
+
+
+def _parse(text: str) -> tuple[list[_Item], dict[str, int]]:
+    """Pass 1: split into sized items, record label byte offsets."""
+    items: list[_Item] = []
+    labels: dict[str, int] = {}
+    offset = 0
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].split(";", 1)[0].strip()
+        while line:
+            head, colon, rest = line.partition(":")
+            if colon and " " not in head.strip() and "," not in head:
+                label = head.strip()
+                if not label or not (label[0].isalpha() or label[0] in "._"):
+                    raise AsmError(f"line {lineno}: bad label {label!r}")
+                if label in labels:
+                    raise AsmError(f"line {lineno}: label {label!r} defined twice")
+                labels[label] = offset
+                line = rest.strip()
+                continue
+            break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = tuple(op.strip() for op in operand_text.split(",")) \
+            if operand_text.strip() else ()
+        if mnemonic == ".word":
+            words = tuple(_int(op, lineno) & 0xFFFFFFFF for op in operands)
+            if not words:
+                raise AsmError(f"line {lineno}: .word needs at least one value")
+            item = _Item(lineno, "word", words=words, size=4 * len(words))
+        elif mnemonic == ".zero":
+            count = _int(operands[0], lineno) if operands else 0
+            if count <= 0 or count % 4:
+                raise AsmError(f"line {lineno}: .zero size must be a positive "
+                               f"multiple of 4, got {count}")
+            item = _Item(lineno, "word", words=(0,) * (count // 4), size=count)
+        elif mnemonic == "li":
+            if len(operands) != 2:
+                raise AsmError(f"line {lineno}: li needs rd, imm")
+            item = _Item(lineno, "insn", "li", operands,
+                         size=4 * _li_words(_int(operands[1], lineno)))
+        elif mnemonic in ("la", "call"):
+            item = _Item(lineno, "insn", mnemonic, operands, size=8)
+        else:
+            item = _Item(lineno, "insn", mnemonic, operands)
+        items.append(item)
+        offset += item.size
+    return items, labels
+
+
+def _encode_item(item: _Item, pc: int, labels: dict[str, int],
+                 base: int) -> list[int]:
+    lineno, mnemonic, ops = item.lineno, item.mnemonic, item.operands
+
+    def resolve(token: str) -> int:
+        token = token.strip()
+        if token in labels:
+            return base + labels[token]
+        return _int(token, lineno)
+
+    def branch_offset(token: str) -> int:
+        return resolve(token) - pc
+
+    try:
+        if mnemonic in _R_OPS:
+            rd, rs1, rs2 = (_reg(op, lineno) for op in ops)
+            return [encode(mnemonic, rd=rd, rs1=rs1, rs2=rs2)]
+        if mnemonic in _I_OPS:
+            rd, rs1 = _reg(ops[0], lineno), _reg(ops[1], lineno)
+            return [encode(mnemonic, rd=rd, rs1=rs1, imm=_int(ops[2], lineno))]
+        if mnemonic in _LOADS:
+            rd = _reg(ops[0], lineno)
+            imm, rs1 = _mem_operand(ops[1], lineno)
+            return [encode(mnemonic, rd=rd, rs1=rs1, imm=imm)]
+        if mnemonic in _STORES:
+            rs2 = _reg(ops[0], lineno)
+            imm, rs1 = _mem_operand(ops[1], lineno)
+            return [encode(mnemonic, rs1=rs1, rs2=rs2, imm=imm)]
+        if mnemonic in _BRANCHES:
+            rs1, rs2 = _reg(ops[0], lineno), _reg(ops[1], lineno)
+            return [encode(mnemonic, rs1=rs1, rs2=rs2, imm=branch_offset(ops[2]))]
+        if mnemonic in ("beqz", "bnez"):
+            rs1 = _reg(ops[0], lineno)
+            real = "beq" if mnemonic == "beqz" else "bne"
+            return [encode(real, rs1=rs1, rs2=0, imm=branch_offset(ops[1]))]
+        if mnemonic in ("lui", "auipc"):
+            rd = _reg(ops[0], lineno)
+            imm20 = _int(ops[1], lineno)
+            if not 0 <= imm20 <= 0xFFFFF:
+                raise AsmError(f"line {lineno}: {mnemonic} imm20 {imm20:#x} "
+                               f"outside [0, 0xFFFFF]")
+            return [encode(mnemonic, rd=rd, imm=imm20 << 12)]
+        if mnemonic == "jal":
+            if len(ops) == 1:
+                return [encode("jal", rd=1, imm=branch_offset(ops[0]))]
+            return [encode("jal", rd=_reg(ops[0], lineno),
+                           imm=branch_offset(ops[1]))]
+        if mnemonic == "j":
+            return [encode("jal", rd=0, imm=branch_offset(ops[0]))]
+        if mnemonic == "jalr":
+            if len(ops) == 1:
+                return [encode("jalr", rd=1, rs1=_reg(ops[0], lineno))]
+            rd = _reg(ops[0], lineno)
+            imm, rs1 = _mem_operand(ops[1], lineno)
+            return [encode("jalr", rd=rd, rs1=rs1, imm=imm)]
+        if mnemonic == "ret":
+            return [encode("jalr", rd=0, rs1=1)]
+        if mnemonic == "call":
+            hi, lo = _split_hi_lo(resolve(ops[0]) - pc)
+            return [encode("auipc", rd=1, imm=hi),
+                    encode("jalr", rd=1, rs1=1, imm=lo)]
+        if mnemonic == "nop":
+            return [encode("addi")]
+        if mnemonic == "mv":
+            return [encode("addi", rd=_reg(ops[0], lineno),
+                           rs1=_reg(ops[1], lineno))]
+        if mnemonic == "not":
+            return [encode("xori", rd=_reg(ops[0], lineno),
+                           rs1=_reg(ops[1], lineno), imm=-1)]
+        if mnemonic == "neg":
+            return [encode("sub", rd=_reg(ops[0], lineno), rs1=0,
+                           rs2=_reg(ops[1], lineno))]
+        if mnemonic == "seqz":
+            return [encode("sltiu", rd=_reg(ops[0], lineno),
+                           rs1=_reg(ops[1], lineno), imm=1)]
+        if mnemonic == "snez":
+            return [encode("sltu", rd=_reg(ops[0], lineno), rs1=0,
+                           rs2=_reg(ops[1], lineno))]
+        if mnemonic == "li":
+            rd, imm = _reg(ops[0], lineno), _int(ops[1], lineno)
+            if _li_words(imm) == 1:
+                return [encode("addi", rd=rd, imm=imm)]
+            hi, lo = _split_hi_lo(imm)
+            out = [encode("lui", rd=rd, imm=hi)]
+            out.append(encode("addi", rd=rd, rs1=rd, imm=lo))
+            return out
+        if mnemonic == "la":
+            rd = _reg(ops[0], lineno)
+            hi, lo = _split_hi_lo(resolve(ops[1]))
+            return [encode("lui", rd=rd, imm=hi),
+                    encode("addi", rd=rd, rs1=rd, imm=lo)]
+        if mnemonic in ("ecall", "ebreak", "fence", "fence.i"):
+            return [encode(mnemonic)]
+    except AsmError:
+        raise
+    except (ValueError, IndexError) as exc:
+        raise AsmError(f"line {lineno}: {exc}") from exc
+    raise AsmError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+
+
+def assemble(text: str, base: int = 0x1000) -> bytes:
+    """Assemble RV32I source into a little-endian flat binary at ``base``."""
+    items, labels = _parse(text)
+    blob = bytearray()
+    for item in items:
+        pc = base + len(blob)
+        if item.kind == "word":
+            for word in item.words:
+                blob += word.to_bytes(4, "little")
+            continue
+        encoded = _encode_item(item, pc, labels, base)
+        expected = item.size // 4
+        if len(encoded) != expected:
+            raise AsmError(f"line {item.lineno}: {item.mnemonic} expanded to "
+                           f"{len(encoded)} words, sized as {expected}")
+        for word in encoded:
+            blob += word.to_bytes(4, "little")
+    return bytes(blob)

@@ -1,0 +1,293 @@
+"""RV32I base-ISA instruction decoder (and re-encoder).
+
+Decodes all six RV32I encoding formats (R/I/S/B/U/J) into a
+:class:`DecodedInsn` carrying the mnemonic, format, register fields and a
+canonical immediate.  The inverse, :func:`encode`, exists so the assembler
+and the round-trip property tests share one authoritative field layout.
+
+Immediate conventions (the values stored in ``DecodedInsn.imm``):
+
+* I-type ALU/load/jalr: the sign-extended 12-bit immediate.
+* shifts (``slli``/``srli``/``srai``): the 5-bit shift amount.
+* S-type: the sign-extended 12-bit store offset.
+* B-type / J-type: the sign-extended *byte* offset relative to the branch pc
+  (always even; bit 0 is not encoded).
+* ``lui`` / ``auipc``: the upper immediate **already shifted**, i.e.
+  ``imm20 << 12`` as an unsigned 32-bit value.
+* ``ecall``/``ebreak``/``fence``: 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DecodeError", "DecodedInsn", "decode", "decode_all", "encode"]
+
+# Major opcodes (bits [6:0]).
+_OP_LUI = 0b0110111
+_OP_AUIPC = 0b0010111
+_OP_JAL = 0b1101111
+_OP_JALR = 0b1100111
+_OP_BRANCH = 0b1100011
+_OP_LOAD = 0b0000011
+_OP_STORE = 0b0100011
+_OP_IMM = 0b0010011
+_OP_OP = 0b0110011
+_OP_MISC_MEM = 0b0001111
+_OP_SYSTEM = 0b1110011
+
+
+class DecodeError(ValueError):
+    """Raised when a 32-bit word is not a valid RV32I instruction."""
+
+
+@dataclass(frozen=True)
+class DecodedInsn:
+    """One decoded RV32I instruction.
+
+    ``rd``/``rs1``/``rs2`` are raw 5-bit register numbers; fields that a
+    format does not encode are 0.  ``imm`` follows the module-level
+    immediate conventions.  ``raw`` is the original 32-bit word.
+    """
+
+    mnemonic: str
+    fmt: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    raw: int = 0
+
+    def __str__(self) -> str:
+        if self.fmt == "R":
+            return f"{self.mnemonic} x{self.rd}, x{self.rs1}, x{self.rs2}"
+        if self.mnemonic in ("ecall", "ebreak", "fence", "fence.i"):
+            return self.mnemonic
+        if self.fmt == "I":
+            if self.mnemonic.startswith("l"):
+                return f"{self.mnemonic} x{self.rd}, {self.imm}(x{self.rs1})"
+            return f"{self.mnemonic} x{self.rd}, x{self.rs1}, {self.imm}"
+        if self.fmt == "S":
+            return f"{self.mnemonic} x{self.rs2}, {self.imm}(x{self.rs1})"
+        if self.fmt == "B":
+            return f"{self.mnemonic} x{self.rs1}, x{self.rs2}, pc{self.imm:+d}"
+        if self.fmt == "U":
+            return f"{self.mnemonic} x{self.rd}, {self.imm:#x}"
+        return f"{self.mnemonic} x{self.rd}, pc{self.imm:+d}"
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+# (funct3, funct7) -> mnemonic for the OP major opcode.
+_R_TABLE = {
+    (0b000, 0b0000000): "add",
+    (0b000, 0b0100000): "sub",
+    (0b001, 0b0000000): "sll",
+    (0b010, 0b0000000): "slt",
+    (0b011, 0b0000000): "sltu",
+    (0b100, 0b0000000): "xor",
+    (0b101, 0b0000000): "srl",
+    (0b101, 0b0100000): "sra",
+    (0b110, 0b0000000): "or",
+    (0b111, 0b0000000): "and",
+}
+
+_I_ALU_TABLE = {0b000: "addi", 0b010: "slti", 0b011: "sltiu",
+                0b100: "xori", 0b110: "ori", 0b111: "andi"}
+_LOAD_TABLE = {0b000: "lb", 0b001: "lh", 0b010: "lw", 0b100: "lbu", 0b101: "lhu"}
+_STORE_TABLE = {0b000: "sb", 0b001: "sh", 0b010: "sw"}
+_BRANCH_TABLE = {0b000: "beq", 0b001: "bne", 0b100: "blt",
+                 0b101: "bge", 0b110: "bltu", 0b111: "bgeu"}
+
+
+def decode(word: int) -> DecodedInsn:
+    """Decode one little-endian 32-bit instruction word."""
+    word &= 0xFFFFFFFF
+    if word & 0b11 != 0b11:
+        raise DecodeError(f"{word:#010x}: compressed/invalid encoding (low bits != 11)")
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == _OP_LUI:
+        return DecodedInsn("lui", "U", rd=rd, imm=(word & 0xFFFFF000), raw=word)
+    if opcode == _OP_AUIPC:
+        return DecodedInsn("auipc", "U", rd=rd, imm=(word & 0xFFFFF000), raw=word)
+    if opcode == _OP_JAL:
+        imm = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) \
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        return DecodedInsn("jal", "J", rd=rd, imm=_sext(imm, 21), raw=word)
+    if opcode == _OP_JALR:
+        if funct3 != 0:
+            raise DecodeError(f"{word:#010x}: jalr with funct3={funct3}")
+        return DecodedInsn("jalr", "I", rd=rd, rs1=rs1,
+                           imm=_sext(word >> 20, 12), raw=word)
+    if opcode == _OP_BRANCH:
+        mnemonic = _BRANCH_TABLE.get(funct3)
+        if mnemonic is None:
+            raise DecodeError(f"{word:#010x}: branch with funct3={funct3}")
+        imm = (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) \
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        return DecodedInsn(mnemonic, "B", rs1=rs1, rs2=rs2,
+                           imm=_sext(imm, 13), raw=word)
+    if opcode == _OP_LOAD:
+        mnemonic = _LOAD_TABLE.get(funct3)
+        if mnemonic is None:
+            raise DecodeError(f"{word:#010x}: load with funct3={funct3}")
+        return DecodedInsn(mnemonic, "I", rd=rd, rs1=rs1,
+                           imm=_sext(word >> 20, 12), raw=word)
+    if opcode == _OP_STORE:
+        mnemonic = _STORE_TABLE.get(funct3)
+        if mnemonic is None:
+            raise DecodeError(f"{word:#010x}: store with funct3={funct3}")
+        imm = _sext((funct7 << 5) | rd, 12)
+        return DecodedInsn(mnemonic, "S", rs1=rs1, rs2=rs2, imm=imm, raw=word)
+    if opcode == _OP_IMM:
+        if funct3 == 0b001:
+            if funct7 != 0:
+                raise DecodeError(f"{word:#010x}: slli with funct7={funct7:#04x}")
+            return DecodedInsn("slli", "I", rd=rd, rs1=rs1, imm=rs2, raw=word)
+        if funct3 == 0b101:
+            if funct7 == 0b0000000:
+                return DecodedInsn("srli", "I", rd=rd, rs1=rs1, imm=rs2, raw=word)
+            if funct7 == 0b0100000:
+                return DecodedInsn("srai", "I", rd=rd, rs1=rs1, imm=rs2, raw=word)
+            raise DecodeError(f"{word:#010x}: shift with funct7={funct7:#04x}")
+        mnemonic = _I_ALU_TABLE[funct3]
+        return DecodedInsn(mnemonic, "I", rd=rd, rs1=rs1,
+                           imm=_sext(word >> 20, 12), raw=word)
+    if opcode == _OP_OP:
+        mnemonic = _R_TABLE.get((funct3, funct7))
+        if mnemonic is None:
+            raise DecodeError(
+                f"{word:#010x}: OP with funct3={funct3} funct7={funct7:#04x}")
+        return DecodedInsn(mnemonic, "R", rd=rd, rs1=rs1, rs2=rs2, raw=word)
+    if opcode == _OP_MISC_MEM:
+        if funct3 == 0b000:
+            return DecodedInsn("fence", "I", rd=rd, rs1=rs1, raw=word)
+        if funct3 == 0b001:
+            return DecodedInsn("fence.i", "I", rd=rd, rs1=rs1, raw=word)
+        raise DecodeError(f"{word:#010x}: misc-mem with funct3={funct3}")
+    if opcode == _OP_SYSTEM:
+        if funct3 != 0 or rd != 0 or rs1 != 0:
+            raise DecodeError(f"{word:#010x}: unsupported SYSTEM encoding")
+        funct12 = word >> 20
+        if funct12 == 0:
+            return DecodedInsn("ecall", "I", raw=word)
+        if funct12 == 1:
+            return DecodedInsn("ebreak", "I", raw=word)
+        raise DecodeError(f"{word:#010x}: SYSTEM funct12={funct12:#x}")
+    raise DecodeError(f"{word:#010x}: unknown major opcode {opcode:#04x}")
+
+
+def decode_all(blob: bytes) -> list[DecodedInsn | None]:
+    """Decode every aligned word of ``blob``; undecodable words become None.
+
+    Real binaries interleave data with text; words that fail to decode are
+    kept as ``None`` placeholders so program counters stay dense.
+    """
+    out: list[DecodedInsn | None] = []
+    for i in range(0, len(blob) - len(blob) % 4, 4):
+        word = int.from_bytes(blob[i:i + 4], "little")
+        try:
+            out.append(decode(word))
+        except DecodeError:
+            out.append(None)
+    return out
+
+
+# -- encoding ------------------------------------------------------------------
+
+_ENC_R = {"add": (0b000, 0b0000000), "sub": (0b000, 0b0100000),
+          "sll": (0b001, 0b0000000), "slt": (0b010, 0b0000000),
+          "sltu": (0b011, 0b0000000), "xor": (0b100, 0b0000000),
+          "srl": (0b101, 0b0000000), "sra": (0b101, 0b0100000),
+          "or": (0b110, 0b0000000), "and": (0b111, 0b0000000)}
+_ENC_I_ALU = {v: k for k, v in _I_ALU_TABLE.items()}
+_ENC_LOAD = {v: k for k, v in _LOAD_TABLE.items()}
+_ENC_STORE = {v: k for k, v in _STORE_TABLE.items()}
+_ENC_BRANCH = {v: k for k, v in _BRANCH_TABLE.items()}
+_ENC_SHIFT = {"slli": (0b001, 0b0000000), "srli": (0b101, 0b0000000),
+              "srai": (0b101, 0b0100000)}
+
+
+def _check_reg(name: str, value: int) -> int:
+    if not 0 <= value <= 31:
+        raise ValueError(f"{name}={value} out of range for a 5-bit register field")
+    return value
+
+
+def _check_range(mnemonic: str, imm: int, bits: int) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= imm <= hi:
+        raise ValueError(f"{mnemonic}: immediate {imm} outside [{lo}, {hi}]")
+    return imm & ((1 << bits) - 1)
+
+
+def encode(mnemonic: str, rd: int = 0, rs1: int = 0, rs2: int = 0,
+           imm: int = 0) -> int:
+    """Encode one RV32I instruction into its 32-bit word.
+
+    The immediate follows the same conventions as :class:`DecodedInsn`, so
+    ``decode(encode(...))`` round-trips exactly.
+    """
+    rd, rs1, rs2 = _check_reg("rd", rd), _check_reg("rs1", rs1), _check_reg("rs2", rs2)
+    if mnemonic in _ENC_R:
+        funct3, funct7 = _ENC_R[mnemonic]
+        return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (rd << 7) | _OP_OP
+    if mnemonic in _ENC_SHIFT:
+        funct3, funct7 = _ENC_SHIFT[mnemonic]
+        if not 0 <= imm <= 31:
+            raise ValueError(f"{mnemonic}: shift amount {imm} outside [0, 31]")
+        return (funct7 << 25) | (imm << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (rd << 7) | _OP_IMM
+    if mnemonic in _ENC_I_ALU:
+        imm12 = _check_range(mnemonic, imm, 12)
+        return (imm12 << 20) | (rs1 << 15) | (_ENC_I_ALU[mnemonic] << 12) \
+            | (rd << 7) | _OP_IMM
+    if mnemonic in _ENC_LOAD:
+        imm12 = _check_range(mnemonic, imm, 12)
+        return (imm12 << 20) | (rs1 << 15) | (_ENC_LOAD[mnemonic] << 12) \
+            | (rd << 7) | _OP_LOAD
+    if mnemonic in _ENC_STORE:
+        imm12 = _check_range(mnemonic, imm, 12)
+        return ((imm12 >> 5) << 25) | (rs2 << 20) | (rs1 << 15) \
+            | (_ENC_STORE[mnemonic] << 12) | ((imm12 & 0x1F) << 7) | _OP_STORE
+    if mnemonic in _ENC_BRANCH:
+        if imm % 2:
+            raise ValueError(f"{mnemonic}: branch offset {imm} must be even")
+        imm13 = _check_range(mnemonic, imm, 13)
+        return (((imm13 >> 12) & 1) << 31) | (((imm13 >> 5) & 0x3F) << 25) \
+            | (rs2 << 20) | (rs1 << 15) | (_ENC_BRANCH[mnemonic] << 12) \
+            | (((imm13 >> 1) & 0xF) << 8) | (((imm13 >> 11) & 1) << 7) | _OP_BRANCH
+    if mnemonic in ("lui", "auipc"):
+        if imm & 0xFFF or not 0 <= imm <= 0xFFFFF000:
+            raise ValueError(f"{mnemonic}: immediate {imm:#x} is not imm20 << 12")
+        major = _OP_LUI if mnemonic == "lui" else _OP_AUIPC
+        return imm | (rd << 7) | major
+    if mnemonic == "jal":
+        if imm % 2:
+            raise ValueError(f"jal: offset {imm} must be even")
+        imm21 = _check_range(mnemonic, imm, 21)
+        return (((imm21 >> 20) & 1) << 31) | (((imm21 >> 1) & 0x3FF) << 21) \
+            | (((imm21 >> 11) & 1) << 20) | (((imm21 >> 12) & 0xFF) << 12) \
+            | (rd << 7) | _OP_JAL
+    if mnemonic == "jalr":
+        imm12 = _check_range(mnemonic, imm, 12)
+        return (imm12 << 20) | (rs1 << 15) | (rd << 7) | _OP_JALR
+    if mnemonic == "ecall":
+        return _OP_SYSTEM
+    if mnemonic == "ebreak":
+        return (1 << 20) | _OP_SYSTEM
+    if mnemonic == "fence":
+        return _OP_MISC_MEM
+    if mnemonic == "fence.i":
+        return (0b001 << 12) | _OP_MISC_MEM
+    raise ValueError(f"unknown RV32I mnemonic {mnemonic!r}")

@@ -1,0 +1,137 @@
+"""Flat-binary / ELF-lite loader for RV32I images.
+
+Produces a :class:`LoadedBinary`: the text bytes to decode plus a sparse
+byte-addressed memory image holding *every* loaded segment (so pc-relative
+and absolute data references into .text/.rodata observe the original bytes).
+
+Two container formats:
+
+* **flat binary** -- the whole file is text, loaded at ``base``
+  (default ``0x1000``) with the entry point at ``base``;
+* **ELF-lite** -- a 32-bit little-endian ``ET_EXEC`` ELF for ``EM_RISCV``.
+  Only program headers are consulted: every ``PT_LOAD`` segment is placed
+  at its ``p_vaddr`` (zero-filling up to ``p_memsz``) and the segment
+  containing ``e_entry`` is treated as text.  Section headers, relocation
+  and dynamic linking are out of scope.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["LoadedBinary", "LoaderError", "load_binary"]
+
+_ELF_MAGIC = b"\x7fELF"
+_EM_RISCV = 243
+
+
+class LoaderError(ValueError):
+    """Raised when a binary cannot be loaded."""
+
+
+@dataclass
+class LoadedBinary:
+    """A loaded RV32I program image.
+
+    Attributes
+    ----------
+    text_base:
+        Virtual address of the first text byte.
+    text:
+        The raw bytes to decode as instructions.
+    entry:
+        Entry-point virtual address (must fall inside text).
+    memory:
+        Sparse byte image (address -> byte value) of every loaded segment.
+    source:
+        Where the image came from (path or ``"<bytes>"``), for messages.
+    """
+
+    text_base: int
+    text: bytes
+    entry: int
+    memory: dict[int, int] = field(default_factory=dict)
+    source: str = "<bytes>"
+
+    def __post_init__(self) -> None:
+        if self.text_base % 4 or self.entry % 4:
+            raise LoaderError(
+                f"{self.source}: text base {self.text_base:#x} and entry "
+                f"{self.entry:#x} must be 4-byte aligned")
+        if not self.text_base <= self.entry < self.text_base + max(len(self.text), 1):
+            raise LoaderError(
+                f"{self.source}: entry {self.entry:#x} outside text "
+                f"[{self.text_base:#x}, {self.text_base + len(self.text):#x})")
+
+
+def _load_flat(blob: bytes, base: int, source: str) -> LoadedBinary:
+    if not blob:
+        raise LoaderError(f"{source}: empty binary")
+    if len(blob) % 4:
+        raise LoaderError(f"{source}: flat binary length {len(blob)} is not a "
+                          f"multiple of 4")
+    memory = {base + i: b for i, b in enumerate(blob)}
+    return LoadedBinary(text_base=base, text=blob, entry=base,
+                        memory=memory, source=source)
+
+
+def _load_elf(blob: bytes, source: str) -> LoadedBinary:
+    if len(blob) < 52:
+        raise LoaderError(f"{source}: truncated ELF header")
+    ident = blob[:16]
+    if ident[4] != 1 or ident[5] != 1:
+        raise LoaderError(f"{source}: only ELF32 little-endian is supported")
+    (_etype, machine, _version, entry, phoff, _shoff, _flags, _ehsize,
+     phentsize, phnum) = struct.unpack_from("<HHIIIIIHHH", blob, 16)
+    if machine != _EM_RISCV:
+        raise LoaderError(f"{source}: ELF machine {machine} is not RISC-V "
+                          f"({_EM_RISCV})")
+    if phnum == 0:
+        raise LoaderError(f"{source}: ELF has no program headers")
+    memory: dict[int, int] = {}
+    text_base, text = None, b""
+    for i in range(phnum):
+        off = phoff + i * phentsize
+        if off + 32 > len(blob):
+            raise LoaderError(f"{source}: program header {i} out of bounds")
+        p_type, p_offset, p_vaddr, _p_paddr, p_filesz, p_memsz, _p_flags, \
+            _p_align = struct.unpack_from("<IIIIIIII", blob, off)
+        if p_type != 1:  # PT_LOAD
+            continue
+        if p_offset + p_filesz > len(blob):
+            raise LoaderError(f"{source}: PT_LOAD segment {i} exceeds file size")
+        data = blob[p_offset:p_offset + p_filesz]
+        data += b"\x00" * (p_memsz - p_filesz)
+        for j, byte in enumerate(data):
+            memory[p_vaddr + j] = byte
+        if p_vaddr <= entry < p_vaddr + max(p_memsz, 1):
+            text_base, text = p_vaddr, data
+    if text_base is None:
+        raise LoaderError(f"{source}: no PT_LOAD segment contains the entry "
+                          f"point {entry:#x}")
+    if len(text) % 4:
+        text += b"\x00" * (4 - len(text) % 4)
+    return LoadedBinary(text_base=text_base, text=bytes(text), entry=entry,
+                        memory=memory, source=source)
+
+
+def load_binary(source: str | Path | bytes, base: int = 0x1000) -> LoadedBinary:
+    """Load an RV32I binary from a path or raw bytes.
+
+    ELF images are recognised by magic; anything else is treated as a flat
+    binary placed at ``base``.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            raise LoaderError(f"cannot read RV32I binary {path}: {exc}") from exc
+        name = str(path)
+    else:
+        blob, name = bytes(source), "<bytes>"
+    if blob[:4] == _ELF_MAGIC:
+        return _load_elf(blob, name)
+    return _load_flat(blob, base, name)

@@ -1,0 +1,176 @@
+"""External trace import/export (ChampSim/gem5-style instruction records).
+
+Lets the simulator consume traces produced *outside* the functional
+executor -- recorded on another machine, captured from a different
+front end, or exported from a previous run -- and lets recorded traces be
+shipped as plain files.
+
+The container is JSON Lines (optionally gzip-compressed when the path ends
+in ``.gz``): a header object followed by one record per dynamic micro-op,
+in program order.  Like a gem5/ChampSim instruction trace, each record is a
+self-contained instruction descriptor: pc, opcode, register operands,
+result value, memory address/size/store-value and resolved branch
+behaviour.  Unlike raw ChampSim records the opcode vocabulary is this
+simulator's micro-op ISA; converting an external trace means mapping each
+foreign record onto these fields.
+
+Record schema (short keys keep multi-MB traces small)::
+
+    header: {"format": "repro-uop-trace", "version": 1, "name": ...,
+             "ops": N}
+    op:     {"q": seq, "p": pc, "x": static_index, "o": opcode,
+             "d": dest or null, "s": [srcs...], "w": width, "h": high8 0/1,
+             "i": imm, "v": result, "a": mem_addr, "z": mem_size,
+             "sv": store_value, "n": next_pc, "t": taken 0/1, "g": target_pc}
+
+``static_index`` is preserved exactly: the pipeline's dispatch cache is
+keyed by it, so all records sharing a ``static_index`` must decode
+identically (true for any trace this module exported).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from pathlib import Path
+
+from repro.isa.executor import DynamicOp, Trace
+from repro.isa.opcodes import Opcode, op_class
+from repro.isa.registers import ArchReg, RegClass
+
+__all__ = ["TraceFormatError", "export_trace", "import_trace"]
+
+FORMAT_NAME = "repro-uop-trace"
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not match the expected schema."""
+
+
+def _reg_name(reg: ArchReg | None) -> str | None:
+    return None if reg is None else reg.name
+
+
+def _parse_reg(name: str | None, where: str) -> ArchReg | None:
+    if name is None:
+        return None
+    try:
+        reg_class = {"r": RegClass.INT, "f": RegClass.FP}[name[0]]
+        return ArchReg(reg_class, int(name[1:]))
+    except (KeyError, ValueError, IndexError):
+        raise TraceFormatError(f"{where}: bad register name {name!r}") from None
+
+
+def _open_write(path: Path):
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8")
+    return path.open("w", encoding="utf-8")
+
+
+def _open_read(path: Path):
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
+def export_trace(trace: Trace, path: str | Path) -> int:
+    """Write ``trace`` to ``path`` in the JSONL trace format.
+
+    Returns the number of micro-op records written.
+    """
+    path = Path(path)
+    with _open_write(path) as stream:
+        header = {"format": FORMAT_NAME, "version": FORMAT_VERSION,
+                  "name": trace.name, "ops": len(trace.ops)}
+        stream.write(json.dumps(header) + "\n")
+        for op in trace.ops:
+            record = {
+                "q": op.seq, "p": op.pc, "x": op.static_index,
+                "o": op.opcode.value,
+                "d": _reg_name(op.dest),
+                "s": [reg.name for reg in op.srcs],
+                "w": op.width, "h": int(op.src_high8), "i": op.imm,
+                "v": op.result, "a": op.mem_addr, "z": op.mem_size,
+                "sv": op.store_value, "n": op.next_pc, "t": int(op.taken),
+                "g": op.target_pc,
+            }
+            stream.write(json.dumps(record) + "\n")
+    return len(trace.ops)
+
+
+def import_trace(path: str | Path, max_ops: int | None = None,
+                 name: str | None = None) -> Trace:
+    """Read a trace file back into a :class:`Trace`.
+
+    ``max_ops`` truncates the record stream (like a shorter functional run);
+    ``name`` overrides the recorded trace name.  The returned trace carries
+    no :class:`~repro.isa.program.Program` -- imported traces replay through
+    the full detailed path but cannot be functionally re-executed, so they
+    do not support sampled simulation.
+    """
+    path = Path(path)
+    try:
+        stream = _open_read(path)
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+    with stream:
+        header_line = stream.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}: header is not JSON") from exc
+        if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
+            raise TraceFormatError(
+                f"{path}: not a {FORMAT_NAME} file (header {header_line[:60]!r})")
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{path}: unsupported trace version {header.get('version')!r} "
+                f"(expected {FORMAT_VERSION})")
+        trace = Trace(name=name or header.get("name") or path.stem)
+        ops = trace.ops
+        for lineno, line in enumerate(stream, start=2):
+            if max_ops is not None and len(ops) >= max_ops:
+                break
+            if not line.strip():
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"{where}: bad JSON record") from exc
+            try:
+                opcode = Opcode(record["o"])
+            except (KeyError, ValueError):
+                raise TraceFormatError(
+                    f"{where}: unknown opcode {record.get('o')!r}") from None
+            try:
+                op = DynamicOp(
+                    seq=len(ops),
+                    pc=record["p"],
+                    static_index=record["x"],
+                    opcode=opcode,
+                    op_class=op_class(opcode),
+                    dest=_parse_reg(record.get("d"), where),
+                    srcs=tuple(_parse_reg(reg, where)
+                               for reg in record.get("s", ())),
+                    width=record.get("w", 64),
+                    src_high8=bool(record.get("h", 0)),
+                    imm=record.get("i", 0),
+                    result=record.get("v"),
+                    mem_addr=record.get("a"),
+                    mem_size=record.get("z", 8),
+                    store_value=record.get("sv"),
+                    next_pc=record.get("n", 0),
+                    taken=bool(record.get("t", 0)),
+                    target_pc=record.get("g"),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TraceFormatError(f"{where}: bad record ({exc})") from exc
+            ops.append(op)
+    expected = header.get("ops")
+    if max_ops is None and isinstance(expected, int) and expected != len(ops):
+        raise TraceFormatError(
+            f"{path}: header promises {expected} ops, file has {len(ops)}")
+    return trace

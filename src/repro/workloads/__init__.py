@@ -22,14 +22,19 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-# Importing the workload modules populates the registry.
+# Importing the workload modules populates the registry (and the dynamic
+# workload families: fuzz:, riscv:, trace:).
 from repro.workloads import floating as _floating  # noqa: F401
+from repro.workloads import fuzz as _fuzz  # noqa: F401
 from repro.workloads import integer as _integer  # noqa: F401
+from repro.workloads import riscv as _riscv  # noqa: F401
 from repro.workloads.base import (
     WorkloadImage,
     WorkloadSpec,
     get_workload,
     register_workload,
+    register_workload_family,
+    workload_families,
     workload_registry,
 )
 from repro.isa.executor import Trace
@@ -94,7 +99,42 @@ def generate_trace(name: str, max_ops: int = 20_000, seed: int = 1) -> Trace:
         trace = _trace_provider(name, max_ops, seed)
         if trace is not None:
             return trace
-    return build_workload(name, seed=seed).execute(max_ops=max_ops)
+    return materialize_trace(name, max_ops=max_ops, seed=seed)
+
+
+def materialize_trace(name: str, max_ops: int = 20_000, seed: int = 1) -> Trace:
+    """Materialise a trace *without* consulting the provider hook.
+
+    For ordinary workloads this functionally executes the image; for
+    imported-trace workloads (``trace:<path>``) it reads the trace file.
+    This is the primitive the on-disk trace cache itself uses (the provider
+    hook would recurse into the cache).
+    """
+    return get_workload(name).trace(max_ops, seed=seed)
+
+
+def workload_cache_token(name: str) -> str:
+    """Filesystem-safe token identifying ``name`` in trace-cache keys.
+
+    Plainly registered workloads keep their name (so existing cache entries
+    stay valid); family-resolved workloads (``riscv:...``, ``trace:...``,
+    ``fuzz:...``) carry a sanitised token, content-hashed for file-backed
+    families so cache entries invalidate when the file changes.
+
+    Unregistered *plain* names key by themselves -- cache-key construction
+    never required registry membership, and the real lookup error surfaces
+    when the trace is materialised.  Unresolvable *family* names still
+    raise: their tokens carry sanitisation/content hashes a fallback
+    cannot fake.
+    """
+    try:
+        spec = get_workload(name)
+    except KeyError:
+        prefix, sep, _rest = name.partition(":")
+        if sep and prefix in workload_families():
+            raise
+        return name
+    return spec.cache_token if spec.cache_token is not None else spec.name
 
 
 #: Workloads swept by the benchmark harness, in presentation order.
@@ -104,12 +144,16 @@ __all__ = [
     "WorkloadImage",
     "WorkloadSpec",
     "register_workload",
+    "register_workload_family",
     "workload_registry",
+    "workload_families",
     "get_workload",
     "list_workloads",
     "workload_specs",
     "build_workload",
     "generate_trace",
+    "materialize_trace",
+    "workload_cache_token",
     "TraceProvider",
     "install_trace_provider",
     "clear_trace_provider",

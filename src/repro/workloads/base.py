@@ -51,6 +51,10 @@ class WorkloadImage:
 #: Signature of a workload builder: ``build(seed) -> WorkloadImage``.
 WorkloadBuilder = Callable[[int], WorkloadImage]
 
+#: Signature of a direct trace materialiser: ``tracer(max_ops, seed) -> Trace``.
+#: Used by trace-file workloads, which have no functional image to execute.
+WorkloadTracer = Callable[[int, int], Trace]
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -69,6 +73,17 @@ class WorkloadSpec:
         stands in for (documentation only; no SPEC code is used).
     builder:
         Callable creating the :class:`WorkloadImage` for a seed.
+    cache_token:
+        Filesystem-safe token identifying this workload in on-disk trace
+        cache keys.  ``None`` (all plainly registered workloads) means the
+        name itself is the token; family-resolved workloads (``riscv:...``,
+        ``trace:...``) carry a sanitised, content-hashed token so cache
+        entries invalidate when the backing file changes.
+    tracer:
+        For imported-trace workloads only: materialise the dynamic trace
+        directly.  Workloads with a ``tracer`` cannot be functionally
+        re-executed (their ``builder`` raises), so they support full-trace
+        simulation but not sampled mode.
     """
 
     name: str
@@ -76,10 +91,18 @@ class WorkloadSpec:
     description: str
     spec_analog: str
     builder: WorkloadBuilder
+    cache_token: str | None = None
+    tracer: WorkloadTracer | None = None
 
     def build(self, seed: int = 1) -> WorkloadImage:
         """Construct the workload image for ``seed``."""
         return self.builder(seed)
+
+    def trace(self, max_ops: int, seed: int = 1) -> Trace:
+        """Materialise the dynamic trace for this workload."""
+        if self.tracer is not None:
+            return self.tracer(max_ops, seed)
+        return self.build(seed).execute(max_ops=max_ops)
 
 
 _REGISTRY: dict[str, WorkloadSpec] = {}
@@ -111,10 +134,48 @@ def workload_registry() -> dict[str, WorkloadSpec]:
     return dict(_REGISTRY)
 
 
+#: Signature of a family resolver: ``resolve(name) -> WorkloadSpec`` for any
+#: ``name`` starting with the family's ``<prefix>:``.
+FamilyResolver = Callable[[str], WorkloadSpec]
+
+_FAMILIES: dict[str, tuple[str, FamilyResolver]] = {}
+
+
+def register_workload_family(prefix: str, description: str) \
+        -> Callable[[FamilyResolver], FamilyResolver]:
+    """Decorator registering a *dynamic workload family*.
+
+    A family resolves open-ended workload names of the form
+    ``<prefix>:<rest>`` (for example ``riscv:<path>`` or ``fuzz:mem:42``)
+    into :class:`WorkloadSpec` objects on demand, so binaries, trace files
+    and parameterised generators plug into every consumer of
+    :func:`get_workload` -- the CLI, the sweep grid and the trace cache --
+    without being enumerated in the static registry.
+    """
+
+    def decorator(resolver: FamilyResolver) -> FamilyResolver:
+        if prefix in _FAMILIES:
+            raise ValueError(f"workload family {prefix!r} registered twice")
+        _FAMILIES[prefix] = (description, resolver)
+        return resolver
+
+    return decorator
+
+
+def workload_families() -> dict[str, str]:
+    """Return the registered workload families (prefix -> description)."""
+    return {prefix: description for prefix, (description, _) in _FAMILIES.items()}
+
+
 def get_workload(name: str) -> WorkloadSpec:
-    """Return the spec for workload ``name``."""
-    try:
-        return _REGISTRY[name]
-    except KeyError as exc:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown workload {name!r}; known workloads: {known}") from exc
+    """Return the spec for workload ``name`` (registry or family-resolved)."""
+    spec = _REGISTRY.get(name)
+    if spec is not None:
+        return spec
+    prefix, sep, _rest = name.partition(":")
+    if sep and prefix in _FAMILIES:
+        return _FAMILIES[prefix][1](name)
+    known = ", ".join(sorted(_REGISTRY))
+    families = ", ".join(f"{prefix}:..." for prefix in sorted(_FAMILIES))
+    hint = f"; workload families: {families}" if families else ""
+    raise KeyError(f"unknown workload {name!r}; known workloads: {known}{hint}")

@@ -1,0 +1,238 @@
+"""Seeded random-program (fuzz) workloads.
+
+The property-test layer (``tests/test_properties.py``) has always driven the
+pipeline with seeded random programs; this module promotes that generator
+into first-class, registered workloads so the sweep harness, the paper
+pipeline and the differential tests all exercise machine-generated code
+nobody hand-tuned for the tracker schemes.
+
+The promoted generator is *phase-structured*: the program is an infinite
+outer loop over a few phases, each phase being an inner loop whose body is
+drawn from a different template mix (ALU-heavy, memory-heavy,
+branch-heavy).  Distinct phases have distinct IPC and distinct
+sharing/squash behaviour, which is exactly the program shape the two-speed
+sampling layer has to handle.
+
+Three profiles are registered in the default suite (``fuzz_mix``,
+``fuzz_mem``, ``fuzz_branch``); arbitrary profile/seed combinations are
+reachable through the ``fuzz:<profile>[:<seed>]`` workload family, e.g.
+``repro run fuzz:mem:42``.
+
+Template inventory (shared across profiles, weighted per phase):
+
+0. two-source ALU ops,
+1. immediate ALU / shifts,
+2. moves -- eliminable 64-bit, non-eliminable 16-bit merges, ``movzx8``,
+3. masked loads from a 128-word heap (dense aliasing),
+4. masked stores, address frequently behind a multiply (late resolution,
+   so memory-order traps actually happen),
+5. data-dependent forward branches over short blocks,
+6. calls to a leaf function with a spill/reload pair (RAS + STLF),
+7. long-latency multiply producers.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import int_reg
+from repro.workloads.base import (
+    WorkloadImage,
+    WorkloadSpec,
+    register_workload,
+    register_workload_family,
+)
+
+__all__ = ["FUZZ_PROFILES", "fuzz_image", "random_image"]
+
+_HEAP = 0x0010_0000
+_STACK = 0x0001_0000
+
+#: Per-profile phase structure: each inner tuple is one phase's weights over
+#: the eight templates (see the module docstring for the inventory).
+FUZZ_PROFILES: dict[str, tuple[tuple[int, ...], ...]] = {
+    "mix": (
+        (3, 2, 2, 1, 1, 1, 1, 1),   # ALU/move-heavy
+        (1, 1, 1, 4, 4, 1, 1, 1),   # memory-heavy
+        (1, 1, 1, 1, 1, 5, 2, 1),   # branch/call-heavy
+    ),
+    "mem": (
+        (1, 1, 1, 5, 2, 0, 1, 1),   # load-dominated
+        (1, 1, 1, 2, 5, 1, 0, 1),   # store-dominated (late addresses)
+        (0, 1, 1, 4, 4, 1, 1, 0),   # balanced aliasing churn
+    ),
+    "branch": (
+        (1, 1, 1, 1, 0, 6, 1, 0),   # coin-flip branches
+        (1, 1, 2, 1, 1, 4, 2, 1),   # branches + calls
+        (2, 1, 1, 0, 1, 5, 0, 1),   # branches behind long latency
+    ),
+}
+
+_TEMPLATES = 8
+
+
+def fuzz_image(seed: int, profile: str = "mix") -> WorkloadImage:
+    """Generate a phase-structured random workload image.
+
+    Structural register conventions (unchanged from the original
+    property-test generator): ``r0..r8`` are value registers the templates
+    mangle freely, ``r9`` the multiplier constant, ``r10`` the LCG state,
+    ``r11/r12`` stack/heap bases, ``r13`` the inner phase counter (and the
+    outer-loop compare scratch), ``r14/r15`` the outer loop bound/counter.
+    """
+    try:
+        phases = FUZZ_PROFILES[profile]
+    except KeyError:
+        known = ", ".join(sorted(FUZZ_PROFILES))
+        raise ValueError(f"unknown fuzz profile {profile!r}; known: {known}") \
+            from None
+    # Stable across processes (unlike hash()): profile-salted seed.
+    rng = random.Random(seed if profile == "mix"
+                        else seed ^ zlib.crc32(profile.encode()))
+    builder = ProgramBuilder(f"fuzz_{profile}_{seed}")
+    r = int_reg
+    value_regs = [r(i) for i in range(9)]
+
+    def any_reg():
+        return rng.choice(value_regs)
+
+    builder.movi(r(12), _HEAP)
+    builder.movi(r(11), _STACK)
+    builder.movi(r(10), rng.getrandbits(31) | 1)
+    builder.movi(r(9), 48271)
+    builder.movi(r(15), 0)            # outer loop counter
+    builder.movi(r(14), 1 << 40)      # outer bound (truncated by max_ops)
+    builder.jmp("phase_0")
+
+    # Leaf function: spill, shuffle, reload -- a call/RAS + STLF template.
+    builder.label("fn")
+    builder.store(r(6), base=r(11), offset=32)
+    builder.mov(r(6), r(1))                       # eliminable shuffle
+    builder.addi(r(6), r(6), 7)
+    builder.load(r(6), base=r(11), offset=32)
+    builder.ret()
+
+    skip_count = 0
+
+    def emit_template(template: int) -> None:
+        nonlocal skip_count
+        if template == 0:   # two-source ALU
+            op = rng.choice((builder.add, builder.sub, builder.xor,
+                             builder.and_, builder.or_))
+            op(any_reg(), any_reg(), any_reg())
+        elif template == 1:  # immediate ALU / shift
+            op = rng.choice((builder.addi, builder.andi, builder.shri,
+                             builder.shli))
+            op(any_reg(), any_reg(), rng.randrange(1, 48))
+        elif template == 2:  # moves: eliminable and merge flavours
+            kind = rng.randrange(3)
+            if kind == 0:
+                builder.mov(any_reg(), any_reg())                 # eliminable
+            elif kind == 1:
+                builder.mov(any_reg(), any_reg(), width=16)       # merge: not
+            else:
+                builder.movzx8(any_reg(), any_reg(),
+                               src_high8=rng.random() < 0.3)
+        elif template == 3:  # masked load
+            builder.andi(r(1), any_reg(), 0x3F8)
+            builder.load(any_reg(), base=r(12), index=r(1),
+                         offset=8 * rng.randrange(0, 4))
+        elif template == 4:  # masked store, index often behind a multiply
+            if rng.random() < 0.5:
+                builder.mul(r(2), any_reg(), r(9))
+                builder.andi(r(2), r(2), 0x3F8)
+            else:
+                builder.andi(r(2), any_reg(), 0x3F8)
+            builder.store(any_reg(), base=r(12), index=r(2),
+                          offset=8 * rng.randrange(0, 4))
+        elif template == 5:  # data-dependent forward branch over a block
+            builder.mul(r(10), r(10), r(9))
+            builder.addi(r(10), r(10), 12345)
+            builder.shri(r(3), r(10), 33)
+            builder.andi(r(3), r(3), 1)
+            label = f"skip_{skip_count}"
+            skip_count += 1
+            builder.bnz(r(3), label)
+            for _ in range(rng.randrange(1, 3)):
+                builder.addi(any_reg(), any_reg(), rng.randrange(1, 9))
+            builder.label(label)
+            builder.nop()
+        elif template == 6:  # call the leaf
+            builder.mov(r(1), any_reg())
+            builder.call("fn")
+        else:               # long-latency producer
+            builder.mul(any_reg(), any_reg(), r(9))
+
+    for phase_index, weights in enumerate(phases):
+        builder.label(f"phase_{phase_index}")
+        builder.movi(r(13), rng.randrange(6, 14))   # inner phase iterations
+        builder.label(f"phase_{phase_index}_body")
+        for _ in range(rng.randrange(10, 22)):
+            emit_template(rng.choices(range(_TEMPLATES), weights=weights)[0])
+        builder.addi(r(13), r(13), -1)
+        builder.bnz(r(13), f"phase_{phase_index}_body")
+
+    builder.addi(r(15), r(15), 1)
+    builder.cmplt(r(13), r(15), r(14))
+    builder.bnz(r(13), "phase_0")
+    builder.halt()
+
+    memory = {_HEAP + 8 * i: rng.getrandbits(63) for i in range(128)}
+    return WorkloadImage(program=builder.build(), initial_memory=memory)
+
+
+def random_image(seed: int) -> WorkloadImage:
+    """The property-test entry point: a mixed-profile fuzz image."""
+    return fuzz_image(seed, "mix")
+
+
+def _register(profile: str, description: str) -> None:
+    register_workload(
+        name=f"fuzz_{profile}",
+        category="int",
+        description=description,
+        spec_analog="machine-generated (no hand-tuned analog)",
+    )(lambda seed, _profile=profile: fuzz_image(seed, _profile))
+
+
+_register("mix", "phase-structured random program: ALU, memory and branch "
+                 "phases in rotation")
+_register("mem", "phase-structured random program: load/store-dominated "
+                 "phases with dense aliasing")
+_register("branch", "phase-structured random program: data-dependent "
+                    "branch/call-dominated phases")
+
+
+@register_workload_family(
+    "fuzz", "seeded random programs: fuzz:<profile>[:<seed>], profiles "
+            + "/".join(sorted(FUZZ_PROFILES)))
+def _resolve_fuzz(name: str) -> WorkloadSpec:
+    _, _, rest = name.partition(":")
+    profile, _, seed_text = rest.partition(":")
+    if profile not in FUZZ_PROFILES:
+        known = ", ".join(sorted(FUZZ_PROFILES))
+        raise KeyError(f"unknown fuzz profile in {name!r}; known: {known}")
+    pinned_seed: int | None = None
+    if seed_text:
+        try:
+            pinned_seed = int(seed_text)
+        except ValueError:
+            raise KeyError(f"bad fuzz seed in {name!r}: {seed_text!r}") from None
+
+    def build(seed: int, _profile=profile, _pinned=pinned_seed) -> WorkloadImage:
+        return fuzz_image(_pinned if _pinned is not None else seed, _profile)
+
+    token = f"fuzz-{profile}" + (f"-{pinned_seed}" if pinned_seed is not None
+                                 else "")
+    return WorkloadSpec(
+        name=name,
+        category="int",
+        description=f"fuzz workload, profile {profile!r}"
+                    + (f", pinned seed {pinned_seed}" if pinned_seed is not None
+                       else ""),
+        spec_analog="machine-generated (no hand-tuned analog)",
+        builder=build,
+        cache_token=token,
+    )

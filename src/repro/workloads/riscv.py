@@ -1,0 +1,99 @@
+"""Workload families backed by files: RV32I binaries and imported traces.
+
+Two dynamic families (see
+:func:`~repro.workloads.base.register_workload_family`):
+
+* ``riscv:<path>`` -- decode + lower an RV32I binary (flat or ELF-lite)
+  into a workload image.  Fully equivalent to a synthetic workload: it runs
+  through the functional core, the detailed core and sampled simulation.
+* ``trace:<path>`` -- import an externally recorded micro-op trace
+  (:mod:`repro.isa.trace_io` JSONL, optionally ``.gz``).  Trace files carry
+  no program to re-execute, so they replay through the full detailed path
+  only; sampled mode raises with a clear message.
+
+Both families embed a content hash of the backing file in their
+``cache_token``, so on-disk trace-cache entries invalidate automatically
+when the file changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from pathlib import Path
+
+from repro.workloads.base import WorkloadImage, WorkloadSpec, register_workload_family
+
+__all__ = ["riscv_workload", "trace_workload"]
+
+
+def _file_token(kind: str, path: Path) -> str:
+    """A filesystem-safe, content-hashed cache token for a file workload."""
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()[:12]
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "-", path.stem) or "file"
+    return f"{kind}-{stem}-{digest}"
+
+
+def _require_file(name: str, path_text: str) -> Path:
+    if not path_text:
+        raise KeyError(f"workload {name!r} names no file (expected "
+                       f"{name.split(':', 1)[0]}:<path>)")
+    path = Path(path_text).expanduser()
+    if not path.is_file():
+        raise KeyError(f"workload {name!r}: no such file {path}")
+    return path
+
+
+@register_workload_family("riscv", "decoded RV32I binaries: riscv:<path> "
+                                   "(flat binary or ELF-lite)")
+def riscv_workload(name: str) -> WorkloadSpec:
+    """Resolve ``riscv:<path>`` into a lowered RV32I workload spec."""
+    # Imported lazily to keep repro.isa.riscv importable on its own.
+    from repro.isa.riscv.lower import lower_image
+
+    path = _require_file(name, name.partition(":")[2])
+
+    def build(seed: int) -> WorkloadImage:
+        # The seed is meaningless for a fixed binary; re-reading per build
+        # keeps edited binaries fresh within one process.
+        del seed
+        return lower_image(path, name=name)
+
+    return WorkloadSpec(
+        name=name,
+        category="int",
+        description=f"RV32I binary {path.name} (decoded + lowered)",
+        spec_analog="real program (user-supplied binary)",
+        builder=build,
+        cache_token=_file_token("riscv", path),
+    )
+
+
+@register_workload_family("trace", "imported micro-op traces: trace:<path> "
+                                   "(repro-uop-trace JSONL, .gz ok)")
+def trace_workload(name: str) -> WorkloadSpec:
+    """Resolve ``trace:<path>`` into an imported-trace workload spec."""
+    from repro.isa.trace_io import import_trace
+
+    path = _require_file(name, name.partition(":")[2])
+
+    def build(seed: int) -> WorkloadImage:
+        raise ValueError(
+            f"workload {name!r} is an imported trace: it has no program to "
+            f"execute functionally, so it supports full detailed simulation "
+            f"but not sampled mode (drop --sample-period / use the full "
+            f"simulator)")
+
+    def trace(max_ops: int, seed: int):
+        del seed  # recorded streams are what they are
+        return import_trace(path, max_ops=max_ops, name=name)
+
+    return WorkloadSpec(
+        name=name,
+        category="int",
+        description=f"imported micro-op trace {path.name}",
+        spec_analog="externally recorded trace",
+        builder=build,
+        cache_token=_file_token("trace", path),
+        tracer=trace,
+    )

@@ -21,13 +21,20 @@ def regenerate_state_digests(max_ops: int = 2_000, seed: int = 1) -> None:
     from repro.isa.executor import Executor
     from repro.workloads import build_workload, list_workloads
 
-    digests = {}
-    for workload in list_workloads():
-        image = build_workload(workload, seed=seed)
+    def digest_of(name: str) -> str:
+        image = build_workload(name, seed=seed)
         executor = Executor(image.program, initial_regs=image.initial_regs,
                             initial_memory=image.initial_memory)
         executor.run(max_ops=max_ops)
-        digests[workload] = executor.state_digest()
+        return executor.state_digest()
+
+    digests = {workload: digest_of(workload) for workload in list_workloads()}
+    # The checked-in RV32I sample binary, keyed by its repo-relative name so
+    # the golden file is stable across checkouts (built via absolute path so
+    # regeneration works from any cwd).
+    sample = "examples/rv32i/checksum.bin"
+    digests[f"riscv:{sample}"] = digest_of(
+        f"riscv:{GOLDEN_DIR.parents[1] / sample}")
     path = GOLDEN_DIR / "state_digests.json"
     path.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path} ({len(digests)} workloads)")

@@ -224,6 +224,103 @@ def test_sampled_ipc_tracks_full_run_per_scheme(scheme):
             "tolerance")
 
 
+# ---------------------------------------------------------------------------
+# RISC-V frontend differential
+# ---------------------------------------------------------------------------
+
+_RISCV_SAMPLE_REL = "examples/rv32i/checksum.bin"
+_RISCV_SAMPLE = Path(__file__).resolve().parents[1] / _RISCV_SAMPLE_REL
+_RISCV_WORKLOAD = f"riscv:{_RISCV_SAMPLE}"
+
+
+def test_riscv_functional_state_matches_golden(golden_digests):
+    """The lowered sample binary's final state matches the committed digest.
+
+    This pins the whole decode -> lower -> execute chain: an encoding
+    change in ``checksum.bin``, a lowering change, or an executor semantics
+    change all move this digest.
+    """
+    golden = golden_digests[f"riscv:{_RISCV_SAMPLE_REL}"]
+    assert _final_digest(_RISCV_WORKLOAD) == golden
+
+
+def test_riscv_functional_core_matches_executor():
+    """Fast-forward (FunctionalCore) and Executor agree on lowered RV32I."""
+    from repro.isa.functional import FunctionalCore
+
+    image = build_workload(_RISCV_WORKLOAD, seed=SEED)
+    executor = Executor(image.program, initial_regs=image.initial_regs,
+                        initial_memory=image.initial_memory)
+    executor.run(max_ops=MAX_OPS)
+
+    fast = FunctionalCore.from_image(image)
+    fast.fast_forward(MAX_OPS)
+    assert fast.state_digest() == executor.state_digest()
+
+
+def test_riscv_all_schemes_commit_identical_state():
+    """Every tracker scheme commits the sample binary's trace identically,
+    and the paper's headline scheme actually eliminates the sample's move
+    chain (the frontend feeds real sharing opportunities, not just NOPs)."""
+    trace = generate_trace(_RISCV_WORKLOAD, max_ops=MAX_OPS, seed=SEED)
+    results = {name: simulate_trace(trace, config)
+               for name, config in _scheme_configs().items()}
+    reference = results["baseline"]
+    assert reference.instructions == len(trace) == MAX_OPS
+    for name, result in results.items():
+        assert result.instructions == reference.instructions, (
+            f"scheme {name} did not commit the full RV32I trace")
+        for stat in COMMIT_INVARIANT_STATS:
+            assert result.stat(stat) == reference.stat(stat), (
+                f"scheme {name} disagrees with baseline on {stat}")
+    assert results["isrb"].stat("committed_eliminated_moves") > 0
+
+
+def test_riscv_cycle_skipping_is_bit_identical():
+    """Event-driven cycle skipping is exact on lowered RV32I code too."""
+    from repro.pipeline.core import Core
+
+    trace = generate_trace(_RISCV_WORKLOAD, max_ops=MAX_OPS, seed=SEED)
+    for name, config in _scheme_configs().items():
+        skipping = Core(config.replace(cycle_skipping=True))
+        walking = Core(config.replace(cycle_skipping=False))
+        fast = skipping.run(trace)
+        slow = walking.run(trace)
+        assert fast.cycles == slow.cycles, f"{name}: cycle count diverged"
+        assert skipping.snapshot().digest() == walking.snapshot().digest(), (
+            f"{name}: micro-architectural state diverges on RV32I code")
+
+
+def test_riscv_sampled_ipc_tracks_full_run():
+    """Two-speed sampling holds its tolerance on the decoded sample binary."""
+    configs = _scheme_configs()
+    for scheme in _SAMPLED_AXIS_SCHEMES:
+        ratio = _sampled_ratio(_RISCV_WORKLOAD, configs[scheme])
+        assert abs(ratio - 1.0) <= SAMPLED_TOLERANCE, (
+            f"riscv sample under {scheme}: sampled/full IPC ratio "
+            f"{ratio:.3f} outside +/-{SAMPLED_TOLERANCE:.0%}")
+
+
+def test_riscv_imported_trace_replays_identically(tmp_path):
+    """riscv trace -> export -> trace: workload replays bit-identically."""
+    from repro.isa.trace_io import export_trace
+    from repro.pipeline.core import Core
+
+    trace = generate_trace(_RISCV_WORKLOAD, max_ops=MAX_OPS, seed=SEED)
+    path = tmp_path / "checksum.jsonl.gz"
+    export_trace(trace, path)
+    replay = generate_trace(f"trace:{path}", max_ops=MAX_OPS, seed=SEED)
+
+    config = _scheme_configs()["isrb"]
+    outcomes = []
+    for candidate in (trace, replay):
+        core = Core(config)
+        result = core.run(candidate)
+        outcomes.append((result.cycles, result.instructions, result.stats,
+                         core.snapshot().digest()))
+    assert outcomes[0] == outcomes[1]
+
+
 def test_schemes_differ_only_in_cycles():
     """A sharing-heavy workload: schemes disagree on cycles, nothing else."""
     trace = generate_trace("spill_reload", max_ops=MAX_OPS, seed=SEED)

@@ -18,121 +18,21 @@ Everything is seeded ``random.Random`` -- a failure reproduces exactly.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.core.isrb import InflightSharedRegisterBuffer
-from repro.isa.program import ProgramBuilder
-from repro.isa.registers import NUM_INT_REGS, int_reg
+from repro.isa.registers import NUM_INT_REGS
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core
-from repro.workloads.base import WorkloadImage
+
+# The random-program generator was promoted from this file into a
+# registered workload family (``fuzz_*`` / ``fuzz:<profile>[:<seed>]``); the
+# property layer drives the same generator everything else now runs, so the
+# invariants below are checked against exactly the programs the sweep
+# harness, paper pipeline and differential layer see.
+from repro.workloads.fuzz import random_image
 
 MAX_OPS = 1_500
-
-_HEAP = 0x0010_0000
-_STACK = 0x0001_0000
-
-
-# ---------------------------------------------------------------------------
-# Random program generator
-# ---------------------------------------------------------------------------
-
-
-def random_image(seed: int) -> WorkloadImage:
-    """Generate a random-but-valid workload image from a seed.
-
-    The program is an infinite loop (trace length is controlled by
-    ``max_ops``) whose body mixes ALU templates, eliminable and
-    non-eliminable moves, masked loads/stores to a 128-word heap region
-    (dense aliasing), data-dependent forward branches and calls to a leaf
-    function with a spill/reload pair.  Store indices routinely depend on
-    multiplies, so store addresses resolve late and memory-order traps
-    actually happen.
-    """
-    rng = random.Random(seed)
-    builder = ProgramBuilder(f"random_{seed}")
-    r = int_reg
-    value_regs = [r(i) for i in range(9)]  # r0..r8 are fair game
-
-    def any_reg():
-        return rng.choice(value_regs)
-
-    builder.movi(r(12), _HEAP)
-    builder.movi(r(11), _STACK)
-    builder.movi(r(10), rng.getrandbits(31) | 1)
-    builder.movi(r(9), 48271)
-    builder.movi(r(15), 0)            # loop counter
-    builder.movi(r(14), 1 << 40)      # loop bound (truncated by max_ops)
-    builder.jmp("loop")
-
-    # Leaf function: spill, shuffle, reload -- a call/RAS + STLF template.
-    builder.label("fn")
-    builder.store(r(6), base=r(11), offset=32)
-    builder.mov(r(6), r(1))                       # eliminable shuffle
-    builder.addi(r(6), r(6), 7)
-    builder.load(r(6), base=r(11), offset=32)
-    builder.ret()
-
-    builder.label("loop")
-    skip_count = 0
-    for _ in range(rng.randrange(14, 28)):
-        template = rng.randrange(8)
-        if template == 0:   # two-source ALU
-            op = rng.choice((builder.add, builder.sub, builder.xor,
-                             builder.and_, builder.or_))
-            op(any_reg(), any_reg(), any_reg())
-        elif template == 1:  # immediate ALU / shift
-            op = rng.choice((builder.addi, builder.andi, builder.shri,
-                             builder.shli))
-            op(any_reg(), any_reg(), rng.randrange(1, 48))
-        elif template == 2:  # moves: eliminable and merge flavours
-            kind = rng.randrange(3)
-            if kind == 0:
-                builder.mov(any_reg(), any_reg())                 # eliminable
-            elif kind == 1:
-                builder.mov(any_reg(), any_reg(), width=16)       # merge: not
-            else:
-                builder.movzx8(any_reg(), any_reg(),
-                               src_high8=rng.random() < 0.3)
-        elif template == 3:  # masked load
-            index = any_reg()
-            builder.andi(r(1), index, 0x3F8)
-            builder.load(any_reg(), base=r(12), index=r(1),
-                         offset=8 * rng.randrange(0, 4))
-        elif template == 4:  # masked store, index often behind a multiply
-            if rng.random() < 0.5:
-                builder.mul(r(2), any_reg(), r(9))
-                builder.andi(r(2), r(2), 0x3F8)
-            else:
-                builder.andi(r(2), any_reg(), 0x3F8)
-            builder.store(any_reg(), base=r(12), index=r(2),
-                          offset=8 * rng.randrange(0, 4))
-        elif template == 5:  # data-dependent forward branch over a block
-            builder.mul(r(10), r(10), r(9))
-            builder.addi(r(10), r(10), 12345)
-            builder.shri(r(3), r(10), 33)
-            builder.andi(r(3), r(3), 1)
-            label = f"skip_{skip_count}"
-            skip_count += 1
-            builder.bnz(r(3), label)
-            for _ in range(rng.randrange(1, 3)):
-                builder.addi(any_reg(), any_reg(), rng.randrange(1, 9))
-            builder.label(label)
-            builder.nop()
-        elif template == 6:  # call the leaf
-            builder.mov(r(1), any_reg())
-            builder.call("fn")
-        else:               # long-latency producer
-            builder.mul(any_reg(), any_reg(), r(9))
-    builder.addi(r(15), r(15), 1)
-    builder.cmplt(r(13), r(15), r(14))
-    builder.bnz(r(13), "loop")
-    builder.halt()
-
-    memory = {_HEAP + 8 * i: rng.getrandbits(63) for i in range(128)}
-    return WorkloadImage(program=builder.build(), initial_memory=memory)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,579 @@
+"""RV32I frontend: assembler, loader and lowering semantics.
+
+The heart of this file is a mini reference RV32I interpreter, written
+directly against the ISA semantics (32-bit registers, byte memory, real
+program counters).  Directed and random programs are assembled, run through
+the reference, and run through the lowering pipeline (decode -> micro-ops
+-> Executor); all 32 architectural x-registers and every touched memory
+byte must agree.  The lowerer's register-bank mapping, 32-bit masking
+discipline, sub-word memory cracking and control-flow translation can only
+pass by being semantically right.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.isa.executor import Executor
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import int_reg
+from repro.isa.riscv import (
+    AsmError,
+    LoaderError,
+    LoweringError,
+    assemble,
+    decode,
+    load_binary,
+    lower,
+    lower_image,
+)
+from repro.isa.riscv.lower import REG_BANK_BASE, STACK_TOP
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SAMPLE_BIN = REPO_ROOT / "examples" / "rv32i" / "checksum.bin"
+SAMPLE_ASM = REPO_ROOT / "examples" / "rv32i" / "checksum.s"
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _s32(value: int) -> int:
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+class RefCore:
+    """A direct RV32I interpreter: 32 registers, byte memory, real PCs.
+
+    Shares only the (conformance-tested) decoder with the lowering path;
+    the semantics are written out independently, so agreement between this
+    and the lowered micro-op execution is a genuine differential check.
+    """
+
+    def __init__(self, binary, sp: int = STACK_TOP) -> None:
+        self.x = [0] * 32
+        self.x[2] = sp & _MASK32
+        self.mem = dict(binary.memory)
+        self.pc = binary.entry
+        self.halted = False
+
+    def _load(self, addr: int, size: int) -> int:
+        return sum(self.mem.get((addr + i) & _MASK32, 0) << (8 * i)
+                   for i in range(size))
+
+    def _store(self, addr: int, value: int, size: int) -> None:
+        for i in range(size):
+            self.mem[(addr + i) & _MASK32] = (value >> (8 * i)) & 0xFF
+
+    def step(self) -> None:
+        insn = decode(self._load(self.pc, 4))
+        m, imm, pc = insn.mnemonic, insn.imm, self.pc
+        a, c = self.x[insn.rs1], self.x[insn.rs2]
+        nxt = pc + 4
+
+        def w(value: int) -> None:
+            if insn.rd:
+                self.x[insn.rd] = value & _MASK32
+
+        if m == "add":
+            w(a + c)
+        elif m == "sub":
+            w(a - c)
+        elif m == "sll":
+            w(a << (c & 31))
+        elif m == "slt":
+            w(int(_s32(a) < _s32(c)))
+        elif m == "sltu":
+            w(int(a < c))
+        elif m == "xor":
+            w(a ^ c)
+        elif m == "srl":
+            w(a >> (c & 31))
+        elif m == "sra":
+            w(_s32(a) >> (c & 31))
+        elif m == "or":
+            w(a | c)
+        elif m == "and":
+            w(a & c)
+        elif m == "addi":
+            w(a + imm)
+        elif m == "slti":
+            w(int(_s32(a) < imm))
+        elif m == "sltiu":
+            w(int(a < (imm & _MASK32)))
+        elif m == "xori":
+            w(a ^ (imm & _MASK32))
+        elif m == "ori":
+            w(a | (imm & _MASK32))
+        elif m == "andi":
+            w(a & (imm & _MASK32))
+        elif m == "slli":
+            w(a << imm)
+        elif m == "srli":
+            w(a >> imm)
+        elif m == "srai":
+            w(_s32(a) >> imm)
+        elif m in ("lb", "lh", "lw", "lbu", "lhu"):
+            size = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}[m]
+            value = self._load((a + imm) & _MASK32, size)
+            if m in ("lb", "lh"):
+                sign = 1 << (8 * size - 1)
+                value = (value ^ sign) - sign
+            w(value)
+        elif m in ("sb", "sh", "sw"):
+            size = {"sb": 1, "sh": 2, "sw": 4}[m]
+            self._store((a + imm) & _MASK32, c, size)
+        elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = {"beq": a == c, "bne": a != c,
+                     "blt": _s32(a) < _s32(c), "bge": _s32(a) >= _s32(c),
+                     "bltu": a < c, "bgeu": a >= c}[m]
+            if taken:
+                nxt = pc + imm
+        elif m == "jal":
+            w(pc + 4)
+            nxt = pc + imm
+        elif m == "jalr":
+            nxt = (a + imm) & ~1
+            w(pc + 4)
+        elif m == "lui":
+            w(imm)
+        elif m == "auipc":
+            w(pc + imm)
+        elif m in ("ecall", "ebreak"):
+            self.halted = True
+        elif m in ("fence", "fence.i"):
+            pass
+        else:  # pragma: no cover
+            raise AssertionError(f"reference has no semantics for {m}")
+        self.pc = nxt & _MASK32
+
+    def run(self, max_insns: int) -> int:
+        steps = 0
+        while not self.halted and steps < max_insns:
+            self.step()
+            steps += 1
+        return steps
+
+
+def _run_lowered(blob: bytes, max_uops: int):
+    image = lower_image(blob)
+    executor = Executor(image.program, initial_regs=image.initial_regs,
+                        initial_memory=image.initial_memory)
+    trace = executor.run(max_ops=max_uops)
+    return executor, trace
+
+
+def _assert_same_state(source: str, max_insns: int = 20_000) -> None:
+    """Assemble, run through the reference and the lowering path, compare."""
+    blob = assemble(source)
+    ref = RefCore(load_binary(blob))
+    steps = ref.run(max_insns)
+    assert ref.halted, f"reference did not reach ecall in {steps} instructions"
+
+    max_uops = 24 * steps + 64    # every RV32I insn cracks to < 24 micro-ops
+    executor, trace = _run_lowered(blob, max_uops)
+    assert len(trace) < max_uops, "lowered execution did not reach HALT"
+
+    assert executor.read_reg(int_reg(0)) == 0, "x0 must stay zero"
+    for xreg in range(1, 13):
+        assert executor.read_reg(int_reg(xreg)) == ref.x[xreg], f"x{xreg}"
+    for xreg in range(13, 32):
+        banked = executor.read_memory(REG_BANK_BASE + 4 * xreg, 4)
+        assert banked == ref.x[xreg], f"x{xreg} (register bank)"
+
+    addresses = {addr for addr in ref.mem if addr <= _MASK32}
+    addresses |= {addr for addr in executor._memory if addr < REG_BANK_BASE}
+    for addr in sorted(addresses):
+        assert executor.read_memory(addr, 1) == ref.mem.get(addr, 0), hex(addr)
+
+
+# -- directed differential programs --------------------------------------------------
+
+
+def test_arithmetic_and_compares_on_signed_boundaries():
+    _assert_same_state("""
+        li   t0, 0x7fffffff
+        li   t1, -2147483648
+        add  t2, t0, t1          # overflow wraps
+        sub  a0, t1, t0
+        slt  a1, t1, t0          # signed: INT_MIN < INT_MAX
+        sltu a2, t1, t0          # unsigned: 0x80000000 > 0x7fffffff
+        slti a3, t1, -1
+        sltiu a4, t0, -1         # imm sign-extends to 0xffffffff unsigned
+        xor  a5, t0, t1
+        or   a6, t0, t1
+        and  a7, t0, t1
+        seqz s2, zero
+        snez s3, t0
+        not  s4, zero
+        neg  s5, t0
+        ecall
+    """)
+
+
+def test_shifts_including_arithmetic_right_of_negative():
+    _assert_same_state("""
+        li   t0, -8
+        srai t1, t0, 1           # sign bits shift in
+        srai t2, t0, 31
+        srli a0, t0, 1           # logical: zeros shift in
+        slli a1, t0, 4           # shift left wraps at 32 bits
+        li   a2, 35              # dynamic shift amounts use amount & 31
+        sll  a3, t0, a2
+        srl  a4, t0, a2
+        sra  a5, t0, a2
+        sll  a6, t0, zero
+        ecall
+    """)
+
+
+def test_register_bank_x13_to_x31_round_trips():
+    """The memory-banked upper registers behave exactly like registers."""
+    lines = [f"    li x{xreg}, {xreg * 1000 + 7}" for xreg in range(13, 32)]
+    lines += [f"    add x{xreg}, x{xreg}, x{xreg + 1}" for xreg in range(13, 31)]
+    lines += ["    add x5, x13, x31", "    sub x31, x31, x5", "    ecall"]
+    _assert_same_state("\n".join(lines))
+
+
+def test_subword_loads_and_stores():
+    _assert_same_state("""
+        la   t0, data
+        lb   a0, 0(t0)           # 0xF0 sign-extends negative
+        lbu  a1, 0(t0)
+        lh   a2, 0(t0)           # 0xBEF0 sign-extends negative
+        lhu  a3, 0(t0)
+        lw   a4, 0(t0)
+        lb   a5, 3(t0)           # high byte of the word
+        lh   a6, 2(t0)
+        sb   a0, 4(t0)           # read-modify-write the second word
+        sh   a2, 6(t0)
+        lw   a7, 4(t0)
+        sb   t1, 8(t0)           # store zero over 0xFF bytes
+        sh   t1, 10(t0)
+        lw   s2, 8(t0)
+        ecall
+    data:
+        .word 0xdeadbef0, 0x11223344, 0xffffffff
+    """)
+
+
+def test_branches_taken_and_not_taken_all_six():
+    _assert_same_state("""
+        li   t0, 0x80000000      # negative as signed, huge as unsigned
+        li   t1, 1
+        li   a0, 0
+        beq  t0, t1, skip1
+        addi a0, a0, 1           # executed: not equal
+    skip1:
+        bne  t0, t1, skip2
+        addi a0, a0, 100         # skipped
+    skip2:
+        blt  t0, t1, skip3       # taken: signed INT_MIN < 1
+        addi a0, a0, 100
+    skip3:
+        bltu t0, t1, skip4       # not taken: unsigned huge > 1
+        addi a0, a0, 2
+    skip4:
+        bge  t1, t0, skip5       # taken (signed)
+        addi a0, a0, 100
+    skip5:
+        bgeu t1, t0, skip6       # not taken (unsigned)
+        addi a0, a0, 4
+    skip6:
+        li   t2, 3               # backward branch: a small counted loop
+    back:
+        addi a0, a0, 10
+        addi t2, t2, -1
+        bnez t2, back
+        ecall
+    """)
+
+
+def test_calls_returns_and_link_registers():
+    _assert_same_state("""
+        li   sp, 0x10000
+        li   a0, 5
+        jal  ra, double          # call through x1
+        jal  s2, cont            # link register other than ra (falls through)
+    cont:
+        mv   s3, s2              # observe the alternate link value
+        jal  ra, nested
+        ecall
+    double:
+        add  a0, a0, a0
+        ret
+    nested:                      # two-level call: RAS must nest
+        addi sp, sp, -4
+        sw   ra, 0(sp)
+        jal  ra, double
+        lw   ra, 0(sp)
+        addi sp, sp, 4
+        jalr x0, 0(ra)           # explicit return form
+    """)
+
+
+def test_lui_auipc_li_la_address_materialisation():
+    _assert_same_state("""
+        lui  t0, 0x12345
+        lui  t1, 0xfffff
+        auipc t2, 0
+        auipc t3, 0x1000
+        li   a0, 0x7ffff800      # li with a low half that sign-extends
+        li   a1, -1
+        li   a2, 2047
+        li   a3, -2048
+        la   a4, target
+        la   a5, data
+        lw   a6, 0(a5)
+        ecall
+    target:
+        nop
+    data:
+        .word 0xcafef00d
+    """)
+
+
+def test_data_words_interleaved_with_text_are_jumped_over():
+    _assert_same_state("""
+        j    start
+        .word 0xffffffff, 0x00000000
+    start:
+        li   a0, 42
+        ecall
+    """)
+
+
+def test_writes_to_x0_are_discarded_but_side_effects_happen():
+    _assert_same_state("""
+        la   t0, data
+        li   t1, 7
+        add  x0, t1, t1          # discarded
+        lw   x0, 0(t0)           # load still happens, result discarded
+        addi x0, x0, 99          # canonical form reads x0 as 0
+        add  a0, x0, t1          # x0 still reads as zero
+        ecall
+    data:
+        .word 123
+    """)
+
+
+# -- random straight-line property ---------------------------------------------------
+
+_ALU_R = ("add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and")
+_ALU_I = ("addi", "slti", "sltiu", "xori", "ori", "andi")
+_SHIFT_I = ("slli", "srli", "srai")
+_SEED_VALUES = (0, 1, -1, 0x7FFFFFFF, -0x80000000, 0x55555555, -0x55555556)
+
+
+def _random_alu_source(seed: int) -> str:
+    rng = random.Random(seed)
+    lines = [f"    li x{xreg}, "
+             f"{rng.choice(_SEED_VALUES + (rng.randrange(-2048, 2048),))}"
+             for xreg in range(1, 32)]
+    for _ in range(80):
+        rd = rng.randrange(1, 32)
+        rs1, rs2 = rng.randrange(32), rng.randrange(32)
+        kind = rng.random()
+        if kind < 0.5:
+            lines.append(f"    {rng.choice(_ALU_R)} x{rd}, x{rs1}, x{rs2}")
+        elif kind < 0.8:
+            lines.append(f"    {rng.choice(_ALU_I)} x{rd}, x{rs1}, "
+                         f"{rng.randrange(-2048, 2048)}")
+        else:
+            lines.append(f"    {rng.choice(_SHIFT_I)} x{rd}, x{rs1}, "
+                         f"{rng.randrange(32)}")
+    lines.append("    ecall")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("seed", (3, 17, 29, 53, 71, 97))
+def test_random_alu_programs_match_reference(seed):
+    """Random ALU/compare/shift soups over all 32 registers agree exactly."""
+    _assert_same_state(_random_alu_source(seed))
+
+
+# -- the loader ----------------------------------------------------------------------
+
+
+def test_flat_loader_places_text_at_base():
+    blob = assemble("li a0, 9\necall")
+    binary = load_binary(blob, base=0x2000)
+    assert binary.text_base == binary.entry == 0x2000
+    assert binary.text == blob
+    assert binary.memory[0x2000] == blob[0]
+
+
+def test_flat_loader_rejects_empty_and_misaligned():
+    with pytest.raises(LoaderError, match="empty"):
+        load_binary(b"")
+    with pytest.raises(LoaderError, match="multiple of 4"):
+        load_binary(b"\x13\x00\x00")
+    with pytest.raises(LoaderError, match="aligned"):
+        load_binary(assemble("ecall"), base=0x1002)
+
+
+def test_loader_reports_unreadable_path(tmp_path):
+    with pytest.raises(LoaderError, match="cannot read"):
+        load_binary(tmp_path / "nope.bin")
+
+
+def _make_elf(segments, entry, machine=243, ei_class=1):
+    """Build a minimal ELF32 from (vaddr, data, memsz) segments."""
+    phoff, phentsize = 52, 32
+    data_offset = phoff + phentsize * len(segments)
+    phdrs, body, offset = b"", b"", data_offset
+    for vaddr, data, memsz in segments:
+        phdrs += struct.pack("<IIIIIIII", 1, offset, vaddr, vaddr,
+                             len(data), memsz, 5, 4)
+        body += data
+        offset += len(data)
+    ident = b"\x7fELF" + bytes([ei_class, 1, 1, 0]) + b"\x00" * 8
+    header = ident + struct.pack("<HHIIIIIHHHHHH", 2, machine, 1, entry,
+                                 phoff, 0, 0, 52, phentsize, len(segments),
+                                 0, 0, 0)
+    return header + phdrs + body
+
+
+def test_elf_loader_places_segments_and_zero_fills():
+    text = assemble("la t0, 0x20000\nlw a0, 0(t0)\nlw a1, 4(t0)\necall",
+                    base=0x10000)
+    data = struct.pack("<I", 0xABCD1234)
+    blob = _make_elf([(0x10000, text, len(text)),
+                      (0x20000, data, 16)],            # memsz > filesz
+                     entry=0x10000)
+    binary = load_binary(blob)
+    assert binary.text_base == 0x10000
+    assert binary.memory[0x20000] == 0x34
+    assert binary.memory[0x20004] == 0            # zero-filled tail
+
+    ref = RefCore(binary)
+    ref.run(50)
+    assert ref.halted and ref.x[10] == 0xABCD1234 and ref.x[11] == 0
+
+    executor, _ = _run_lowered(blob, 400)
+    assert executor.read_reg(int_reg(10)) == 0xABCD1234
+    assert executor.read_reg(int_reg(11)) == 0
+
+
+def test_elf_loader_honours_nonzero_entry():
+    # The first instruction would poison a0 if the prologue jump to the
+    # real entry point were missing.
+    text = assemble("li a0, 99\nli a0, 7\necall", base=0x10000)
+    blob = _make_elf([(0x10000, text, len(text))], entry=0x10004)
+    binary = load_binary(blob)
+    assert binary.entry == 0x10004
+
+    executor, _ = _run_lowered(blob, 100)
+    assert executor.read_reg(int_reg(10)) == 7
+
+
+def test_elf_loader_rejects_bad_images():
+    text = assemble("ecall", base=0x1000)
+    with pytest.raises(LoaderError, match="not RISC-V"):
+        load_binary(_make_elf([(0x1000, text, 4)], entry=0x1000, machine=62))
+    with pytest.raises(LoaderError, match="ELF32 little-endian"):
+        load_binary(_make_elf([(0x1000, text, 4)], entry=0x1000, ei_class=2))
+    with pytest.raises(LoaderError, match="contains the entry"):
+        load_binary(_make_elf([(0x1000, text, 4)], entry=0x8000))
+    with pytest.raises(LoaderError, match="truncated"):
+        load_binary(b"\x7fELF" + b"\x00" * 20)
+    with pytest.raises(LoaderError, match="no program headers"):
+        load_binary(_make_elf([], entry=0x1000))
+
+
+# -- the assembler -------------------------------------------------------------------
+
+
+def test_assembler_li_expands_to_one_or_two_words():
+    assert len(assemble("li a0, 2047")) == 4
+    assert len(assemble("li a0, -2048")) == 4
+    assert len(assemble("li a0, 2048")) == 8
+    assert len(assemble("li a0, 0xdeadbeef")) == 8
+
+
+def test_assembler_errors_carry_line_numbers():
+    with pytest.raises(AsmError, match="line 2.*unknown mnemonic"):
+        assemble("nop\nfrobnicate a0")
+    with pytest.raises(AsmError, match="unknown register"):
+        assemble("add a0, q7, a1")
+    with pytest.raises(AsmError, match="defined twice"):
+        assemble("x:\nnop\nx:\nnop")
+    with pytest.raises(AsmError, match="expected imm"):
+        assemble("lw a0, a1")
+    with pytest.raises(AsmError, match=".zero size"):
+        assemble(".zero 3")
+    with pytest.raises(AsmError, match="bad integer"):
+        assemble(".word banana")
+
+
+def test_assembler_rejects_out_of_range_branch():
+    # A branch across > 4 KiB of .zero padding exceeds the B-type range.
+    with pytest.raises(AsmError, match="outside"):
+        assemble("beq a0, a1, far\n.zero 8192\nfar:\nnop")
+
+
+def test_checked_in_sample_binary_matches_its_source():
+    """checksum.bin is exactly what checksum.s assembles to."""
+    assert assemble(SAMPLE_ASM.read_text()) == SAMPLE_BIN.read_bytes()
+
+
+# -- lowering specifics --------------------------------------------------------------
+
+
+def test_indirect_jalr_raises_lowering_error():
+    blob = assemble("jalr a0, 8(a1)\necall")
+    with pytest.raises(LoweringError, match="indirect"):
+        lower(load_binary(blob))
+
+
+def test_call_pseudo_op_is_rejected_as_indirect():
+    # `call` expands to auipc+jalr ra: a genuinely indirect jump the
+    # micro-op ISA cannot express.  `jal ra, label` is the supported form.
+    blob = assemble("call somewhere\nsomewhere:\necall")
+    with pytest.raises(LoweringError, match="indirect"):
+        lower(load_binary(blob))
+
+
+def test_return_through_any_register_lowers_to_ret():
+    blob = assemble("jal t0, fn\necall\nfn:\njalr x0, 0(t0)")
+    program = lower(load_binary(blob))
+    assert any(insn.opcode is Opcode.RET for insn in program.instructions)
+
+
+def test_mv_lowers_to_eliminable_mov():
+    program = lower(load_binary(assemble("mv a0, a1\necall")))
+    movs = [insn for insn in program.instructions if insn.opcode is Opcode.MOV]
+    assert movs, "mv must lower to a full-width MOV (move-elimination bait)"
+
+
+def test_branch_target_outside_text_halts_cleanly():
+    # A hand-encoded branch whose target is far outside the text segment
+    # lowers to the __exit trampoline instead of a dangling label.
+    from repro.isa.riscv import encode
+
+    blob = (encode("beq", rs1=0, rs2=0, imm=2048).to_bytes(4, "little")
+            + encode("ecall").to_bytes(4, "little"))
+    executor, trace = _run_lowered(blob, 100)
+    assert len(trace) < 100    # reached HALT, no runaway
+
+
+def test_sample_binary_runs_end_to_end():
+    """The checked-in sample commits real work through the full pipeline."""
+    from repro.pipeline.config import CoreConfig
+    from repro.pipeline.core import simulate_trace
+    from repro.workloads import generate_trace
+
+    name = f"riscv:{SAMPLE_BIN}"
+    trace = generate_trace(name, max_ops=5_000, seed=1)
+    assert len(trace) == 5_000
+
+    baseline = simulate_trace(trace, CoreConfig())
+    shared = simulate_trace(trace, CoreConfig()
+                            .with_tracker("isrb", entries=32, counter_bits=3)
+                            .with_move_elimination().with_smb())
+    assert baseline.instructions == shared.instructions == 5_000
+    assert shared.stat("committed_eliminated_moves") > 0, (
+        "the sample's mv-chain must produce eliminated moves")
+    assert baseline.stat("committed_loads") == shared.stat("committed_loads")

@@ -1,0 +1,253 @@
+"""Trace import/export round trips and the file/fuzz workload families.
+
+The importer's contract is strong: a trace that travels through
+``export_trace`` -> disk -> ``import_trace`` must be *indistinguishable*
+from the original to the detailed core -- identical micro-op records,
+byte-identical simulation statistics and identical end-of-run snapshot
+digests.  The rest of the file covers the failure surface (malformed
+headers, bad records) and the dynamic workload families that feed traces
+and generated programs into the harness (``trace:``, ``riscv:``,
+``fuzz:``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.isa.trace_io import TraceFormatError, export_trace, import_trace
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core
+from repro.workloads import (
+    build_workload,
+    generate_trace,
+    get_workload,
+    materialize_trace,
+    workload_cache_token,
+)
+from repro.workloads.fuzz import FUZZ_PROFILES, fuzz_image
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SAMPLE_BIN = REPO_ROOT / "examples" / "rv32i" / "checksum.bin"
+
+MAX_OPS = 1_200
+
+#: A scheme config that exercises sharing, so the round-trip equality below
+#: covers result values and store values (the fields sharing validates).
+SHARING = (CoreConfig().with_tracker("isrb", entries=32, counter_bits=3)
+           .with_move_elimination().with_smb())
+
+
+def _source_trace():
+    return materialize_trace("fuzz_mix", max_ops=MAX_OPS, seed=7)
+
+
+# -- round trips ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".jsonl.gz"])
+def test_roundtrip_records_are_identical(tmp_path, suffix):
+    """Every micro-op record survives the disk trip exactly."""
+    trace = _source_trace()
+    path = tmp_path / f"t{suffix}"
+    written = export_trace(trace, path)
+    assert written == len(trace.ops)
+
+    back = import_trace(path)
+    assert back.name == trace.name
+    assert back.ops == trace.ops          # frozen dataclass equality, all fields
+
+
+def test_roundtrip_simulation_is_byte_identical(tmp_path):
+    """Imported traces replay to the same stats and snapshot digest."""
+    trace = _source_trace()
+    path = tmp_path / "t.jsonl"
+    export_trace(trace, path)
+    back = import_trace(path)
+
+    digests = []
+    for candidate in (trace, back):
+        core = Core(SHARING)
+        result = core.run(candidate)
+        digests.append((result.cycles, result.instructions, result.stats,
+                        core.snapshot().digest()))
+    assert digests[0] == digests[1]
+
+
+def test_import_truncates_at_max_ops(tmp_path):
+    path = tmp_path / "t.jsonl"
+    export_trace(_source_trace(), path)
+    short = import_trace(path, max_ops=100)
+    assert len(short.ops) == 100
+    # Truncation must not trip the header op-count cross-check.
+    assert short.ops == _source_trace().ops[:100]
+
+
+def test_import_renames_on_request(tmp_path):
+    path = tmp_path / "t.jsonl"
+    export_trace(_source_trace(), path)
+    assert import_trace(path, name="other").name == "other"
+
+
+# -- failure surface -----------------------------------------------------------------
+
+
+def _write(tmp_path, lines):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+_HEADER = json.dumps({"format": "repro-uop-trace", "version": 1,
+                      "name": "t", "ops": 1})
+_GOOD_OP = json.dumps({"q": 0, "p": 0, "x": 0, "o": "movi", "d": "r1",
+                       "s": [], "w": 64, "h": 0, "i": 5, "v": 5, "a": None,
+                       "z": 8, "sv": None, "n": 1, "t": 0, "g": None})
+
+
+def test_import_accepts_the_minimal_wellformed_file(tmp_path):
+    trace = import_trace(_write(tmp_path, [_HEADER, _GOOD_OP]))
+    assert len(trace.ops) == 1 and trace.ops[0].imm == 5
+
+
+@pytest.mark.parametrize("lines,match", [
+    (["this is not json"], "header is not JSON"),
+    ([json.dumps({"format": "champsim"})], "not a repro-uop-trace"),
+    ([json.dumps({"format": "repro-uop-trace", "version": 99})],
+     "unsupported trace version"),
+    ([_HEADER, "{not json"], "bad JSON record"),
+    ([_HEADER, json.dumps({"q": 0, "p": 0, "x": 0, "o": "frobnicate"})],
+     "unknown opcode"),
+    ([_HEADER, json.dumps({"q": 0, "p": 0, "x": 0, "o": "movi", "d": "q9"})],
+     "bad register name"),
+    ([_HEADER, json.dumps({"o": "movi"})], "bad record"),
+    ([_HEADER, _GOOD_OP, _GOOD_OP], "promises 1 ops, file has 2"),
+], ids=["bad-header-json", "wrong-format", "wrong-version", "bad-record-json",
+        "unknown-opcode", "bad-register", "missing-fields", "op-count"])
+def test_import_rejects_malformed_files(tmp_path, lines, match):
+    with pytest.raises(TraceFormatError, match=match):
+        import_trace(_write(tmp_path, lines))
+
+
+def test_import_reports_unreadable_path(tmp_path):
+    with pytest.raises(TraceFormatError, match="cannot read trace"):
+        import_trace(tmp_path / "missing.jsonl")
+
+
+def test_gzip_suffix_really_compresses(tmp_path):
+    path = tmp_path / "t.jsonl.gz"
+    export_trace(_source_trace(), path)
+    with gzip.open(path, "rt", encoding="utf-8") as stream:
+        header = json.loads(stream.readline())
+    assert header["ops"] == MAX_OPS
+
+
+# -- the trace: workload family ------------------------------------------------------
+
+
+def test_trace_family_replays_the_file(tmp_path):
+    path = tmp_path / "recorded.jsonl"
+    export_trace(_source_trace(), path)
+    name = f"trace:{path}"
+
+    spec = get_workload(name)
+    assert spec.cache_token.startswith("trace-recorded-")
+
+    replay = generate_trace(name, max_ops=MAX_OPS, seed=123)  # seed ignored
+    assert replay.name == name
+    assert replay.ops == _source_trace().ops
+
+
+def test_trace_family_rejects_functional_execution(tmp_path):
+    """No program to re-execute: sampled mode must fail with guidance."""
+    path = tmp_path / "recorded.jsonl"
+    export_trace(_source_trace(), path)
+    with pytest.raises(ValueError, match="not sampled mode"):
+        build_workload(f"trace:{path}")
+
+
+def test_trace_family_cache_token_tracks_file_content(tmp_path):
+    path = tmp_path / "recorded.jsonl"
+    export_trace(_source_trace(), path)
+    before = workload_cache_token(f"trace:{path}")
+    export_trace(materialize_trace("fuzz_mem", max_ops=200, seed=9), path)
+    after = workload_cache_token(f"trace:{path}")
+    assert before != after
+
+
+@pytest.mark.parametrize("name,match", [
+    ("trace:", "names no file"),
+    ("trace:/nonexistent/x.jsonl", "no such file"),
+    ("riscv:", "names no file"),
+    ("riscv:/nonexistent/x.bin", "no such file"),
+])
+def test_file_families_reject_missing_files(name, match):
+    with pytest.raises(KeyError, match=match):
+        get_workload(name)
+
+
+def test_riscv_family_cache_token_is_content_hashed():
+    token = workload_cache_token(f"riscv:{SAMPLE_BIN}")
+    assert token.startswith("riscv-checksum-")
+    assert token == workload_cache_token(f"riscv:{SAMPLE_BIN}")
+
+
+# -- the fuzz: workload family -------------------------------------------------------
+
+
+def test_fuzz_images_are_deterministic_across_processes():
+    """Same (seed, profile) -> identical dynamic traces (no hash() salting)."""
+    first = fuzz_image(7, "mem").execute(max_ops=MAX_OPS)
+    second = fuzz_image(7, "mem").execute(max_ops=MAX_OPS)
+    assert first.ops == second.ops
+
+
+def test_fuzz_profiles_are_salted_apart():
+    """Same seed, different profile -> genuinely different programs."""
+    traces = {profile: fuzz_image(7, profile).execute(max_ops=MAX_OPS)
+              for profile in FUZZ_PROFILES}
+    streams = [tuple(op.opcode for op in trace.ops)
+               for trace in traces.values()]
+    assert len(set(streams)) == len(streams)
+
+
+def test_fuzz_family_pins_the_seed_when_given():
+    pinned = materialize_trace("fuzz:mem:42", max_ops=400, seed=1)
+    other_seed = materialize_trace("fuzz:mem:42", max_ops=400, seed=999)
+    assert pinned.ops == other_seed.ops
+    assert pinned.ops == fuzz_image(42, "mem").execute(max_ops=400).ops
+
+
+def test_fuzz_family_unpinned_uses_the_harness_seed():
+    one = materialize_trace("fuzz:mem", max_ops=400, seed=1)
+    two = materialize_trace("fuzz:mem", max_ops=400, seed=2)
+    assert one.ops != two.ops
+
+
+def test_fuzz_family_cache_tokens():
+    assert workload_cache_token("fuzz_mix") == "fuzz_mix"
+    assert workload_cache_token("fuzz:mem:42") == "fuzz-mem-42"
+    assert workload_cache_token("fuzz:branch") == "fuzz-branch"
+
+
+@pytest.mark.parametrize("name,exc,match", [
+    ("fuzz:nope", KeyError, "unknown fuzz profile"),
+    ("fuzz:mem:banana", KeyError, "bad fuzz seed"),
+])
+def test_fuzz_family_rejects_bad_names(name, exc, match):
+    with pytest.raises(exc, match=match):
+        get_workload(name)
+
+
+def test_fuzz_image_rejects_unknown_profile():
+    with pytest.raises(ValueError, match="unknown fuzz profile"):
+        fuzz_image(1, "nope")
+
+
+def test_registered_fuzz_workloads_match_the_family():
+    """``fuzz_mem`` (suite name) and ``fuzz:mem`` (family) are the same."""
+    assert (materialize_trace("fuzz_mem", max_ops=400, seed=3).ops
+            == materialize_trace("fuzz:mem", max_ops=400, seed=3).ops)
