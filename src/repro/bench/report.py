@@ -147,6 +147,27 @@ class BenchReport:
             speedups = [case.detail.get("speedup") for case in farm]
             if all(speedups):
                 out["sweep_farm_speedup_geomean"] = geomean(speedups)
+        adaptive = self.cases("adaptive")
+        if adaptive:
+            out["adaptive_ops_per_sec_geomean"] = geomean(
+                case.ops_per_sec for case in adaptive)
+            # Fixed-geometry detailed micro-ops per adaptive detailed
+            # micro-op at equal achieved tolerance: >= 1.0 means the error
+            # budget spent no more detailed simulation than the fixed
+            # geometry (the acceptance gate), > 1.0 that it stopped early.
+            saved = [case.detail.get("ops_saved_ratio") for case in adaptive]
+            if all(saved):
+                out["adaptive_ops_saved_geomean"] = geomean(saved)
+            # Unpaired/paired speedup-delta variance: > 1.0 means matched
+            # window offsets reduced the variance of the per-window
+            # ISRB/baseline IPC ratio below the independent-sampling
+            # estimate.
+            gains = [case.detail.get("unpaired_delta_var", 0.0)
+                     / case.detail["paired_delta_var"]
+                     for case in adaptive
+                     if case.detail.get("paired_delta_var")]
+            if gains:
+                out["adaptive_pairing_gain_geomean"] = geomean(gains)
         return out
 
     def to_dict(self) -> dict:

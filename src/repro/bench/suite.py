@@ -21,6 +21,11 @@ The suite has three tiers, mirroring where simulator time actually goes:
   shared-warmup checkpoint farm and again with per-scheme independent
   warming; the case detail records the wall-clock speedup (results are
   identical by construction, and the tier verifies that);
+* ``adaptive/<workload>`` -- error-budget sampling vs the fixed geometry
+  at the accuracy the fixed run *achieved*: the case detail records the
+  detailed micro-ops saved at equal tolerance plus the paired-vs-unpaired
+  speedup-delta variance from replaying one frozen plan (matched window
+  offsets) under the baseline and ISRB machines;
 * ``decode/<binary>`` -- the RISC-V frontend (RV32I decode + lowering into
   the micro-op ISA) on the checked-in sample binary, replicated to a fixed
   instruction budget, measured in source instructions/second;
@@ -125,6 +130,22 @@ class BenchConfig:
     farm_max_ops: int = 1_000_000
     farm_sampling: SamplingConfig = field(default_factory=lambda: SamplingConfig(
         period=250_000, window=800, warmup=250, cooldown=150))
+    # -- the adaptive (error-budget) sampling tier --------------------------------------
+    #: One workload sampled twice: the fixed reference geometry below, then
+    #: error-budget mode at the relative CI half-width the fixed run
+    #: *achieved* (equal accuracy) with the fixed run's window count as the
+    #: adaptive ceiling -- which makes "detailed ops saved >= 0"
+    #: structural.  The case also replays the frozen adaptive plan under
+    #: the baseline and ISRB machines to measure the paired
+    #: (matched-offset) speedup-delta variance against the unpaired
+    #: estimator.  Fixed-scale like the farm tier: not reduced by the
+    #: smoke preset, so the case stays comparable between a smoke run and
+    #: the committed BENCH_core.json.
+    adaptive: bool = True
+    adaptive_workload: str = "long_phase_mix"
+    adaptive_max_ops: int = 200_000
+    adaptive_sampling: SamplingConfig = field(default_factory=lambda: SamplingConfig(
+        period=20_000, window=1_200, warmup=500, cooldown=300))
     # -- the paper-figure pipeline tier ------------------------------------------------
     #: Time ``run_paper(smoke=True)`` end to end (fresh store, scratch
     #: output).  Like the other fixed-scale tiers it is *not* reduced by
@@ -135,7 +156,7 @@ class BenchConfig:
 
     def __post_init__(self) -> None:
         if self.max_ops < 1 or self.ff_max_ops < 1 or self.sampled_max_ops < 1 \
-                or self.long_max_ops < 1:
+                or self.long_max_ops < 1 or self.adaptive_max_ops < 1:
             raise ValueError("max_ops values must be >= 1")
         if self.decode_target_insns < 1:
             raise ValueError("decode_target_insns must be >= 1")
@@ -144,7 +165,7 @@ class BenchConfig:
         known = list_workloads()
         bad = [name for name in (*self.workloads, *self.sweep_workloads,
                                  *self.sampled_workloads, *self.long_workloads,
-                                 self.farm_workload)
+                                 self.farm_workload, self.adaptive_workload)
                if name not in known]
         if bad:
             raise ValueError(f"unknown workload(s) {bad}; known: {known}")
@@ -399,6 +420,102 @@ def run_benchmarks(config: BenchConfig | None = None, clock=None,
             raise RuntimeError(
                 f"bench farm sweep had {len(farm_report.failures)} failed job(s): "
                 + ", ".join(f["job_id"] for f in farm_report.failures))
+
+    # Tier 6b: error-budget sampling vs the fixed reference geometry, at
+    # equal accuracy.  The fixed run comes first; the error-budget run then
+    # targets the relative CI half-width the fixed run achieved, with the
+    # fixed run's window count as its ceiling, so "detailed micro-ops
+    # saved >= 0" holds structurally and any positive saving is the
+    # stopping rule quitting early at the same confidence.  The frozen
+    # adaptive plan is finally replayed under the baseline and ISRB
+    # machines to measure how much the matched window offsets shrink the
+    # per-window speedup-delta variance vs an unpaired estimator.
+    if config.adaptive:
+        name = f"adaptive/{config.adaptive_workload}"
+        if progress is not None:
+            progress(name)
+        from repro.common.statistics import weighted_mean_std
+        from repro.pipeline.sampling import window_samples
+
+        baseline_config = config.config_for_scheme("baseline")
+        fixed_sim = SampledSimulator(isrb_config, config.adaptive_sampling)
+        fixed_wall, fixed = timer.best_of(
+            1, lambda: fixed_sim.run_workload(config.adaptive_workload,
+                                              max_ops=config.adaptive_max_ops,
+                                              seed=config.seed))
+        achieved = fixed.stats.get("sampling_ipc_rel_ci95")
+        tolerance = min(max(achieved if achieved is not None else 0.05,
+                            0.001), 0.9)
+        fixed_windows = int(fixed.stat("sampling_windows"))
+        budget = SamplingConfig(
+            period=config.adaptive_sampling.period,
+            window=config.adaptive_sampling.window,
+            warmup=config.adaptive_sampling.warmup,
+            cooldown=config.adaptive_sampling.cooldown,
+            warm_gaps=config.adaptive_sampling.warm_gaps,
+            tolerance=tolerance,
+            min_windows=2,
+            max_windows=max(fixed_windows, 2),
+        )
+        adaptive_sim = SampledSimulator(isrb_config, budget)
+        image = build_workload(config.adaptive_workload, seed=config.seed)
+
+        def run_adaptive():
+            plan = adaptive_sim.plan(image, config.adaptive_workload,
+                                     config.adaptive_max_ops)
+            return plan, adaptive_sim.execute_plan(plan)
+        adaptive_wall, (plan, adaptive_result) = timer.best_of(1, run_adaptive)
+
+        def detailed_ops(result):
+            return int(result.stat("sampled_instructions")
+                       + result.stat("warmup_instructions")
+                       + result.stat("cooldown_instructions"))
+        ops_fixed = detailed_ops(fixed)
+        ops_adaptive = detailed_ops(adaptive_result)
+
+        # Paired speedup deltas: one frozen plan replayed under both
+        # machines means window i covers identical instructions on each
+        # side, so the per-window ISRB/baseline IPC ratios difference out
+        # the program-phase variance the two runs share.  The unpaired
+        # term is the delta-method variance the same windows would give if
+        # the two sides were sampled independently.
+        base_windows = window_samples(plan, baseline_config)
+        isrb_windows = window_samples(plan, isrb_config)
+        weights = [float(ops) for ops, _ in base_windows]
+        base_ipcs = [ops / cycles for ops, cycles in base_windows]
+        isrb_ipcs = [ops / cycles for ops, cycles in isrb_windows]
+        ratios = [i / b for i, b in zip(isrb_ipcs, base_ipcs)]
+        ratio_mean, ratio_std = weighted_mean_std(ratios, weights)
+        base_mean, base_std = weighted_mean_std(base_ipcs, weights)
+        isrb_mean, isrb_std = weighted_mean_std(isrb_ipcs, weights)
+        paired_var = (ratio_std or 0.0) ** 2
+        unpaired_var = (ratio_mean ** 2) * (
+            ((isrb_std or 0.0) / isrb_mean) ** 2
+            + ((base_std or 0.0) / base_mean) ** 2)
+
+        report.results.append(BenchResult(
+            name=name, kind="adaptive", ops=adaptive_result.instructions,
+            wall_seconds=adaptive_wall, cycles=adaptive_result.cycles,
+            detail={
+                "tolerance": tolerance,
+                "stop_reason": plan.stop_reason,
+                "windows_fixed": fixed_windows,
+                "windows_adaptive": int(adaptive_result.stat("sampling_windows")),
+                "detailed_ops_fixed": ops_fixed,
+                "detailed_ops_adaptive": ops_adaptive,
+                "detailed_ops_saved": ops_fixed - ops_adaptive,
+                "ops_saved_ratio": (ops_fixed / ops_adaptive
+                                    if ops_adaptive else 0.0),
+                "probe_ops": plan.probe_detailed_ops,
+                "ipc_fixed": fixed.stat("sampling_ipc_estimate"),
+                "ipc_adaptive": adaptive_result.stat("sampling_ipc_estimate"),
+                "rel_ci_fixed": achieved,
+                "rel_ci_adaptive":
+                    adaptive_result.stats.get("sampling_ipc_rel_ci95"),
+                "paired_delta_var": paired_var,
+                "unpaired_delta_var": unpaired_var,
+                "fixed_wall_seconds": fixed_wall,
+            }))
 
     # Tier 7: the paper-figure pipeline, smoke-sized, end to end (grids ->
     # results store -> charts/report).  A fresh scratch directory per

@@ -24,6 +24,7 @@ read-through-cache.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
@@ -65,12 +66,25 @@ def plan_cache_key(workload: str, max_ops: int, seed: int, simulator) -> str:
 
     ``simulator`` is the :class:`~repro.pipeline.sampling.SampledSimulator`
     whose geometry and warm-relevant machine structure the plan must match.
+
+    Error-budget plans gain a suffix carrying the tolerance knobs *and* a
+    hash of the probe machine: adaptive window placement depends on the
+    probed IPC, and the warm signature deliberately excludes scheme-neutral
+    sizing (e.g. the physical register file) that the probe does see.
+    Fixed-geometry keys are byte-identical to what they were before the
+    tolerance field existed, so existing ``.plan.pkl`` files stay valid.
     """
     sampling = simulator.sampling
     warm = "w1" if sampling.warm_gaps else "w0"
+    adaptive = ""
+    if sampling.tolerance is not None:
+        probe = hashlib.sha256(
+            repr(simulator.probe_config()).encode()).hexdigest()[:12]
+        adaptive = (f"__t{sampling.tolerance:g}-{sampling.min_windows}"
+                    f"-{sampling.max_windows}-{probe}")
     return (f"{workload_cache_token(workload)}__ops{max_ops}__seed{seed}"
             f"__p{sampling.period}-{sampling.window}-{sampling.warmup}"
-            f"-{sampling.cooldown}-{warm}"
+            f"-{sampling.cooldown}-{warm}{adaptive}"
             f"__m{simulator.config.warm_signature()}")
 
 

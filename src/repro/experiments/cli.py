@@ -71,6 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="measured detailed window length (default 2000)")
     run.add_argument("--warmup", type=int, default=500, metavar="N",
                      help="detailed warmup before each window (default 500)")
+    run.add_argument("--ipc-tolerance", type=float, default=None, metavar="F",
+                     help="error-budget sampled mode: grow the detailed "
+                          "window count until the per-window IPC 95%% CI "
+                          "relative half-width is <= F (e.g. 0.02); implies "
+                          "sampling even without --sample-period")
     run.add_argument("--json", action="store_true",
                      help="print the full result as JSON")
     run.add_argument("--trace-out", default=None, metavar="DIR",
@@ -133,6 +138,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="detailed warmup before each window (default 500)")
     sweep.add_argument("--cooldown", type=int, default=300, metavar="N",
                        help="detailed cooldown after each window (default 300)")
+    sweep.add_argument("--ipc-tolerance", type=float, default=None, metavar="F",
+                       help="error-budget sampled mode: per workload, grow "
+                            "the window count until the IPC 95%% CI relative "
+                            "half-width is <= F; every scheme executes the "
+                            "same frozen window offsets (paired deltas)")
     sweep.add_argument("--no-farm", action="store_true",
                        help="disable the shared-warmup checkpoint farm for "
                             "sampled sweeps (per-scheme independent warming; "
@@ -164,6 +174,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run every grid cell in two-speed sampled mode "
                             "with one detailed window every N retired "
                             "micro-ops")
+    paper.add_argument("--ipc-tolerance", type=float, default=None, metavar="F",
+                       help="error-budget sampled mode for every grid cell: "
+                            "the planner picks the cheapest geometry whose "
+                            "IPC 95%% CI relative half-width is <= F")
     paper.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes (default 1 = in-process)")
     paper.add_argument("--seed", type=int, default=1)
@@ -210,6 +224,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the >=1M-op long-horizon tier")
     bench.add_argument("--no-farm-sweep", action="store_true",
                        help="skip the checkpoint-farm sweep tier")
+    bench.add_argument("--no-adaptive", action="store_true",
+                       help="skip the adaptive (error-budget) sampling tier")
     bench.add_argument("--no-paper", action="store_true",
                        help="skip the paper-figure pipeline tier")
     bench.add_argument("--no-decode", action="store_true",
@@ -300,18 +316,23 @@ def _write_trace_artifacts(tracer, out_dir, rows: int = 64) -> dict[str, Path]:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_flags(args)
-    if args.trace_out is not None and args.sample_period is not None:
+    sampled = args.sample_period is not None or args.ipc_tolerance is not None
+    if args.trace_out is not None and sampled:
         print("error: --trace-out requires a full-detail run "
-              "(drop --sample-period)", file=sys.stderr)
+              "(drop --sample-period/--ipc-tolerance)", file=sys.stderr)
         return 2
     core = None
     try:
-        if args.sample_period is not None:
+        if sampled:
             from repro.pipeline.sampling import SamplingConfig, simulate_sampled
 
-            sampling = SamplingConfig(period=args.sample_period,
-                                      window=args.sample_window,
-                                      warmup=args.warmup)
+            extra = ({"tolerance": args.ipc_tolerance}
+                     if args.ipc_tolerance is not None else {})
+            sampling = SamplingConfig(
+                period=(args.sample_period if args.sample_period is not None
+                        else SamplingConfig().period),
+                window=args.sample_window,
+                warmup=args.warmup, **extra)
             result = simulate_sampled(args.workload, config, sampling,
                                       max_ops=args.max_ops, seed=args.seed)
         elif args.trace_out is not None:
@@ -332,13 +353,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(result.summary())
-        if args.sample_period is not None:
+        if sampled:
+            if "sampling_ipc_std" in result.stats:
+                interval = (f"[{result.stat('sampling_ipc_ci95_low'):.3f}, "
+                            f"{result.stat('sampling_ipc_ci95_high'):.3f}] "
+                            "95% CI")
+            else:
+                interval = "CI n/a (single window)"
             print(f"  sampled: {result.stat('sampling_windows'):.0f} windows, "
-                  f"IPC {result.stat('sampling_ipc_mean'):.3f} "
-                  f"[{result.stat('sampling_ipc_ci95_low'):.3f}, "
-                  f"{result.stat('sampling_ipc_ci95_high'):.3f}] 95% CI, "
+                  f"IPC {result.stat('sampling_ipc_mean'):.3f} {interval}, "
                   f"{result.stat('fastforwarded_instructions'):.0f} micro-ops "
                   "fast-forwarded")
+            if args.ipc_tolerance is not None:
+                from repro.telemetry.metrics import sampling_stop_reason
+
+                reason = sampling_stop_reason(
+                    result.stat("sampling_stop_reason_code"))
+                print(f"  error budget: +/-{args.ipc_tolerance * 100:g}% IPC "
+                      f"-> stopped on '{reason}' after "
+                      f"{result.stat('sampling_probe_rounds'):.0f} probe "
+                      f"round(s), {result.stat('sampling_probe_instructions'):.0f} "
+                      "probed micro-ops")
     if core is not None and core.tracer is not None:
         paths = _write_trace_artifacts(core.tracer, args.trace_out)
         print(f"trace artifacts: {paths['jsonl'].parent}", file=sys.stderr)
@@ -431,6 +466,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             sample_window=args.sample_window,
             sample_warmup=args.warmup,
             sample_cooldown=args.cooldown,
+            sample_tolerance=args.ipc_tolerance,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -482,6 +518,7 @@ def _cmd_paper(args: argparse.Namespace) -> int:
             figures=tuple(args.figure) if args.figure else None,
             smoke=args.smoke,
             sample_period=args.sample_period,
+            ipc_tolerance=args.ipc_tolerance,
             out_dir=args.out_dir,
             workers=args.jobs,
             seed=args.seed,
@@ -579,10 +616,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["paper"] = False
     if args.no_farm_sweep or narrowed:
         overrides["farm_sweep"] = False
+    if args.no_adaptive or narrowed:
+        overrides["adaptive"] = False
     if narrowed and not args.quiet:
         print("note: explicit --workloads/--schemes/--max-ops skip the "
-              "fixed-scale sweep_farm and paper tiers; run without them "
-              "(or with --smoke) to include them", file=sys.stderr)
+              "fixed-scale sweep_farm, adaptive and paper tiers; run without "
+              "them (or with --smoke) to include them", file=sys.stderr)
     # None means "not passed": explicit --max-ops/--repeat always win, the
     # preset (smoke or full) supplies the default otherwise.
     if args.max_ops is not None:

@@ -114,6 +114,13 @@ class SweepSpec:
         included, so speedups compare like against like) to two-speed
         sampled simulation with the given period/window/warmup geometry;
         ``None`` (the default) keeps full-detail trace replay.
+    sample_tolerance:
+        Error-budget sampled simulation: the planner grows the window
+        count per workload until the per-window IPC 95% CI relative
+        half-width is <= this value (see
+        :class:`~repro.pipeline.sampling.SamplingConfig`).  Setting it
+        enables sampling even without ``sample_period`` (the default
+        period then only sizes the fallback geometry metadata).
     """
 
     schemes: tuple[str, ...] = ("isrb",)
@@ -129,6 +136,9 @@ class SweepSpec:
     sample_window: int = 2_000
     sample_warmup: int = 500
     sample_cooldown: int = 300
+    sample_tolerance: float | None = None
+    sample_min_windows: int = 5
+    sample_max_windows: int = 64
 
     def __post_init__(self) -> None:
         self.sampling_config()  # validates the sampling geometry early
@@ -160,12 +170,25 @@ class SweepSpec:
     # -- expansion ------------------------------------------------------------------
 
     def sampling_config(self) -> SamplingConfig | None:
-        """The two-speed sampling geometry of this sweep (``None`` = full detail)."""
-        if self.sample_period is None:
+        """The two-speed sampling geometry of this sweep (``None`` = full detail).
+
+        An error-budget sweep (``sample_tolerance`` set) is sampled even
+        without an explicit period: the tolerance picks the geometry.
+        """
+        if self.sample_period is None and self.sample_tolerance is None:
             return None
-        return SamplingConfig(period=self.sample_period, window=self.sample_window,
-                              warmup=self.sample_warmup,
-                              cooldown=self.sample_cooldown)
+        extra = {}
+        if self.sample_tolerance is not None:
+            extra = {"tolerance": self.sample_tolerance,
+                     "min_windows": self.sample_min_windows,
+                     "max_windows": self.sample_max_windows}
+        return SamplingConfig(
+            period=(self.sample_period if self.sample_period is not None
+                    else SamplingConfig().period),
+            window=self.sample_window,
+            warmup=self.sample_warmup,
+            cooldown=self.sample_cooldown,
+            **extra)
 
     def resolved_workloads(self) -> tuple[str, ...]:
         """The workloads this sweep runs (spec order, or the default suite)."""
@@ -266,8 +289,15 @@ class SweepSpec:
         ]
         sampling = self.sampling_config()
         if sampling is not None:
-            lines.append(
-                f"sampling  : period={sampling.period} window={sampling.window} "
-                f"warmup={sampling.warmup} cooldown={sampling.cooldown} "
-                f"({sampling.detailed_fraction * 100:.1f}% detailed)")
+            if sampling.tolerance is not None:
+                lines.append(
+                    f"sampling  : error budget +/-{sampling.tolerance * 100:g}% "
+                    f"IPC (window={sampling.window} warmup={sampling.warmup} "
+                    f"cooldown={sampling.cooldown}, "
+                    f"{sampling.min_windows}-{sampling.max_windows} windows)")
+            else:
+                lines.append(
+                    f"sampling  : period={sampling.period} window={sampling.window} "
+                    f"warmup={sampling.warmup} cooldown={sampling.cooldown} "
+                    f"({sampling.detailed_fraction * 100:.1f}% detailed)")
         return "\n".join(lines)

@@ -26,6 +26,13 @@ checkpoints (:meth:`~repro.pipeline.sampling.SampledSimulator
 by construction (the property tests pin this); only the redundant warmup
 work disappears, turning O(schemes x warmup) into O(warmup).
 
+Error-budget sweeps (``SweepSpec.sample_tolerance``) ride the same farm:
+the adaptive planner probes candidate geometries on a scheme-*stripped*
+machine, so the plan it freezes -- and therefore every scheme's window
+offsets -- is the same whether planned once here or re-planned
+independently per job.  Matched offsets mean per-cell speedup deltas are
+*paired* samples, which is where the variance reduction comes from.
+
 :func:`run_sweep` is the one-call entry point gluing grid -> cache/farm ->
 pool -> report together.
 """

@@ -58,6 +58,7 @@ class PaperRunSummary:
 
 def run_paper(figures: tuple[str, ...] | None = None, smoke: bool = False,
               sample_period: int | None = None,
+              ipc_tolerance: float | None = None,
               out_dir: str | Path = "artifacts/paper", workers: int = 1,
               seed: int = 1, timeout: float | None = None,
               progress: ProgressCallback | None = None,
@@ -68,7 +69,10 @@ def run_paper(figures: tuple[str, ...] | None = None, smoke: bool = False,
 
     ``figures`` selects a subset of :data:`ALL_FIGURES`; ``smoke`` runs the
     reduced grids (the CI target: well under two minutes end to end);
-    ``sample_period`` switches every slice to two-speed sampled simulation.
+    ``sample_period`` switches every slice to two-speed sampled simulation,
+    while ``ipc_tolerance`` switches them to error-budget sampling (the
+    planner grows each cell's window count until the IPC 95% CI relative
+    half-width is within the tolerance).
     ``slice_progress(figure, label, job_count)`` is called before each grid
     slice starts; ``progress`` is the usual per-job callback.
 
@@ -107,7 +111,8 @@ def run_paper(figures: tuple[str, ...] | None = None, smoke: bool = False,
             reports = {}
             for grid_slice in spec.slices(smoke=smoke,
                                           sample_period=sample_period,
-                                          seed=seed):
+                                          seed=seed,
+                                          ipc_tolerance=ipc_tolerance):
                 job_count = grid_slice.spec.job_count()
                 summary.total_cells += job_count
                 if slice_progress is not None:

@@ -161,19 +161,24 @@ class FigureSpec:
         return smoke_axis if smoke else full
 
     def slices(self, smoke: bool = False, sample_period: int | None = None,
-               seed: int = 1) -> list[GridSlice]:
+               seed: int = 1,
+               ipc_tolerance: float | None = None) -> list[GridSlice]:
         """Expand into runnable grid slices (each one a ``SweepSpec``).
 
         ``sample_period`` switches *every* slice to two-speed sampled
-        simulation (the long Figure-7 slice is always sampled); ``smoke``
-        swaps in the reduced axes.
+        simulation (the long Figure-7 slice is always sampled);
+        ``ipc_tolerance`` instead lets the error-budget planner pick the
+        cheapest faithful geometry per cell; ``smoke`` swaps in the
+        reduced axes.
         """
         schemes = self._axis(self.schemes, self.smoke_schemes, smoke)
         workloads = self._axis(self.workloads, self.smoke_workloads, smoke)
         max_ops = SMOKE_MAX_OPS if smoke else FULL_MAX_OPS
         sampling_kwargs = {}
         if sample_period is not None:
-            sampling_kwargs = {"sample_period": sample_period}
+            sampling_kwargs["sample_period"] = sample_period
+        if ipc_tolerance is not None:
+            sampling_kwargs["sample_tolerance"] = ipc_tolerance
         slices: list[GridSlice] = []
         if self.prf_sizes:
             for prf in self._axis(self.prf_sizes, self.smoke_prf_sizes, smoke):
@@ -196,7 +201,8 @@ class FigureSpec:
                 figure=self.figure, label="long",
                 spec=SweepSpec(schemes=schemes, workloads=LONG_WORKLOADS,
                                max_ops=LONG_MAX_OPS, seed=seed,
-                               sample_period=sample_period or LONG_SAMPLE_PERIOD)))
+                               sample_period=sample_period or LONG_SAMPLE_PERIOD,
+                               sample_tolerance=ipc_tolerance)))
         return slices
 
     # -- folding results back into figure data ----------------------------------------

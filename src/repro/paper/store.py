@@ -54,6 +54,10 @@ def job_key(job) -> str:
     if job.sampling is None:
         sampling_fp = "full"
     else:
+        # SamplingConfig.__repr__ follows an omit-default rule (error-budget
+        # knobs appear only when set), so keys recorded before those knobs
+        # existed stay byte-identical and pre-existing stores resume with
+        # zero cells re-simulated.
         sampling_fp = "s" + hashlib.sha256(
             repr(job.sampling).encode()).hexdigest()[:12]
     return (f"{job.workload}|ops{job.max_ops}|seed{job.seed}|{job.variant}"

@@ -34,9 +34,25 @@ Measurement methodology (see DESIGN.md for the error analysis):
   the cold-start ramp are charged once, at their true cost, instead of
   being extrapolated), and only the fast-forwarded instructions are
   extrapolated at the steady-state IPC;
-* the per-window IPC sample additionally yields a mean, standard deviation
-  and a normal-approximation 95% confidence interval, all recorded on the
+* the per-window IPC sample additionally yields an instruction-weighted
+  mean and standard deviation and a Student-t 95% confidence interval
+  (weighting matters when the budget truncates the last window; the t
+  distribution matters at the handful-of-windows sample sizes this module
+  lives at), all recorded on the
   :class:`~repro.pipeline.result.SimulationResult`.
+
+Error-budget (adaptive) mode: a :class:`SamplingConfig` with a
+``tolerance`` drops the fixed period and instead *iterates* the planning
+pass -- place ``min_windows`` windows evenly over the run, probe them on a
+scheme-independent machine (:meth:`SampledSimulator.probe_config`), and
+keep growing the window count until the relative 95% CI half-width of the
+per-window IPC falls below the tolerance (or the ``max_windows`` ceiling
+is hit).  The final geometry is frozen into the :class:`SamplePlan`, so
+every tracker scheme of a sweep executes the *same matched window
+offsets* -- per-cell speedup deltas then difference out the shared
+program-phase variance (paired sampling).  Placement depends only on
+``(workload, seed, max_ops, geometry)``, never on wall clock or host, so
+resume and checkpoint-farm byte-identity are preserved.
 
 A worked example -- a 28%-detailed geometry, run end to end::
 
@@ -56,6 +72,17 @@ A worked example -- a 28%-detailed geometry, run end to end::
     2
     >>> result.stat("fastforwarded_instructions") > 10_000
     True
+
+Error-budget mode instead asks for an accuracy, not a geometry::
+
+    >>> budget = SamplingConfig(window=300, warmup=200, cooldown=100,
+    ...                         tolerance=0.5, min_windows=2, max_windows=4)
+    >>> adaptive = simulate_sampled("move_chain", CoreConfig(), budget,
+    ...                             max_ops=8_000)
+    >>> int(adaptive.stat("sampling_windows")) >= 2
+    True
+    >>> adaptive.stat("sampling_tolerance")
+    0.5
 """
 
 from __future__ import annotations
@@ -67,6 +94,7 @@ from dataclasses import dataclass
 from repro.bpred.btb import BranchTargetBuffer
 from repro.bpred.ras import ReturnAddressStack
 from repro.common.history import PathHistory, ShiftHistory
+from repro.common.statistics import t_critical_95, weighted_mean_std
 from repro.isa.executor import Trace
 from repro.isa.functional import FunctionalCore
 from repro.isa.opcodes import Opcode
@@ -78,6 +106,7 @@ from repro.pipeline.snapshot import CoreSnapshot
 from repro.telemetry.metrics import (
     CONSTANT_SUFFIXES,
     MEAN_SUFFIXES,
+    SAMPLING_STOP_REASONS,
     MetricsRegistry,
 )
 
@@ -106,6 +135,17 @@ class SamplingConfig:
     #: window's end and memory-bound workloads are systematically
     #: under-estimated.
     warm_gaps: bool = True
+    #: Error-budget mode: when set, the fixed ``period`` no longer dictates
+    #: placement -- the planner spreads windows evenly and grows their count
+    #: until the relative Student-t 95% CI half-width of the per-window IPC
+    #: sample drops to ``tolerance`` (see the module docstring).  ``None``
+    #: keeps the classic fixed geometry.
+    tolerance: float | None = None
+    #: Window-count floor and ceiling of the error-budget search.  The floor
+    #: must leave a dispersion estimate (>= 2); the ceiling bounds the
+    #: detailed-simulation cost on genuinely noisy workloads.
+    min_windows: int = 5
+    max_windows: int = 64
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -116,6 +156,18 @@ class SamplingConfig:
             raise ValueError(
                 f"sampling period ({self.period}) must cover warmup + window "
                 f"+ cooldown ({self.warmup} + {self.window} + {self.cooldown})")
+        if self.tolerance is not None and not 0.0 < self.tolerance < 1.0:
+            raise ValueError(
+                "sampling tolerance is a relative CI half-width and must lie "
+                f"in (0, 1), got {self.tolerance}")
+        if self.min_windows < 2:
+            raise ValueError(
+                "min_windows must be >= 2: a single window carries no "
+                "dispersion estimate, so the stopping rule could never fire")
+        if self.max_windows < self.min_windows:
+            raise ValueError(
+                f"max_windows ({self.max_windows}) must be >= min_windows "
+                f"({self.min_windows})")
 
     @property
     def detailed_per_period(self) -> int:
@@ -128,9 +180,35 @@ class SamplingConfig:
         return self.detailed_per_period / self.period
 
     def to_dict(self) -> dict:
-        """JSON-serialisable knob summary (recorded in sweep artifacts)."""
-        return {"period": self.period, "window": self.window,
-                "warmup": self.warmup, "cooldown": self.cooldown}
+        """JSON-serialisable knob summary (recorded in sweep artifacts).
+
+        The error-budget knobs appear only when enabled.  Plan cache keys,
+        sampling fingerprints and results-store keys are all derived from
+        this dict (or from ``repr(self)``, which follows the same rule), so
+        omitting the defaults keeps every artifact recorded before the
+        ``tolerance`` field existed byte-for-byte resumable.
+        """
+        payload = {"period": self.period, "window": self.window,
+                   "warmup": self.warmup, "cooldown": self.cooldown}
+        if self.tolerance is not None:
+            payload["tolerance"] = self.tolerance
+            payload["min_windows"] = self.min_windows
+            payload["max_windows"] = self.max_windows
+        return payload
+
+    def __repr__(self) -> str:
+        # The results store keys cells by a hash of this repr; stay
+        # byte-identical to the pre-tolerance dataclass repr whenever the
+        # error-budget knobs sit at their defaults (same omit-default rule
+        # as to_dict()).
+        fields = (f"period={self.period!r}, window={self.window!r}, "
+                  f"warmup={self.warmup!r}, cooldown={self.cooldown!r}, "
+                  f"warm_gaps={self.warm_gaps!r}")
+        if self.tolerance is not None:
+            fields += (f", tolerance={self.tolerance!r}, "
+                       f"min_windows={self.min_windows!r}, "
+                       f"max_windows={self.max_windows!r}")
+        return f"SamplingConfig({fields})"
 
 
 #: Per-window statistics that must not be summed across windows when
@@ -258,6 +336,15 @@ class SamplePlan:
     sampling: dict
     warm_signature: str
     stretches: tuple[PlannedStretch, ...]
+    #: How planning finished: ``"fixed"`` geometry, error budget met
+    #: (``"tolerance"``), window ``"ceiling"`` reached, or the workload
+    #: ``"halted"`` first.  Defaulted (with the probe counters) so plans
+    #: pickled before error-budget mode existed keep loading: pickle
+    #: restores the instance ``__dict__`` and missing attributes resolve
+    #: to these class-level defaults.
+    stop_reason: str = "fixed"
+    probe_rounds: int = 0
+    probe_detailed_ops: int = 0
 
 
 class _GapWarmer:
@@ -403,10 +490,39 @@ class SampledSimulator:
         instruction stream and the warm-relevant machine structure
         (:meth:`CoreConfig.warm_signature`), never on the tracker scheme,
         move elimination or SMB -- those only exist in the detailed
-        execution pass.
+        execution pass.  (In error-budget mode the planner additionally
+        probes candidate geometries on the scheme-*stripped* machine, see
+        :meth:`probe_config`, which preserves this independence.)
         """
         if max_ops < 1:
             raise ValueError("max_ops must be >= 1")
+        if self.sampling.tolerance is not None:
+            return self._plan_adaptive(image, name, max_ops, workload)
+        stretches, retired, fastforwarded, halted = self._functional_pass(
+            image, name, max_ops, self.sampling.period)
+        return SamplePlan(
+            name=name,
+            workload=workload or name,
+            max_ops=max_ops,
+            retired=retired,
+            fastforwarded=fastforwarded,
+            halted=halted,
+            sampling=self.sampling_fingerprint(),
+            warm_signature=self.config.warm_signature(),
+            stretches=tuple(stretches),
+        )
+
+    def _functional_pass(
+            self, image, name: str, max_ops: int, period: int,
+    ) -> tuple[list[PlannedStretch], int, int, bool]:
+        """The single functional sweep behind every plan.
+
+        Places a ``warmup + window + cooldown`` detailed stretch every
+        ``period`` retired micro-ops (the caller chooses the period: the
+        configured one in fixed mode, ``max_ops // target_windows`` in
+        error-budget mode) and returns ``(stretches, retired,
+        fastforwarded, halted)``.
+        """
         sampling = self.sampling
         warmer = _GapWarmer(self.config) if sampling.warm_gaps else None
         fcore = FunctionalCore.from_image(image, warmer=warmer)
@@ -414,7 +530,7 @@ class SampledSimulator:
         measured_windows = 0
         fastforwarded = 0
 
-        gap = sampling.period - sampling.detailed_per_period
+        gap = period - sampling.detailed_per_period
         # Golden-ratio rotation of the detailed stretch inside the period
         # (see the module docstring): deterministic, near-uniform offsets.
         offset_stride = max(int(gap * 0.6180339887), 1) if gap > 0 else 0
@@ -465,16 +581,111 @@ class SampledSimulator:
                 f"max_ops={max_ops} leaves no room for a measured window "
                 f"(sampling warmup is {sampling.warmup}); raise max_ops or "
                 "shrink the warmup")
+        if (not fcore.halted
+                and all(stretch.measure_ops < sampling.window
+                        for stretch in stretches)):
+            # Only the budget boundary truncates windows (a halt is the
+            # program's own doing, not a geometry fault), and only the last
+            # window can hit it -- so "all truncated" means the only window
+            # is a short one, and averaging it as if it were whole would
+            # silently bias the IPC estimate.
+            raise ValueError(
+                f"max_ops={max_ops} fits no whole measured window (window is "
+                f"{sampling.window}, warmup {sampling.warmup}): every window "
+                "would be truncated by the budget; raise max_ops or shrink "
+                "the window")
+        return stretches, fcore.retired, fastforwarded, fcore.halted
+
+    # -- error-budget planning ------------------------------------------------------
+
+    def probe_config(self) -> CoreConfig:
+        """The scheme-stripped machine error-budget planning probes on.
+
+        The stopping decision must be identical for every tracker scheme of
+        a sweep: the checkpoint farm plans once from the sweep's *base*
+        configuration, and an independent per-scheme run must freeze the
+        very same geometry or the farm==independent bit-identity (and the
+        matched-offset pairing) would break.  Resetting the tracker, move
+        elimination, SMB, lazy reclamation and tracing to their defaults
+        makes every variant of a warm-homogeneous sweep probe the same
+        machine; the warm-relevant structure (memory hierarchy, BTB, RAS)
+        and the register-file sizing are deliberately preserved.
+        """
+        defaults = CoreConfig()
+        return self.config.replace(
+            tracker=defaults.tracker,
+            move_elimination=defaults.move_elimination,
+            smb=defaults.smb,
+            lazy_reclaim=defaults.lazy_reclaim,
+            trace=None,
+        )
+
+    def _plan_adaptive(self, image, name: str, max_ops: int,
+                       workload: str | None) -> SamplePlan:
+        """Sequential stopping rule: grow the window count until the CI fits.
+
+        Each round spreads ``target`` windows evenly over the run
+        (``period = max_ops // target``), re-runs the functional pass, and
+        probes the recorded stretches on :meth:`probe_config`.  The search
+        stops when the instruction-weighted relative Student-t 95% CI
+        half-width of the per-window IPC sample is <= the tolerance, when
+        the workload halts, or when more windows cannot be had (ceiling
+        reached, or the run too short to place even the current target).
+        Growth follows the variance projection ``n' = n * (h / tol)^2``,
+        clamped to at most doubling and at least +1 per round.
+
+        Every input is deterministic -- workload bytes, ``max_ops``, the
+        geometry, the probe machine -- so re-runs, resume and any worker
+        pool size freeze identical window placements.
+        """
+        sampling = self.sampling
+        tolerance = sampling.tolerance
+        probe_config = self.probe_config()
+        ceiling = min(sampling.max_windows,
+                      max(max_ops // sampling.detailed_per_period, 1))
+        target = min(sampling.min_windows, ceiling)
+        probe_rounds = 0
+        probe_detailed_ops = 0
+        while True:
+            period = max(max_ops // target, sampling.detailed_per_period)
+            stretches, retired, fastforwarded, halted = self._functional_pass(
+                image, name, max_ops, period)
+            probe_rounds += 1
+            probe_detailed_ops += sum(
+                len(stretch.trace) for stretch in stretches)
+            windows, _, _, _ = _run_stretches(probe_config, stretches)
+            count = len(windows)
+            halfwidth = _relative_halfwidth(windows)
+            if halfwidth is not None and halfwidth <= tolerance:
+                stop_reason = "tolerance"
+                break
+            if halted:
+                stop_reason = "halted"
+                break
+            if target >= ceiling or count < target:
+                # Asking for more windows cannot help: the ceiling is
+                # reached, or the run is too short to place even the
+                # current target.
+                stop_reason = "ceiling"
+                break
+            if halfwidth is None or halfwidth <= 0.0:
+                projected = target * 2
+            else:
+                projected = math.ceil(count * (halfwidth / tolerance) ** 2)
+            target = min(max(min(projected, target * 2), target + 1), ceiling)
         return SamplePlan(
             name=name,
             workload=workload or name,
             max_ops=max_ops,
-            retired=fcore.retired,
+            retired=retired,
             fastforwarded=fastforwarded,
-            halted=fcore.halted,
+            halted=halted,
             sampling=self.sampling_fingerprint(),
             warm_signature=self.config.warm_signature(),
             stretches=tuple(stretches),
+            stop_reason=stop_reason,
+            probe_rounds=probe_rounds,
+            probe_detailed_ops=probe_detailed_ops,
         )
 
     # -- execution (scheme-specific, runs once per configuration) -------------------
@@ -496,44 +707,12 @@ class SampledSimulator:
             raise ValueError(
                 f"plan for workload {plan.workload!r} was built for a machine "
                 "with a different warm structure (memory/BTB/RAS geometry)")
-        core = Core(self.config)
-        snap: CoreSnapshot | None = None
-        # One (window instructions, window cycles, detailed-run result)
-        # triple per completed window.
-        windows: list[tuple[int, int, SimulationResult]] = []
-        warmup_ops = 0
-        cooldown_ops = 0
-        detailed_cycles_extra = 0  # cycles of warmup-only tail stretches
-
-        for stretch in plan.stretches:
-            trace = stretch.trace
-            resume = _resume_with_warm_state(snap, stretch.warm)
-            if not stretch.measure_ops:  # halted inside the warmup
-                warmup_ops += len(trace)
-                tail_result = core.run(trace, resume=resume)
-                detailed_cycles_extra += tail_result.cycles
-                snap = core.snapshot()
-                continue
-            warm_ops = stretch.warm_ops
-            window_end = warm_ops + stretch.measure_ops
-            milestones = [commit for commit in (warm_ops, window_end) if commit]
-            result = core.run(trace, resume=resume, commit_milestones=milestones)
-            snap = core.snapshot()
-            # With no warmup the window includes the pipeline-fill ramp;
-            # when the trace ends at the window (no cooldown ops recorded)
-            # it includes the end-of-run drain.
-            start = core.milestone_cycles.get(warm_ops, 0) if warm_ops else 0
-            end = core.milestone_cycles.get(window_end, result.cycles)
-            window_cycles = max(end - start, 1)
-            windows.append((stretch.measure_ops, window_cycles, result))
-            warmup_ops += warm_ops
-            cooldown_ops += len(trace) - warm_ops - stretch.measure_ops
-
+        windows, warmup_ops, cooldown_ops, detailed_cycles_extra = \
+            _run_stretches(self.config, plan.stretches)
         if not windows:
             raise ValueError(
                 f"plan for workload {plan.workload!r} contains no measured window")
-        return self._aggregate(plan.name, plan.retired, windows, warmup_ops,
-                               cooldown_ops, plan.fastforwarded,
+        return self._aggregate(plan, windows, warmup_ops, cooldown_ops,
                                detailed_cycles_extra)
 
     def sampling_fingerprint(self) -> dict:
@@ -544,25 +723,24 @@ class SampledSimulator:
 
     # -- aggregation --------------------------------------------------------------
 
-    def _aggregate(self, name: str, retired: int,
+    def _aggregate(self, plan: SamplePlan,
                    windows: list[tuple[int, int, SimulationResult]],
-                   warmup_ops: int, cooldown_ops: int, fastforwarded: int,
+                   warmup_ops: int, cooldown_ops: int,
                    detailed_cycles_extra: int) -> SimulationResult:
         sampling = self.sampling
+        fastforwarded = plan.fastforwarded
         measured_ops = sum(instructions for instructions, _, _ in windows)
         detailed_cycles = (sum(result.cycles for _, _, result in windows)
                            + detailed_cycles_extra)
         window_cycles_total = sum(cycles for _, cycles, _ in windows)
         ipc_estimate = measured_ops / window_cycles_total
         window_ipcs = [instructions / cycles for instructions, cycles, _ in windows]
+        weights = [float(instructions) for instructions, _, _ in windows]
         count = len(window_ipcs)
-        mean = sum(window_ipcs) / count
-        if count > 1:
-            variance = sum((ipc - mean) ** 2 for ipc in window_ipcs) / (count - 1)
-            std = math.sqrt(variance)
-        else:
-            std = 0.0
-        ci95 = 1.96 * std / math.sqrt(count)
+        # A truncated tail window carries fewer instructions than the rest;
+        # instruction weighting keeps it from dragging the mean at full
+        # strength (and matches the ratio estimator's implicit weighting).
+        mean, std = weighted_mean_std(window_ipcs, weights)
 
         stats = _aggregate_stats([result for _, _, result in windows])
         stats.update({
@@ -578,21 +756,118 @@ class SampledSimulator:
             "fastforwarded_instructions": fastforwarded,
             "sampling_ipc_estimate": ipc_estimate,
             "sampling_ipc_mean": mean,
-            "sampling_ipc_std": std,
-            "sampling_ipc_ci95_low": mean - ci95,
-            "sampling_ipc_ci95_high": mean + ci95,
+            "sampling_stop_reason_code": SAMPLING_STOP_REASONS[plan.stop_reason],
         })
+        if std is not None:
+            # Student-t, not the normal 1.96: at the handful-of-windows
+            # sample sizes this module lives at, the normal interval is
+            # badly anti-conservative.  With a single window there is no
+            # dispersion estimate at all, so the std/CI keys are omitted
+            # entirely rather than reported as a zero-width interval.
+            ci95 = t_critical_95(count - 1) * std / math.sqrt(count)
+            stats["sampling_ipc_std"] = std
+            stats["sampling_ipc_ci95_low"] = mean - ci95
+            stats["sampling_ipc_ci95_high"] = mean + ci95
+            if mean > 0.0:
+                stats["sampling_ipc_rel_ci95"] = ci95 / mean
+        if sampling.tolerance is not None:
+            stats["sampling_tolerance"] = sampling.tolerance
+            stats["sampling_probe_rounds"] = plan.probe_rounds
+            stats["sampling_probe_instructions"] = plan.probe_detailed_ops
         # Hybrid extrapolation: detailed stretches at their actual cost,
         # fast-forwarded instructions at the measured steady-state IPC.
         estimated_cycles = max(
             detailed_cycles + round(fastforwarded / ipc_estimate), 1)
         return SimulationResult(
-            workload=name,
+            workload=plan.name,
             config_label=self.config.label(),
             cycles=estimated_cycles,
-            instructions=retired,
+            instructions=plan.retired,
             stats=stats,
         )
+
+
+def _run_stretches(
+        config: CoreConfig, stretches: tuple[PlannedStretch, ...],
+) -> tuple[list[tuple[int, int, SimulationResult]], int, int, int]:
+    """Replay planned stretches on one machine and measure every window.
+
+    Returns ``(windows, warmup_ops, cooldown_ops, detailed_cycles_extra)``
+    where ``windows`` holds one ``(window instructions, window cycles,
+    detailed-run result)`` triple per completed window and the extra cycles
+    belong to warmup-only tail stretches.  Shared by
+    :meth:`SampledSimulator.execute_plan` and the error-budget planner's
+    probe pass, so stopping decisions are made with exactly the measurement
+    the final execution will use.
+    """
+    core = Core(config)
+    snap: CoreSnapshot | None = None
+    windows: list[tuple[int, int, SimulationResult]] = []
+    warmup_ops = 0
+    cooldown_ops = 0
+    detailed_cycles_extra = 0
+
+    for stretch in stretches:
+        trace = stretch.trace
+        resume = _resume_with_warm_state(snap, stretch.warm)
+        if not stretch.measure_ops:  # halted inside the warmup
+            warmup_ops += len(trace)
+            tail_result = core.run(trace, resume=resume)
+            detailed_cycles_extra += tail_result.cycles
+            snap = core.snapshot()
+            continue
+        warm_ops = stretch.warm_ops
+        window_end = warm_ops + stretch.measure_ops
+        milestones = [commit for commit in (warm_ops, window_end) if commit]
+        result = core.run(trace, resume=resume, commit_milestones=milestones)
+        snap = core.snapshot()
+        # With no warmup the window includes the pipeline-fill ramp; when
+        # the trace ends at the window (no cooldown ops recorded) it
+        # includes the end-of-run drain.
+        start = core.milestone_cycles.get(warm_ops, 0) if warm_ops else 0
+        end = core.milestone_cycles.get(window_end, result.cycles)
+        window_cycles = max(end - start, 1)
+        windows.append((stretch.measure_ops, window_cycles, result))
+        warmup_ops += warm_ops
+        cooldown_ops += len(trace) - warm_ops - stretch.measure_ops
+
+    return windows, warmup_ops, cooldown_ops, detailed_cycles_extra
+
+
+def _relative_halfwidth(
+        windows: list[tuple[int, int, SimulationResult]]) -> float | None:
+    """Instruction-weighted relative Student-t 95% CI half-width of the IPC.
+
+    ``None`` when fewer than two windows exist or the mean is degenerate --
+    the error-budget planner treats that as "budget not yet met".
+    """
+    if len(windows) < 2:
+        return None
+    ipcs = [instructions / cycles for instructions, cycles, _ in windows]
+    weights = [float(instructions) for instructions, _, _ in windows]
+    mean, std = weighted_mean_std(ipcs, weights)
+    if std is None or mean <= 0.0:
+        return None
+    count = len(windows)
+    return (t_critical_95(count - 1) * std / math.sqrt(count)) / mean
+
+
+def window_samples(plan: SamplePlan,
+                   config: CoreConfig) -> list[tuple[int, int]]:
+    """Per-window ``(instructions, cycles)`` of ``plan`` replayed on ``config``.
+
+    The measurement vehicle behind paired speedup analysis: replaying one
+    frozen plan under two configurations yields window pairs at *matched
+    offsets*, so per-window speedup ratios difference out the program-phase
+    variance both machines share (the bench suite's ``adaptive`` tier
+    quantifies the reduction).
+    """
+    if plan.warm_signature != config.warm_signature():
+        raise ValueError(
+            f"plan for workload {plan.workload!r} was built for a machine "
+            "with a different warm structure (memory/BTB/RAS geometry)")
+    windows, _, _, _ = _run_stretches(config, plan.stretches)
+    return [(instructions, cycles) for instructions, cycles, _ in windows]
 
 
 def simulate_sampled(workload: str, config: CoreConfig | None = None,

@@ -41,7 +41,24 @@ MERGES = ("sum", "max", "last", "mean")
 #: Stat-key suffix conventions shared with the sampling aggregator: keys
 #: matching these are per-window measurements that must not be summed.
 MEAN_SUFFIXES = ("_rate", "_fraction", "_mean_distance")
-CONSTANT_SUFFIXES = ("storage_bits", "checkpoint_bits")
+CONSTANT_SUFFIXES = ("storage_bits", "checkpoint_bits", "_code")
+
+#: Why an adaptive (error-budget) sampled run stopped opening windows,
+#: encoded as the ``sampling_stop_reason_code`` stat: a fixed geometry never
+#: iterates, ``tolerance`` means the CI half-width target was met,
+#: ``ceiling`` means the window budget ran out first, and ``halted`` means
+#: the program ended before the budget did.
+SAMPLING_STOP_REASONS: dict[str, int] = {
+    "fixed": 0, "tolerance": 1, "ceiling": 2, "halted": 3,
+}
+
+
+def sampling_stop_reason(code: float) -> str:
+    """The stop-reason name behind a ``sampling_stop_reason_code`` stat."""
+    for name, value in SAMPLING_STOP_REASONS.items():
+        if value == int(code):
+            return name
+    return "unknown"
 
 #: Default histogram bucket upper bounds (cycles); the last bucket is
 #: implicit +inf.

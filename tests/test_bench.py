@@ -33,6 +33,9 @@ TINY = BenchConfig(
     farm_schemes=("isrb", "refcount"),
     farm_max_ops=800,
     farm_sampling=SamplingConfig(period=200, window=60, warmup=50, cooldown=40),
+    adaptive_workload="move_chain",
+    adaptive_max_ops=800,
+    adaptive_sampling=SamplingConfig(period=200, window=60, warmup=50, cooldown=40),
     # The paper tier runs the fixed-scale smoke figure grids; it has its
     # own dedicated test below and would dominate this fixture's runtime.
     paper=False,
@@ -104,6 +107,7 @@ def test_suite_produces_all_tiers(tiny_report):
     assert "ff/move_chain" in names
     assert "sampled/move_chain" in names
     assert "sweep_farm/move_chain" in names
+    assert "adaptive/move_chain" in names
     assert "sweep/small" in names
 
 
@@ -117,6 +121,27 @@ def test_farm_tier_records_speedup(tiny_report):
     summary = tiny_report.summary()
     assert summary["sweep_farm_jobs_per_sec"] > 0
     assert summary["sweep_farm_speedup_geomean"] > 0
+
+
+def test_adaptive_tier_saves_detailed_ops_at_equal_tolerance(tiny_report):
+    """Error-budget sampling must not spend more detailed micro-ops than
+    the fixed geometry once both target the same achieved tolerance."""
+    by_name = {result.name: result for result in tiny_report.results}
+    adaptive = by_name["adaptive/move_chain"]
+    assert adaptive.kind == "adaptive"
+    assert adaptive.detail["windows_adaptive"] >= 2
+    assert adaptive.detail["windows_adaptive"] \
+        <= adaptive.detail["windows_fixed"]
+    assert adaptive.detail["detailed_ops_saved"] >= 0
+    assert adaptive.detail["ops_saved_ratio"] >= 1.0
+    assert adaptive.detail["probe_ops"] > 0
+    assert adaptive.detail["stop_reason"] in ("tolerance", "ceiling", "halted")
+    # The paired replay covers the same instruction windows on both sides,
+    # so pairing can never *increase* the delta variance.
+    assert adaptive.detail["paired_delta_var"] \
+        <= adaptive.detail["unpaired_delta_var"] + 1e-12
+    summary = tiny_report.summary()
+    assert summary["adaptive_ops_saved_geomean"] >= 1.0
 
 
 def test_sampled_tier_records_accuracy_and_speedup(tiny_report):
@@ -167,7 +192,8 @@ def test_paper_tier_times_the_smoke_pipeline():
     """The paper/smoke case records cells-per-second of the whole pipeline."""
     config = BenchConfig(workloads=("move_chain",), schemes=("baseline",),
                          max_ops=300, repeat=1, sweep=False, sampled=False,
-                         long_workloads=(), farm_sweep=False, paper=True)
+                         long_workloads=(), farm_sweep=False, adaptive=False,
+                         paper=True)
     report = run_benchmarks(config)
     by_name = {result.name: result for result in report.results}
     paper = by_name["paper/smoke"]
@@ -337,9 +363,10 @@ def test_cli_bench_narrowed_run_skips_farm_tier(tmp_path, capsys):
                  "--no-sampled", "--no-long", "--out", str(out)])
     assert code == 0
     captured = capsys.readouterr()
-    assert "skip the fixed-scale sweep_farm and paper tiers" in captured.err
+    assert "skip the fixed-scale sweep_farm, adaptive and paper tiers" \
+        in captured.err
     data = json.loads(out.read_text())
-    assert not any(row["kind"] in ("sweep_farm", "paper")
+    assert not any(row["kind"] in ("sweep_farm", "adaptive", "paper")
                    for row in data["results"])
 
 

@@ -122,6 +122,40 @@ def test_sampled_sweep_caches_plans_not_traces(sampled_spec, tmp_path):
     assert again.to_markdown() == cached.to_markdown()
 
 
+@pytest.fixture(scope="module")
+def adaptive_spec() -> SweepSpec:
+    return SweepSpec(
+        schemes=("isrb",),
+        workloads=("long_phase_mix",),
+        max_ops=30_000,
+        seed=1,
+        sample_window=300,
+        sample_warmup=200,
+        sample_cooldown=150,
+        sample_tolerance=0.05,
+        sample_min_windows=2,
+        sample_max_windows=8,
+    )
+
+
+def test_adaptive_sweep_rerun_is_byte_identical(adaptive_spec):
+    """Error-budget window placement is a pure function of the spec: the
+    stopping rule probes a deterministic machine, so re-running the sweep
+    reproduces the artifact byte for byte."""
+    first = run_sweep(adaptive_spec, workers=1, cache_dir=None)
+    second = run_sweep(adaptive_spec, workers=1, cache_dir=None)
+    assert first.to_json() == second.to_json()
+    assert first.meta["sampling"] == {
+        "period": 50_000, "window": 300, "warmup": 200, "cooldown": 150,
+        "tolerance": 0.05, "min_windows": 2, "max_windows": 8}
+
+
+def test_adaptive_sweep_pool_size_does_not_change_artifact(adaptive_spec):
+    serial = run_sweep(adaptive_spec, workers=1, cache_dir=None)
+    parallel = run_sweep(adaptive_spec, workers=3, cache_dir=None)
+    assert serial.to_json() == parallel.to_json()
+
+
 def test_resumed_sweep_artifact_is_byte_identical(small_spec, tmp_path):
     """A sweep killed mid-grid and resumed equals the uninterrupted bytes.
 

@@ -212,6 +212,51 @@ def test_sampled_ipc_tracks_full_run_per_workload(workload):
             "tolerance")
 
 
+#: Long-horizon workloads for the error-budget acceptance: a drifting
+#: stride pattern the stopping rule quits early on, and a phase-heavy mix
+#: that drives it to its window ceiling.
+_ERROR_BUDGET_WORKLOADS = ("long_phase_mix", "long_stride_drift")
+
+
+def test_error_budget_holds_two_percent_on_long_workloads():
+    """Error-budget sampling at +/-2% stays within 2% of the full-detail
+    IPC on >=1M-op workloads, and spends fewer detailed micro-ops
+    (geomean) than the fixed default geometry."""
+    import math
+
+    from repro.pipeline.sampling import SampledSimulator, SamplingConfig
+
+    config = _scheme_configs()["isrb"]
+    fixed_geometry = SamplingConfig()
+    budget = SamplingConfig(tolerance=0.02)
+
+    def detailed_ops(result) -> int:
+        return int(result.stat("sampled_instructions")
+                   + result.stat("warmup_instructions")
+                   + result.stat("cooldown_instructions"))
+
+    adaptive_detail, fixed_detail = [], []
+    for workload in _ERROR_BUDGET_WORKLOADS:
+        trace = generate_trace(workload, max_ops=1_000_000, seed=SEED)
+        full = simulate_trace(trace, config)
+        fixed = SampledSimulator(config, fixed_geometry).run_workload(
+            workload, max_ops=1_000_000, seed=SEED)
+        adaptive = SampledSimulator(config, budget).run_workload(
+            workload, max_ops=1_000_000, seed=SEED)
+        assert adaptive.instructions == full.instructions
+        ratio = adaptive.ipc / full.ipc
+        assert abs(ratio - 1.0) <= 0.02, (
+            f"{workload}: error-budget IPC ratio {ratio:.4f} outside +/-2%")
+        adaptive_detail.append(detailed_ops(adaptive))
+        fixed_detail.append(detailed_ops(fixed))
+
+    geomean_adaptive = math.prod(adaptive_detail) ** (1 / len(adaptive_detail))
+    geomean_fixed = math.prod(fixed_detail) ** (1 / len(fixed_detail))
+    assert geomean_adaptive < geomean_fixed, (
+        f"error budget spent {geomean_adaptive:.0f} detailed micro-ops "
+        f"(geomean) vs {geomean_fixed:.0f} for the fixed geometry")
+
+
 @pytest.mark.parametrize("scheme", sorted(_scheme_configs()))
 def test_sampled_ipc_tracks_full_run_per_scheme(scheme):
     """Sampled IPC within the documented tolerance, every tracker scheme."""

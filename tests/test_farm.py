@@ -135,6 +135,32 @@ def test_plan_cache_key_separates_machines():
         != plan_cache_key("w", 100, 1, resized)
 
 
+def test_plan_cache_key_is_stable_for_fixed_geometry():
+    """Pre-error-budget plan-cache keys must not change (cache reuse), and
+    only an error-budget simulator grows the adaptive suffix."""
+    simulator = SampledSimulator(CoreConfig(), SAMPLING)
+    key = plan_cache_key("w", 100, 1, simulator)
+    assert "__t" not in key
+    budget = SampledSimulator(CoreConfig(), SamplingConfig(
+        period=1_000, window=300, warmup=200, cooldown=150, tolerance=0.05))
+    adaptive_key = plan_cache_key("w", 100, 1, budget)
+    assert "__t0.05-5-64-" in adaptive_key
+    assert adaptive_key != key
+
+
+def test_plan_cache_key_separates_probe_machines():
+    """Adaptive placement depends on the probed machine (PRF sizing is not
+    in the warm signature), so differently sized probe machines must never
+    share an adaptive plan."""
+    budget = SamplingConfig(period=1_000, window=300, warmup=200,
+                            cooldown=150, tolerance=0.05)
+    default = SampledSimulator(CoreConfig(), budget)
+    small_prf = SampledSimulator(CoreConfig().replace(num_int_pregs=96), budget)
+    assert default.config.warm_signature() == small_prf.config.warm_signature()
+    assert plan_cache_key("w", 100, 1, default) \
+        != plan_cache_key("w", 100, 1, small_prf)
+
+
 # -- sweep wiring -------------------------------------------------------------------------
 
 
@@ -165,6 +191,42 @@ def test_farm_sweep_equals_unfarmed_across_pool_sizes(farm_spec, tmp_path):
     assert farmed.to_markdown() == unfarmed.to_markdown()
     assert [r.to_dict() for r in farmed.results] \
         == [r.to_dict() for r in unfarmed.results]
+
+
+@pytest.fixture(scope="module")
+def budget_spec() -> SweepSpec:
+    return SweepSpec(
+        schemes=("isrb", "refcount"),
+        workloads=("long_phase_mix",),
+        max_ops=30_000,
+        seed=1,
+        sample_window=300,
+        sample_warmup=200,
+        sample_cooldown=150,
+        sample_tolerance=0.05,
+        sample_min_windows=2,
+        sample_max_windows=8,
+    )
+
+
+def test_error_budget_farm_sweep_equals_unfarmed_sweep(budget_spec):
+    """Adaptive planning probes a scheme-stripped machine, so the farm and
+    the independently warmed sweep freeze the same plan and the whole
+    artifact stays byte-identical."""
+    farmed = run_sweep(budget_spec, workers=1, cache_dir=None, farm=True)
+    unfarmed = run_sweep(budget_spec, workers=1, cache_dir=None, farm=False)
+    assert farmed.to_json() == unfarmed.to_json()
+    windows = [result.stat("sampling_windows") for result in farmed.results]
+    assert windows and all(count >= 2 for count in windows)
+    assert len(set(windows)) == 1    # matched offsets: same plan every scheme
+
+
+def test_error_budget_farm_sweep_across_pool_sizes(budget_spec, tmp_path):
+    pooled = run_sweep(budget_spec, workers=3, cache_dir=str(tmp_path / "c"))
+    serial = run_sweep(budget_spec, workers=1, cache_dir=None, farm=False)
+    assert pooled.to_markdown() == serial.to_markdown()
+    assert [r.to_dict() for r in pooled.results] \
+        == [r.to_dict() for r in serial.results]
 
 
 def test_pooled_farm_sweep_without_cache_uses_ephemeral_plans(farm_spec):

@@ -59,6 +59,28 @@ def test_job_key_distinguishes_sampling_and_trace(small_jobs):
     assert len(keys) == 3
 
 
+def test_job_key_of_fixed_geometry_predates_error_budget_knobs():
+    """A store written before the error-budget knobs existed must resume
+    with zero cells re-simulated: the fixed-geometry sampling fingerprint
+    is pinned to the sha of the *old* five-field repr."""
+    import hashlib
+
+    sampled = SweepSpec(schemes=("isrb",), workloads=("move_chain",),
+                        max_ops=6_000, sample_period=2_000,
+                        sample_window=600, sample_warmup=300).expand()[0]
+    old_repr = ("SamplingConfig(period=2000, window=600, warmup=300, "
+                "cooldown=300, warm_gaps=True)")
+    assert repr(sampled.sampling) == old_repr
+    expected = "s" + hashlib.sha256(old_repr.encode()).hexdigest()[:12]
+    assert job_key(sampled).endswith(expected)
+    # An error-budget job keys differently (it may place windows elsewhere).
+    adaptive = SweepSpec(schemes=("isrb",), workloads=("move_chain",),
+                         max_ops=6_000, sample_period=2_000,
+                         sample_window=600, sample_warmup=300,
+                         sample_tolerance=0.05).expand()[0]
+    assert job_key(adaptive) != job_key(sampled)
+
+
 # -- store durability ---------------------------------------------------------------
 
 

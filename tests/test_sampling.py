@@ -15,6 +15,7 @@ The load-bearing contracts:
 from __future__ import annotations
 
 import dataclasses
+import json
 
 import pytest
 
@@ -228,6 +229,177 @@ def test_full_detail_windowing_commits_everything():
 
 
 # ---------------------------------------------------------------------------
+# Sampling statistics (the n=1 / normal-approximation bugfixes)
+# ---------------------------------------------------------------------------
+
+
+def test_single_window_omits_degenerate_ci_keys():
+    """n=1 has no sample variance: the std/CI keys must be absent, not 0."""
+    result = SampledSimulator(CoreConfig(), SamplingConfig(
+        period=1_000, window=300, warmup=200, cooldown=150)).run_workload(
+        "move_chain", max_ops=1_000, seed=1)
+    assert result.stat("sampling_windows") == 1
+    for key in ("sampling_ipc_std", "sampling_ipc_ci95_low",
+                "sampling_ipc_ci95_high", "sampling_ipc_rel_ci95"):
+        assert key not in result.stats, key
+    assert result.stat("sampling_ipc_mean") > 0
+    assert result.stat("sampling_stop_reason_code") == 0   # fixed geometry
+
+
+def test_ci_uses_student_t_not_normal_approximation():
+    """At 4 windows the half-width must use t(3)=3.182, not z=1.96."""
+    import math
+
+    from repro.common.statistics import t_critical_95
+
+    config = CoreConfig().with_move_elimination().with_smb()
+    result = SampledSimulator(config, SAMPLING).run_workload(
+        "spill_reload", max_ops=MAX_OPS, seed=1)
+    count = int(result.stat("sampling_windows"))
+    assert count == 4
+    mean = result.stat("sampling_ipc_mean")
+    std = result.stat("sampling_ipc_std")
+    half = result.stat("sampling_ipc_ci95_high") - mean
+    expected = t_critical_95(count - 1) * std / math.sqrt(count)
+    assert half == pytest.approx(expected, rel=1e-12)
+    assert t_critical_95(count - 1) == pytest.approx(3.182)
+    normal_half = 1.96 * std / math.sqrt(count)
+    assert half > normal_half                    # the old z-interval was narrower
+    assert result.stat("sampling_ipc_rel_ci95") == pytest.approx(half / mean)
+
+
+def test_window_ipc_mean_weights_by_retired_instructions():
+    """A budget-truncated final window must not count as a full vote."""
+    from repro.common.statistics import weighted_mean_std
+    from repro.pipeline.sampling import window_samples
+
+    config = CoreConfig()
+    sampling = SamplingConfig(period=1_000, window=300, warmup=200, cooldown=150)
+    simulator = SampledSimulator(config, sampling)
+    image = build_workload("branchy", seed=1)
+    plan = simulator.plan(image, "branchy", 1_650)
+    result = simulator.execute_plan(plan)
+    samples = window_samples(plan, config)
+    assert len(samples) == 2
+    instructions = [ops for ops, _ in samples]
+    assert instructions[0] == 300 and instructions[1] < 300   # truncated tail
+    ipcs = [ops / cycles for ops, cycles in samples]
+    weighted, _ = weighted_mean_std(ipcs, [float(n) for n in instructions])
+    assert result.stat("sampling_ipc_mean") == pytest.approx(weighted)
+    unweighted = sum(ipcs) / len(ipcs)
+    if abs(ipcs[0] - ipcs[1]) > 1e-9:
+        assert result.stat("sampling_ipc_mean") != pytest.approx(
+            unweighted, abs=1e-12)
+
+
+def test_rejects_budget_where_every_window_is_truncated():
+    """All-truncated geometry is a silent-bias trap: reject it loudly."""
+    simulator = SampledSimulator(CoreConfig(), SamplingConfig(
+        period=1_000, window=300, warmup=200))
+    with pytest.raises(ValueError, match="fits no whole measured window"):
+        simulator.run_workload("move_chain", max_ops=450, seed=1)
+
+
+def test_weighted_mean_std_and_t_table():
+    from repro.common.statistics import t_critical_95, weighted_mean_std
+
+    mean, std = weighted_mean_std([2.0], [10.0])
+    assert mean == 2.0 and std is None           # n=1: no sample variance
+    mean, std = weighted_mean_std([1.0, 3.0], [1.0, 1.0])
+    assert mean == 2.0 and std == pytest.approx(2.0 ** 0.5)
+    mean, _ = weighted_mean_std([1.0, 3.0], [3.0, 1.0])
+    assert mean == 1.5                           # weights pull the mean down
+    with pytest.raises(ValueError):
+        weighted_mean_std([1.0], [0.0])
+    with pytest.raises(ValueError):
+        weighted_mean_std([], [])
+    assert t_critical_95(1) == pytest.approx(12.706)
+    assert t_critical_95(29) == pytest.approx(2.045)
+    assert t_critical_95(30) == 1.96             # large-sample normal regime
+    with pytest.raises(ValueError):
+        t_critical_95(0)
+
+
+# ---------------------------------------------------------------------------
+# Error-budget (adaptive) sampling
+# ---------------------------------------------------------------------------
+
+BUDGET = SamplingConfig(period=1_000, window=300, warmup=200, cooldown=150,
+                        tolerance=0.05, min_windows=2, max_windows=8)
+
+
+def test_sampling_config_validates_error_budget_knobs():
+    def budget(**kwargs):
+        return SamplingConfig(period=1_000, window=300, warmup=200,
+                              cooldown=150, **kwargs)
+    with pytest.raises(ValueError, match="tolerance"):
+        budget(tolerance=0.0)
+    with pytest.raises(ValueError, match="tolerance"):
+        budget(tolerance=1.5)
+    with pytest.raises(ValueError, match="min_windows"):
+        budget(tolerance=0.05, min_windows=1)
+    with pytest.raises(ValueError, match="max_windows"):
+        budget(tolerance=0.05, min_windows=4, max_windows=3)
+
+
+def test_sampling_config_fingerprint_is_stable_at_defaults():
+    """Pre-error-budget fingerprints (store keys, meta) must not change."""
+    fixed = SamplingConfig(period=1_000, window=300, warmup=200, cooldown=150)
+    assert fixed.to_dict() == {"period": 1_000, "window": 300,
+                               "warmup": 200, "cooldown": 150}
+    assert repr(fixed) == ("SamplingConfig(period=1000, window=300, "
+                           "warmup=200, cooldown=150, warm_gaps=True)")
+    budget = dataclasses.replace(fixed, tolerance=0.05)
+    assert budget.to_dict()["tolerance"] == 0.05
+    assert "tolerance=0.05" in repr(budget)
+    assert repr(budget) != repr(fixed)
+
+
+def test_adaptive_run_meets_tolerance_or_hits_ceiling():
+    config = CoreConfig().with_move_elimination().with_smb()
+    result = SampledSimulator(config, BUDGET).run_workload(
+        "long_phase_mix", max_ops=50_000, seed=1)
+    windows = int(result.stat("sampling_windows"))
+    assert BUDGET.min_windows <= windows <= BUDGET.max_windows
+    assert result.stat("sampling_tolerance") == BUDGET.tolerance
+    assert result.stat("sampling_probe_rounds") >= 1
+    assert result.stat("sampling_probe_instructions") > 0
+    code = result.stat("sampling_stop_reason_code")
+    from repro.telemetry.metrics import sampling_stop_reason
+
+    reason = sampling_stop_reason(code)
+    assert reason in ("tolerance", "ceiling", "halted")
+    if reason == "tolerance":
+        assert result.stat("sampling_ipc_rel_ci95") <= BUDGET.tolerance
+
+
+def test_adaptive_run_retires_exactly_max_ops():
+    result = SampledSimulator(CoreConfig(), BUDGET).run_workload(
+        "long_phase_mix", max_ops=50_000, seed=1)
+    assert result.instructions == 50_000
+    detailed = (result.stat("sampled_instructions")
+                + result.stat("warmup_instructions")
+                + result.stat("cooldown_instructions"))
+    assert detailed + result.stat("fastforwarded_instructions") == 50_000
+
+
+def test_adaptive_plan_probes_on_scheme_stripped_machine():
+    """The stopping decision must not depend on the scheme under test, or
+    the farm (planning on base_config) and an independent run (planning on
+    the job config) would freeze different plans."""
+    base = SampledSimulator(CoreConfig(), BUDGET)
+    isrb = SampledSimulator(
+        CoreConfig().with_move_elimination().with_smb(), BUDGET)
+    image = build_workload("long_phase_mix", seed=1)
+    plan_base = base.plan(image, "long_phase_mix", 50_000)
+    plan_isrb = isrb.plan(image, "long_phase_mix", 50_000)
+    assert plan_base.stretches == plan_isrb.stretches
+    assert plan_base.stop_reason == plan_isrb.stop_reason
+    assert plan_base.probe_rounds == plan_isrb.probe_rounds
+    assert repr(base.probe_config()) == repr(isrb.probe_config())
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -239,6 +411,39 @@ def test_cli_run_sampled(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "sampled:" in out and "windows" in out
+
+
+def test_cli_run_error_budget(capsys):
+    code = cli_main(["run", "long_phase_mix", "--max-ops", "50000",
+                     "--ipc-tolerance", "0.05", "--sample-period", "1000",
+                     "--sample-window", "300", "--warmup", "200"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "error budget: +/-5% IPC" in out
+    assert "stopped on" in out
+
+
+def test_cli_run_single_window_reports_ci_na(capsys):
+    code = cli_main(["run", "move_chain", "--max-ops", "1000",
+                     "--sample-period", "1000", "--sample-window", "300",
+                     "--warmup", "200"])
+    assert code == 0
+    assert "CI n/a (single window)" in capsys.readouterr().out
+
+
+def test_cli_sweep_error_budget(tmp_path, capsys):
+    code = cli_main([
+        "sweep", "--schemes", "isrb", "--workloads", "long_phase_mix",
+        "--max-ops", "50000", "--ipc-tolerance", "0.05",
+        "--sample-window", "300", "--warmup", "200", "--quiet",
+        "--cache-dir", "", "--out-dir", str(tmp_path)])
+    assert code == 0
+    data = json.loads((tmp_path / "sweep.json").read_text())
+    assert data["meta"]["sampling"]["tolerance"] == 0.05
+    rows = [row for row in data["results"]
+            if row["workload"] == "long_phase_mix"]
+    assert rows and all(
+        row["stats"]["sampling_windows"] >= 2 for row in rows)
 
 
 def test_cli_run_sampled_rejects_bad_geometry(capsys):
