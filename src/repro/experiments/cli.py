@@ -8,6 +8,7 @@ Subcommands::
     repro sweep [...]          # parallel evaluation matrix + report artifacts
     repro paper [...]          # the paper's Figures 7-9 -> artifacts/paper/
     repro report SWEEP.json    # re-render tables from a saved artifact
+    repro store ACTION FILE    # results-store maintenance (verify/stats/compact)
     repro bench [...]          # simulator throughput benchmarks -> BENCH_core.json
 
 ``sweep`` is the paper-table entry point: it expands a
@@ -30,6 +31,7 @@ from pathlib import Path
 from repro.experiments.grid import SCHEME_PRESETS, SweepSpec, known_schemes
 from repro.experiments.report import SweepReport
 from repro.experiments.runner import run_sweep
+from repro.experiments.scheduler import ReliabilityStats
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core, simulate
 from repro.telemetry import ProgressReporter, RunLogger
@@ -160,6 +162,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--log", default=None, metavar="RUN.jsonl",
                        help="append structured run events (phases, per-job "
                             "outcomes, failure warnings) as JSON lines")
+    # Hidden chaos knobs (CI + tests): deterministically inject worker
+    # crashes / hangs / transient raises / torn store writes.  The sweep
+    # must still converge to byte-identical artifacts -- that is the
+    # contract these flags exist to check, not a user feature.
+    sweep.add_argument("--inject-faults", type=int, default=None,
+                       metavar="SEED", help=argparse.SUPPRESS)
+    sweep.add_argument("--fault-rate", type=float, default=0.3,
+                       help=argparse.SUPPRESS)
+    sweep.add_argument("--fault-kinds", type=_csv_list, default=(),
+                       help=argparse.SUPPRESS)
 
     paper = sub.add_parser(
         "paper",
@@ -198,6 +210,19 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("artifact", help="path to a sweep.json file")
     report.add_argument("--format", choices=("markdown", "csv", "json"),
                         default="markdown")
+
+    store = sub.add_parser(
+        "store",
+        help="results-store maintenance: verify integrity, print stats, or "
+             "compact to canonical form (dedup, strip torn lines, prune "
+             "stale leases)")
+    store.add_argument("action", choices=("verify", "stats", "compact"))
+    store.add_argument("store_file", metavar="RESULTS.jsonl",
+                       help="results-store file (e.g. "
+                            "sweep_out/results_store.jsonl)")
+    store.add_argument("--keep-meta", action="store_true",
+                       help="compact: keep per-record observability metadata "
+                            "(wall times) instead of stripping it")
 
     bench = sub.add_parser(
         "bench",
@@ -472,6 +497,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(spec.describe(), file=sys.stderr)
+    fault_plan = None
+    if args.inject_faults is not None:
+        from repro.experiments.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan(
+                seed=args.inject_faults, rate=args.fault_rate,
+                **({"kinds": tuple(args.fault_kinds)} if args.fault_kinds
+                   else {}))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    timeout = args.timeout
+    if fault_plan is not None and timeout is None:
+        # An injected hang needs a watchdog to trip; pick a bound well
+        # above any smoke-grid cell but far below an injected hang.
+        timeout = 20.0
     cache_dir = args.cache_dir or None
     progress, logger = _make_observability(args, label="jobs")
     store = None
@@ -479,10 +521,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.paper.store import ResultsStore
 
         store = ResultsStore(Path(args.out_dir) / "results_store.jsonl")
-    report = run_sweep(spec, workers=args.jobs, cache_dir=cache_dir,
-                       timeout=args.timeout, progress=progress,
-                       farm=not args.no_farm, store=store, logger=logger)
+    stats = ReliabilityStats()
+    try:
+        report = run_sweep(spec, workers=args.jobs, cache_dir=cache_dir,
+                           timeout=timeout, progress=progress,
+                           farm=not args.no_farm, store=store, logger=logger,
+                           fault_plan=fault_plan, stats=stats)
+    except KeyboardInterrupt:
+        _finish_observability(logger)
+        if store is not None:
+            # The runner already released our leases and closed the store
+            # on a line boundary; everything recorded so far resumes.
+            print(f"\ninterrupted: {store.stats.appended} cell(s) recorded in "
+                  f"{store.path}; rerun with --resume to continue",
+                  file=sys.stderr)
+        else:
+            print("\ninterrupted (no --resume store: completed cells were "
+                  "not persisted)", file=sys.stderr)
+        return 130
     _finish_observability(logger)
+    # Reliability is stderr-only by design: report artifacts must stay
+    # byte-identical however rough the run was (chaos tests pin this).
+    print(stats.summary_line(spec.job_count()), file=sys.stderr)
     if store is not None:
         store.close()
         print(f"results store: {store.stats.appended} cell(s) appended, "
@@ -531,6 +591,11 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        _finish_observability(logger)
+        print("\ninterrupted: completed cells are in the results store; "
+              "rerun the same command to resume", file=sys.stderr)
+        return 130
     _finish_observability(logger)
     print(summary.describe())
     print(f"report    : {summary.paths['report']}")
@@ -551,6 +616,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(report.to_csv(), end="")
     else:
         print(report.to_json())
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """``repro store verify|stats|compact RESULTS.jsonl`` maintenance."""
+    from repro.paper.store import ResultsStore
+
+    path = Path(args.store_file)
+    if args.action != "compact" and not path.exists():
+        print(f"error: no results store at {path}", file=sys.stderr)
+        return 2
+    store = ResultsStore(path)
+    if args.action == "verify":
+        report = store.verify()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        # Exit non-zero on damage so CI can gate on hygiene; duplicates
+        # and stale leases are normal operation (compact cleans them).
+        return 1 if report["corrupt_lines"] or report["torn_tail"] else 0
+    if args.action == "stats":
+        report = store.verify()
+        torn = "yes" if report["torn_tail"] else "no"
+        print(f"{report['records']} record(s), {report['unique_keys']} "
+              f"unique key(s), {report['duplicate_keys']} duplicate(s), "
+              f"{report['corrupt_lines']} corrupt line(s), torn tail: {torn}")
+        print(f"{report['leases_live']} live lease(s), "
+              f"{report['leases_stale']} stale, "
+              f"{report['lease_lines']} lease line(s) on disk")
+        return 0
+    outcome = store.compact(keep_meta=args.keep_meta)
+    print(json.dumps(outcome, indent=2, sort_keys=True))
     return 0
 
 
@@ -702,7 +797,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
                 "sweep": _cmd_sweep, "paper": _cmd_paper,
-                "report": _cmd_report, "bench": _cmd_bench}
+                "report": _cmd_report, "store": _cmd_store,
+                "bench": _cmd_bench}
     return handlers[args.command](args)
 
 

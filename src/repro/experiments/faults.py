@@ -1,0 +1,140 @@
+"""Deterministic fault injection for the sweep scheduler.
+
+Long-running sweeps meet worker loss as the *common* case: an OOM-killed
+pool process, a runaway cell that outlives its timeout, a transient
+filesystem error, a store append torn by a power cut.  The supervised
+scheduler (:mod:`repro.experiments.scheduler`) exists to make all of those
+survivable -- and this module exists to prove it, repeatably.
+
+A :class:`FaultPlan` assigns at most one fault to each job, purely as a
+function of ``(plan seed, job_id)``: the same plan injects the same faults
+into the same cells on every run, on any machine, under any worker count.
+The headline invariant (pinned by ``tests/test_faults.py`` and the CI
+chaos-smoke step) is that a fault-injected sweep **converges to the same
+artifacts as a fault-free run**: every injected fault is survived by a
+retry, a worker respawn or a store repair, never by dropping a cell.
+
+Fault kinds
+-----------
+``crash``
+    The worker sends itself a real ``SIGKILL`` mid-job (the OOM-killer
+    case).  The supervisor must detect the death, respawn the worker and
+    retry the job.
+``hang``
+    The worker stops making progress past the watchdog timeout (bounded by
+    :attr:`FaultPlan.hang_seconds` so a supervision bug degrades to *slow*,
+    not *stuck forever*).  The supervisor must terminate the runaway
+    process -- leaving no orphan -- and retry.
+``raise``
+    A :class:`TransientFault` is raised before the job body runs (the
+    flaky-infrastructure case).  Retried like a crash, cheaper to inject.
+``torn_write``
+    The store append for the job's result is torn mid-line (the
+    power-cut case).  The runner must repair the store tail and re-append.
+
+Faults fire on the **first attempt only** by default, so a bounded retry
+policy always converges; ``every_attempt=True`` makes a fault persistent,
+which is how the quarantine path and the orphan-reaping regression test
+exercise repeated failure.
+
+In-process degradation: the in-process scheduler backend has no separate
+worker to kill or terminate, so ``crash`` and ``hang`` degrade to a
+:class:`TransientFault` there (same retry path, same convergence); the
+process-pool backend injects the real thing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+#: Every fault kind a plan may inject, in canonical order.
+FAULT_KINDS: tuple[str, ...] = ("crash", "hang", "raise", "torn_write")
+
+
+class TransientFault(RuntimeError):
+    """An injected infrastructure failure (retryable, never a job bug)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic per-job fault assignment (see the module docstring).
+
+    ``rate`` is the fraction of jobs that receive a fault; ``kinds``
+    restricts which faults are drawn.  Both the *whether* and the *which*
+    are hashed from ``(seed, job_id)``, so a plan is reproducible across
+    runs, worker counts and machines.
+
+    >>> plan = FaultPlan(seed=7, rate=1.0, kinds=("raise",))
+    >>> plan.fault_for("cell__isrb", attempt=1)
+    'raise'
+    >>> plan.fault_for("cell__isrb", attempt=2) is None  # first attempt only
+    True
+    """
+
+    seed: int
+    kinds: tuple[str, ...] = FAULT_KINDS
+    rate: float = 0.3
+    every_attempt: bool = False
+    #: Upper bound on an injected hang: a missed watchdog means the job
+    #: finishes late instead of wedging the suite forever.
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        unknown = [kind for kind in self.kinds if kind not in FAULT_KINDS]
+        if unknown:
+            raise ValueError(f"unknown fault kind(s) {unknown}; "
+                             f"known: {list(FAULT_KINDS)}")
+        if not self.kinds:
+            raise ValueError("a fault plan needs at least one fault kind")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("fault rate must be within [0, 1]")
+
+    # -- assignment -------------------------------------------------------------------
+
+    def fault_for(self, job_id: str, attempt: int = 1) -> str | None:
+        """The fault (if any) this plan injects into ``job_id`` at ``attempt``."""
+        if attempt > 1 and not self.every_attempt:
+            return None
+        digest = hashlib.sha256(f"{self.seed}|{job_id}".encode()).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        if draw >= self.rate:
+            return None
+        return self.kinds[int.from_bytes(digest[8:12], "big") % len(self.kinds)]
+
+    def tears_write(self, job_id: str) -> bool:
+        """Whether the store append of this job's result is torn (once)."""
+        return self.fault_for(job_id, attempt=1) == "torn_write"
+
+    # -- injection --------------------------------------------------------------------
+
+    def trip(self, job_id: str, attempt: int, in_process: bool = False) -> None:
+        """Fire the assigned execution-side fault for ``job_id``, if any.
+
+        Called by the scheduler worker wrapper immediately before the job
+        body.  ``torn_write`` is a *store-side* fault and never fires here
+        (the runner injects it at append time).
+        """
+        kind = self.fault_for(job_id, attempt)
+        if kind is None or kind == "torn_write":
+            return
+        if in_process and kind in ("crash", "hang"):
+            # No separate process to kill; degrade to the retryable kind.
+            raise TransientFault(
+                f"injected {kind} on {job_id} attempt {attempt} "
+                "(in-process backend: degraded to transient)")
+        if kind == "crash":
+            # A real SIGKILL: no cleanup, no exception, no goodbye -- the
+            # exact signature of the OOM killer the supervisor must survive.
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "hang":
+            deadline = time.monotonic() + self.hang_seconds
+            while time.monotonic() < deadline:
+                time.sleep(0.05)
+            return  # watchdog missed us; degrade to slow, not stuck
+        else:
+            raise TransientFault(
+                f"injected transient fault on {job_id} attempt {attempt}")

@@ -1,11 +1,16 @@
 """Parallel sweep execution.
 
-:func:`run_jobs` executes an expanded job list on a
-:class:`multiprocessing.Pool`, with per-job timeouts, deterministic
+:func:`run_jobs` executes an expanded job list on a supervised
+:class:`~repro.experiments.scheduler.Scheduler` backend (in-process for
+``workers <= 1``, per-worker processes above that), with per-job watchdog
+timeouts that terminate and reap the runaway worker, liveness supervision
+that respawns crashed workers and retries their cells, deterministic
 per-job seeds (carried by the :class:`~repro.experiments.grid.Job` itself)
-and graceful partial failure: a job that raises or times out becomes a
-failed :class:`JobResult` instead of aborting the sweep, so a 100-job
-matrix with one pathological cell still yields 99 rows.
+and graceful partial failure: a job that raises deterministically -- or
+keeps failing past the bounded :class:`~repro.experiments.scheduler
+.RetryPolicy` -- becomes a failed :class:`JobResult` instead of aborting
+the sweep, so a 100-job matrix with one pathological cell still yields 99
+rows and **no cell is ever silently lost**.
 
 Workers never re-run the functional executor when a trace cache directory
 is provided: the parent warms the cache (one execution per distinct
@@ -33,14 +38,21 @@ offsets -- is the same whether planned once here or re-planned
 independently per job.  Matched offsets mean per-cell speedup deltas are
 *paired* samples, which is where the variance reduction comes from.
 
+Resumable runs (``store=``) additionally use the store as a coordination
+substrate: each pending cell is *leased* before it runs, so two concurrent
+resumable runs over one store partition the work instead of duplicating
+it; cells leased to the other run are awaited (or reclaimed if its lease
+goes stale).  An injected torn store write (:class:`~repro.experiments
+.faults.FaultPlan` ``torn_write``) is repaired and re-appended on the
+spot, converging the store to the bytes a fault-free run writes.
+
 :func:`run_sweep` is the one-call entry point gluing grid -> cache/farm ->
-pool -> report together.
+scheduler -> report together.
 """
 
 from __future__ import annotations
 
 import contextlib
-import multiprocessing
 import shutil
 import tempfile
 import time
@@ -49,12 +61,19 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments.cache import TraceCache, plan_cache_key
+from repro.experiments.faults import FaultPlan
 from repro.experiments.grid import Job, SweepSpec
 from repro.experiments.report import SweepReport, build_report
+from repro.experiments.scheduler import (InProcessScheduler,
+                                         ProcessPoolScheduler,
+                                         ReliabilityStats, RetryPolicy)
 from repro.pipeline.core import simulate_trace
 from repro.pipeline.result import SimulationResult
 from repro.pipeline.sampling import SampledSimulator
 from repro.workloads import build_workload, materialize_trace
+
+#: Poll period while waiting on cells leased by a concurrent resumable run.
+_AWAIT_POLL_SECONDS = 0.25
 
 
 @dataclass
@@ -177,14 +196,23 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
              cache_dir: str | None = None,
              progress: ProgressCallback | None = None,
              plans: dict | None = None, farm: bool = True,
-             store=None, logger=None) -> list[JobResult]:
+             store=None, logger=None,
+             fault_plan: FaultPlan | None = None,
+             retry: RetryPolicy | None = None,
+             stats: ReliabilityStats | None = None) -> list[JobResult]:
     """Run every job; returns one :class:`JobResult` per job, in input order.
 
     ``workers`` <= 1 runs in-process (easier to debug, no fork overhead for
-    tiny sweeps).  ``timeout`` is a per-job wall-clock budget in seconds,
-    measured from the moment the runner starts waiting on that job; a job
-    exceeding it is marked failed and the pool is torn down once every
-    other job has been collected.
+    tiny sweeps); above that, jobs run on a supervised per-worker process
+    pool (:class:`~repro.experiments.scheduler.ProcessPoolScheduler`).
+    ``timeout`` is a per-job wall-clock budget in seconds; a job exceeding
+    it has its worker **terminated and reaped** (never orphaned), and is
+    retried under ``retry`` before being marked failed.  A crashed or
+    externally killed worker is likewise detected, its cell retried on a
+    respawned worker -- infrastructure failures are bounded-retried, while
+    a job that raises deterministically fails immediately (retrying it
+    would fail identically).  ``KeyboardInterrupt`` drains already-finished
+    cells (so a store keeps them) and re-raises.
 
     ``plans`` maps :attr:`Job.trace_key` to a pre-computed
     :class:`~repro.pipeline.sampling.SamplePlan` for sampled jobs (the
@@ -194,120 +222,218 @@ def run_jobs(jobs: list[Job], workers: int = 1, timeout: float | None = None,
 
     ``store`` is an optional :class:`~repro.paper.store.ResultsStore`:
     jobs it already holds are returned immediately (``from_store=True``)
-    without simulating, and every freshly simulated success is appended to
-    it *as it completes*, so an interrupted grid loses at most the cell in
-    flight.  Results are identical with or without a store (the
-    determinism tests pin the artifact bytes).
+    without simulating, every freshly simulated success is appended to it
+    *as it completes*, and pending cells are leased so concurrent
+    resumable runs over one store partition the work (see
+    :mod:`repro.paper.store`).  Results are identical with or without a
+    store (the determinism tests pin the artifact bytes).
 
-    ``logger`` is an optional :class:`~repro.telemetry.runlog.RunLogger`:
-    each failed job is surfaced as a structured ``job_failed`` warning
-    event carrying the job identity and a one-line failure summary.
+    ``fault_plan`` (a :class:`~repro.experiments.faults.FaultPlan`)
+    deterministically injects worker crashes, hangs, transient raises and
+    torn store writes -- all survived by the machinery above; the chaos
+    tests pin that artifacts converge to the fault-free bytes.
+
+    ``stats`` (a :class:`~repro.experiments.scheduler.ReliabilityStats`)
+    is an out-parameter accumulating what supervision did; ``logger``
+    (a :class:`~repro.telemetry.runlog.RunLogger`) receives structured
+    ``job_failed`` / ``job_retry`` / ``worker_crash`` / ``job_timeout`` /
+    ``job_quarantined`` / lease events.
     """
     if store is not None:
         return _run_jobs_resumable(jobs, store, workers=workers,
                                    timeout=timeout, cache_dir=cache_dir,
                                    progress=progress, plans=plans, farm=farm,
-                                   logger=logger)
+                                   logger=logger, fault_plan=fault_plan,
+                                   retry=retry, stats=stats)
     cache_root = str(cache_dir) if cache_dir is not None else None
     total = len(jobs)
-    results: list[JobResult] = []
+    results: dict[int, JobResult] = {}
+
+    def _deliver(index: int, ok: bool, result, error, elapsed: float) -> None:
+        job_result = JobResult(job=jobs[index], ok=ok, result=result,
+                               error=error, elapsed=elapsed)
+        _note_failure(logger, job_result)
+        results[index] = job_result
+        if progress is not None:
+            # Ordered delivery makes index order == completion order here.
+            progress(index + 1, total, job_result)
 
     if workers <= 1 or total <= 1:
-        for index, job in enumerate(jobs):
-            plan = plans.get(job.trace_key) if plans else None
-            ok, result, error, elapsed = _execute_job((job, cache_root, plan, farm))
-            job_result = JobResult(job=job, ok=ok, result=result, error=error,
-                                   elapsed=elapsed)
-            _note_failure(logger, job_result)
-            results.append(job_result)
-            if progress is not None:
-                progress(index + 1, total, job_result)
-        return results
+        backend = InProcessScheduler(_execute_job, retry=retry,
+                                     fault_plan=fault_plan, logger=logger,
+                                     stats=stats)
+        backend.run(jobs, cache_root=cache_root, plans=plans, farm=farm,
+                    deliver=_deliver)
+    else:
+        backend = ProcessPoolScheduler(min(workers, total), _execute_job,
+                                       timeout=timeout, retry=retry,
+                                       fault_plan=fault_plan, logger=logger,
+                                       stats=stats)
+        backend.run(jobs, cache_root=cache_root, farm=farm, deliver=_deliver)
+    return [results[index] for index in range(total)]
 
-    timed_out = False
-    pool = multiprocessing.Pool(processes=min(workers, total))
-    try:
-        pending = [pool.apply_async(_execute_job, ((job, cache_root, None, farm),))
-                   for job in jobs]
-        for index, (job, handle) in enumerate(zip(jobs, pending)):
-            try:
-                ok, result, error, elapsed = handle.get(timeout=timeout)
-                job_result = JobResult(job=job, ok=ok, result=result,
-                                       error=error, elapsed=elapsed)
-            except multiprocessing.TimeoutError:
-                timed_out = True
-                job_result = JobResult(
-                    job=job, ok=False,
-                    error=f"timed out after {timeout:.1f}s", elapsed=timeout or 0.0)
-            except Exception as exc:  # worker died (e.g. OOM kill)
-                job_result = JobResult(job=job, ok=False,
-                                       error=f"worker failed: {exc!r}")
-            _note_failure(logger, job_result)
-            results.append(job_result)
-            if progress is not None:
-                progress(index + 1, total, job_result)
-    finally:
-        if timed_out:
-            # A timed-out worker may still be grinding; don't wait for it.
-            pool.terminate()
-        else:
-            pool.close()
-        pool.join()
-    return results
+
+def _log(logger, level: str, event: str, **fields) -> None:
+    if logger is None:
+        return
+    logger.event(event, level=level, **fields)
+
+
+def _record_with_repair(store, job_result: JobResult,
+                        stats: ReliabilityStats, logger,
+                        fault_plan: FaultPlan | None) -> None:
+    """Append one success to the store, surviving an injected torn write.
+
+    The recovery path is exactly what a resumed run does after a real
+    power cut -- :meth:`~repro.paper.store.ResultsStore.repair` truncates
+    the torn tail, then the record is re-appended -- so the store file
+    converges to the bytes a fault-free run writes (pinned by the chaos
+    tests).
+    """
+    # Imported here: repro.paper imports this module back (its CLI runs
+    # sweeps), so a top-level import would be circular.
+    from repro.paper.store import TornWriteError
+
+    meta = {"elapsed_seconds": round(job_result.elapsed, 3)}
+    if fault_plan is not None and fault_plan.tears_write(job_result.job.job_id):
+        try:
+            store.record_torn(job_result.job, job_result.result, meta)
+        except TornWriteError as exc:
+            removed = store.repair()
+            stats.torn_writes_recovered += 1
+            _log(logger, "warning", "torn_write_repaired",
+                 job_id=job_result.job.job_id, bytes_truncated=removed,
+                 reason=str(exc))
+    store.record(job_result.job, job_result.result, meta=meta)
 
 
 def _run_jobs_resumable(jobs: list[Job], store, workers: int,
                         timeout: float | None, cache_dir: str | None,
                         progress: ProgressCallback | None,
-                        plans: dict | None, farm: bool,
-                        logger=None) -> list[JobResult]:
-    """The resume path of :func:`run_jobs`: store hits first, misses simulated.
+                        plans: dict | None, farm: bool, logger=None,
+                        fault_plan: FaultPlan | None = None,
+                        retry: RetryPolicy | None = None,
+                        stats: ReliabilityStats | None = None) -> list[JobResult]:
+    """The resume path of :func:`run_jobs`: store hits first, leased misses run.
 
-    Store hits are reported through ``progress`` up front (elapsed 0), then
-    the missing cells run through the normal machinery; each fresh success
-    is appended to the store the moment it is collected, *before* the
-    caller's progress callback sees it.
+    Store hits are reported through ``progress`` up front (elapsed 0).
+    Every remaining cell is then **leased**: cells we win run through the
+    normal machinery (each fresh success appended to the store -- and its
+    lease released -- the moment it is collected, *before* the caller's
+    progress callback sees it); cells a concurrent run holds are awaited,
+    polling the store, and reclaimed if that run's lease goes stale.  On
+    ``KeyboardInterrupt`` the owned leases are released and the store is
+    closed cleanly before re-raising, so the sweep exits resumable.
     """
+    stats = stats if stats is not None else ReliabilityStats()
     total = len(jobs)
     by_index: dict[int, JobResult] = {}
-    missing: list[Job] = []
-    missing_indices: list[int] = []
-    for index, job in enumerate(jobs):
-        cached = store.get(job)
-        if cached is not None:
-            by_index[index] = JobResult(job=job, ok=True, result=cached,
-                                        from_store=True)
-        else:
-            missing.append(job)
-            missing_indices.append(index)
-    resumed = len(by_index)
-    if progress is not None:
-        for count, index in enumerate(sorted(by_index), start=1):
-            progress(count, total, by_index[index])
+    mine: list[tuple[int, Job]] = []
+    theirs: list[tuple[int, Job]] = []
+    try:
+        for index, job in enumerate(jobs):
+            cached = store.get(job)
+            if cached is not None:
+                by_index[index] = JobResult(job=job, ok=True, result=cached,
+                                            from_store=True)
+                continue
+            grant = store.claim(job)
+            if grant is None:
+                theirs.append((index, job))
+                continue
+            stats.leases_claimed += 1
+            if grant == "reclaimed":
+                stats.leases_reclaimed += 1
+                _log(logger, "warning", "lease_reclaimed", job_id=job.job_id)
+            mine.append((index, job))
 
-    def _record_and_report(completed: int, _subtotal: int,
-                           job_result: JobResult) -> None:
-        if job_result.ok and job_result.result is not None:
-            # Wall time travels as record *metadata*: written for per-cell
-            # attribution, never read back into results (determinism).
-            store.record(job_result.job, job_result.result,
-                         meta={"elapsed_seconds": round(job_result.elapsed, 3)})
+        ticks = 0
         if progress is not None:
-            progress(resumed + completed, total, job_result)
+            for index in sorted(by_index):
+                ticks += 1
+                progress(ticks, total, by_index[index])
+        counter = {"done": len(by_index)}
 
-    fresh = run_jobs(missing, workers=workers, timeout=timeout,
-                     cache_dir=cache_dir, progress=_record_and_report,
-                     plans=plans, farm=farm, logger=logger)
-    for index, job_result in zip(missing_indices, fresh):
-        by_index[index] = job_result
+        def _record_and_report(_completed: int, _subtotal: int,
+                               job_result: JobResult) -> None:
+            if job_result.ok and job_result.result is not None:
+                # Wall time travels as record *metadata*: written for
+                # per-cell attribution, never read back (determinism).
+                _record_with_repair(store, job_result, stats, logger,
+                                    fault_plan)
+            store.release(job_result.job)
+            store.heartbeat_owned()
+            counter["done"] += 1
+            if progress is not None:
+                progress(counter["done"], total, job_result)
+
+        def _run_claimed(claimed: list[Job]) -> list[JobResult]:
+            return run_jobs(claimed, workers=workers, timeout=timeout,
+                            cache_dir=cache_dir, progress=_record_and_report,
+                            plans=plans, farm=farm, logger=logger,
+                            fault_plan=fault_plan, retry=retry, stats=stats)
+
+        for (index, _job), job_result in zip(mine, _run_claimed(
+                [job for _index, job in mine])):
+            by_index[index] = job_result
+
+        # Await cells a concurrent resumable run holds leases on: poll the
+        # store for their results, reclaim any whose lease went stale
+        # (owner crashed) and run those ourselves.  Liveness: a concurrent
+        # owner either records the cell, releases the lease (it failed
+        # there -- we claim and run it) or goes stale (we reclaim it).
+        waiting = theirs
+        while waiting:
+            still: list[tuple[int, Job]] = []
+            progressed = False
+            store.reload()
+            for index, job in waiting:
+                if store.has(job):
+                    job_result = JobResult(job=job, ok=True,
+                                           result=store.get(job),
+                                           from_store=True)
+                    stats.cells_awaited += 1
+                    by_index[index] = job_result
+                    counter["done"] += 1
+                    progressed = True
+                    if progress is not None:
+                        progress(counter["done"], total, job_result)
+                    continue
+                grant = store.claim(job)
+                if grant is not None:
+                    stats.leases_claimed += 1
+                    if grant == "reclaimed":
+                        stats.leases_reclaimed += 1
+                        _log(logger, "warning", "lease_reclaimed",
+                             job_id=job.job_id)
+                    by_index[index] = _run_claimed([job])[0]
+                    progressed = True
+                    continue
+                still.append((index, job))
+            waiting = still
+            if waiting and not progressed:
+                time.sleep(_AWAIT_POLL_SECONDS)
+    except KeyboardInterrupt:
+        # Graceful cancellation: completed cells were already recorded by
+        # the delivery path above; hand our leases back and close the
+        # store on a line boundary so the next run resumes exactly the
+        # pending cells.
+        released = store.release_owned()
+        _log(logger, "warning", "sweep_cancelled",
+             leases_released=released, completed=len(by_index), total=total)
+        store.close()
+        raise
     return [by_index[index] for index in range(total)]
 
 
 def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
               timeout: float | None = None,
               progress: ProgressCallback | None = None,
-              farm: bool = True, store=None, logger=None) -> SweepReport:
-    """Expand ``spec``, warm the cache/farm, run the pool, aggregate the report.
+              farm: bool = True, store=None, logger=None,
+              fault_plan: FaultPlan | None = None,
+              retry: RetryPolicy | None = None,
+              stats: ReliabilityStats | None = None) -> SweepReport:
+    """Expand ``spec``, warm the cache/farm, run the scheduler, aggregate.
 
     Full-detail sweeps materialise each distinct trace exactly once before
     any worker starts -- in ``cache_dir`` when given, or in an ephemeral
@@ -334,6 +460,12 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
     in :attr:`~repro.telemetry.runlog.RunLogger.phase_seconds`) and
     records each job failure as a warning event.  Purely observational:
     report artifacts are identical with or without it.
+
+    ``fault_plan`` / ``retry`` / ``stats`` flow to :func:`run_jobs`: the
+    first injects deterministic faults (chaos testing), the second bounds
+    infrastructure retries, the third accumulates the reliability summary
+    -- none of them can perturb the report artifacts, which stay
+    byte-identical to a fault-free, supervision-quiet run.
     """
     jobs = spec.expand()
     # Warming only needs to cover cells that will actually simulate; on a
@@ -401,14 +533,15 @@ def run_sweep(spec: SweepSpec, workers: int = 1, cache_dir: str | None = None,
             results = run_jobs(jobs, workers=workers, timeout=timeout,
                                cache_dir=effective_cache_dir, progress=progress,
                                plans=plans, farm=farm, store=store,
-                               logger=logger)
+                               logger=logger, fault_plan=fault_plan,
+                               retry=retry, stats=stats)
     finally:
         if ephemeral_dir is not None:
             shutil.rmtree(ephemeral_dir, ignore_errors=True)
     # Note: deliberately free of execution details (worker count, wall
-    # times, ephemeral caches) -- the artifact must be byte-identical
-    # however the sweep was scheduled, which the determinism regression
-    # tests enforce.
+    # times, ephemeral caches, faults survived) -- the artifact must be
+    # byte-identical however the sweep was scheduled, which the
+    # determinism and chaos regression tests enforce.
     meta = {
         "schemes": list(spec.schemes),
         "workloads": list(spec.resolved_workloads()),

@@ -19,18 +19,39 @@ sizing point hashes to a different config fingerprint.
 Durability model
 ----------------
 The store is a plain append-only JSONL file, one completed cell per line,
-flushed after every append.  Loading tolerates arbitrary corruption: a torn
-final line (the process was killed mid-append), garbage bytes, stale
-versions and unreadable files are all skipped -- the affected cells simply
-re-simulate on the next run, which the determinism tests prove yields a
-byte-identical artifact.  Duplicate keys keep the *last* record so a
-re-recorded cell wins.
+flushed **and fsynced** after every append (``fsync=False`` opts out for
+throwaway stores), so a completed cell survives both a killed process and
+a lost page cache.  Appends keep an atomic-append discipline: every record
+is one ``write()`` of a full newline-terminated line, and opening the
+store for appending first *repairs* a torn tail (a final line without its
+newline, i.e. a record killed mid-append) by truncating it -- the affected
+cell simply re-simulates, and the file converges to the same bytes a clean
+run would have written.  Loading additionally tolerates arbitrary interior
+corruption: garbage bytes, stale versions and unreadable files are all
+skipped.  Duplicate keys keep the *last* record so a re-recorded cell wins.
+
+Leases (multi-process coordination)
+-----------------------------------
+The store doubles as the coordination substrate for concurrent runs over
+one grid: cell-granular **leases** live in a sidecar JSONL file
+(``<store>.leases``) as idempotent appends -- ``claim`` / ``heartbeat`` /
+``release`` records folded in file order, last live claim wins, leases
+expire after their TTL so a crashed owner's cells are *reclaimed* by any
+surviving run.  Two ``repro sweep --resume`` processes on one store
+partition the pending cells instead of duplicating them; the results file
+itself stays pure (lease traffic never touches it), which is what keeps
+fault-free and fault-injected stores byte-comparable after
+:meth:`ResultsStore.compact`.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import socket
+import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -39,6 +60,16 @@ from repro.pipeline.result import SimulationResult
 #: Bumped whenever the record layout changes; stale lines are ignored (the
 #: cells re-simulate) instead of being misread.
 STORE_FORMAT_VERSION = 1
+
+#: Version tag on every lease-file line; foreign lines are ignored.
+LEASE_FORMAT_VERSION = 1
+
+#: Default seconds before an unrefreshed lease is considered stale.
+DEFAULT_LEASE_TTL = 300.0
+
+
+class TornWriteError(OSError):
+    """A store append was torn mid-line (only raised by fault injection)."""
 
 
 def job_key(job) -> str:
@@ -84,15 +115,32 @@ class ResultsStore:
     The store is safe to share across the many :func:`~repro.experiments
     .runner.run_sweep` calls of one figure grid (one open handle, one
     in-memory index) and across *processes over time* (every run reloads
-    the file).  It is **not** a concurrency primitive: results are always
-    appended from the sweep parent process, never from pool workers.
+    the file).  Concurrent processes coordinate through cell leases (see
+    the module docstring); results are still only appended by each sweep's
+    parent process, never by pool workers.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, fsync: bool = True,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 owner: str | None = None, clock=time.time) -> None:
         self.path = Path(path)
+        self.fsync = fsync
+        self.lease_ttl = lease_ttl
+        #: Unique identity of this run for lease ownership (never compared
+        #: across runs, so it may -- must -- be nondeterministic).
+        self.owner = owner or (f"{socket.gethostname()}-{os.getpid()}"
+                               f"-{uuid.uuid4().hex[:8]}")
+        self._clock = clock
         self.stats = StoreStats()
         self._index: dict[str, dict] | None = None
         self._handle = None
+        #: Keys this store instance currently holds a lease on.
+        self.owned_leases: set[str] = set()
+        self._last_heartbeat = self._clock()
+
+    @property
+    def lease_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".leases")
 
     # -- loading --------------------------------------------------------------------
 
@@ -129,6 +177,14 @@ class ResultsStore:
         self._index = index
         return index
 
+    def reload(self) -> None:
+        """Drop the in-memory index so the next lookup re-reads the file.
+
+        The concurrent-resume poll loop uses this to observe cells another
+        process finished after we first loaded.
+        """
+        self._index = None
+
     def __len__(self) -> int:
         return len(self._load())
 
@@ -159,18 +215,8 @@ class ResultsStore:
         self.stats.hits += 1
         return result
 
-    def record(self, job, result: SimulationResult, meta: dict | None = None) -> None:
-        """Append one completed cell and flush it to disk immediately.
-
-        The flush is what makes a killed grid resumable: every cell that
-        finished before the kill is recoverable, at worst the one being
-        appended is lost as a torn line (and silently re-simulated).
-
-        ``meta`` carries observability-only record metadata (wall-time,
-        worker identity): it is written to the store line but never read
-        back into results -- :meth:`get` deserialises only ``result`` --
-        so it cannot leak into the deterministic report artifacts.
-        """
+    def _serialize(self, job, result: SimulationResult,
+                   meta: dict | None = None) -> tuple[str, dict, str]:
         key = job_key(job)
         payload = result.to_dict()
         record = {"v": STORE_FORMAT_VERSION, "key": key,
@@ -178,28 +224,93 @@ class ResultsStore:
                   "result": payload}
         if meta:
             record["meta"] = dict(meta)
-        line = json.dumps(record, sort_keys=True)
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            # A pre-existing file that does not end in a newline (torn
-            # final append, foreign corruption) must not swallow the first
-            # fresh record by concatenation -- start it on its own line.
-            needs_newline = False
-            try:
-                with self.path.open("rb") as existing:
-                    existing.seek(0, 2)
-                    if existing.tell() > 0:
-                        existing.seek(-1, 2)
-                        needs_newline = existing.read(1) != b"\n"
-            except OSError:
-                pass
-            self._handle = self.path.open("a")
-            if needs_newline:
-                self._handle.write("\n")
+        return key, payload, json.dumps(record, sort_keys=True)
+
+    def _open_for_append(self) -> None:
+        if self._handle is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic-append discipline: a pre-existing file must end on a line
+        # boundary before we append.  A missing trailing newline is by
+        # construction a torn final append (this store only ever writes
+        # whole lines), so repair it -- the torn cell re-simulates and the
+        # file converges to the bytes a clean run would have written.
+        self.repair()
+        self._handle = self.path.open("a")
+
+    def record(self, job, result: SimulationResult, meta: dict | None = None) -> None:
+        """Append one completed cell, flush and fsync it to disk immediately.
+
+        The flush-and-fsync is what makes a killed grid resumable: every
+        cell that finished before the kill is recoverable, at worst the one
+        being appended is lost as a torn line (truncated and re-simulated
+        on the next run).
+
+        ``meta`` carries observability-only record metadata (wall-time,
+        worker identity): it is written to the store line but never read
+        back into results -- :meth:`get` deserialises only ``result`` --
+        so it cannot leak into the deterministic report artifacts
+        (:meth:`compact` drops it entirely).
+        """
+        key, payload, line = self._serialize(job, result, meta)
+        self._open_for_append()
         self._handle.write(line + "\n")
         self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
         self._load()[key] = payload
         self.stats.appended += 1
+
+    def record_torn(self, job, result: SimulationResult,
+                    meta: dict | None = None) -> None:
+        """Fault-injection hook: tear the append mid-line and raise.
+
+        Writes only the first half of the record line (no newline), syncs
+        it so the torn bytes really reach the file, and raises
+        :class:`TornWriteError` -- exactly what a power cut mid-append
+        leaves behind.  The caller recovers with :meth:`repair` +
+        :meth:`record`; the chaos tests pin that the repaired store is
+        byte-identical to one that never tore.
+        """
+        _key, _payload, line = self._serialize(job, result, meta)
+        self._open_for_append()
+        self._handle.write(line[:max(len(line) // 2, 1)])
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        raise TornWriteError(f"store append torn mid-line for {job.job_id}")
+
+    def repair(self) -> int:
+        """Truncate a torn (newline-less) tail; returns bytes removed.
+
+        Safe by the append discipline: complete records always end in a
+        newline, so trailing bytes without one are a torn append, never a
+        finished cell.  Interior corruption is *not* rewritten here --
+        loading skips it and :meth:`compact` cleans it.
+        """
+        had_handle = self._handle is not None
+        if had_handle:
+            self._handle.close()
+            self._handle = None
+        removed = 0
+        try:
+            with self.path.open("rb+") as handle:
+                handle.seek(0, 2)
+                size = handle.tell()
+                if size:
+                    handle.seek(-1, 2)
+                    if handle.read(1) != b"\n":
+                        data = None
+                        handle.seek(0)
+                        data = handle.read()
+                        keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+                        handle.truncate(keep)
+                        removed = size - keep
+        except OSError:
+            return 0
+        if had_handle:
+            self._handle = self.path.open("a")
+        return removed
 
     def close(self) -> None:
         """Close the append handle (the store remains usable; it reopens)."""
@@ -212,3 +323,230 @@ class ResultsStore:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- leases ---------------------------------------------------------------------
+
+    def _append_lease(self, op: str, key: str, ttl: float | None = None) -> None:
+        line = json.dumps({"lv": LEASE_FORMAT_VERSION, "op": op, "key": key,
+                           "owner": self.owner, "t": round(self._clock(), 3),
+                           "ttl": ttl if ttl is not None else self.lease_ttl},
+                          sort_keys=True)
+        self.lease_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.lease_path.open("a") as handle:
+            handle.write(line + "\n")
+
+    def _lease_state(self) -> dict[str, dict]:
+        """Fold the lease file: key -> last-winning {owner, expires, t, ttl}.
+
+        Fold rules (idempotent appends, file order): a ``claim`` always
+        installs its owner (last claim wins -- the tie-break for racing
+        claimants); ``heartbeat`` refreshes expiry only when its owner
+        still holds the lease; ``release`` clears it only for the holder.
+        """
+        state: dict[str, dict] = {}
+        try:
+            text = self.lease_path.read_text(errors="replace")
+        except OSError:
+            return state
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (not isinstance(entry, dict)
+                    or entry.get("lv") != LEASE_FORMAT_VERSION):
+                continue
+            op, key, owner = entry.get("op"), entry.get("key"), entry.get("owner")
+            if not isinstance(key, str) or not isinstance(owner, str):
+                continue
+            try:
+                t, ttl = float(entry.get("t", 0.0)), float(entry.get("ttl", 0.0))
+            except (TypeError, ValueError):
+                continue
+            current = state.get(key)
+            if op == "claim":
+                state[key] = {"owner": owner, "t": t, "ttl": ttl,
+                              "expires": t + ttl}
+            elif op == "heartbeat" and current and current["owner"] == owner:
+                current.update(t=t, ttl=ttl, expires=t + ttl)
+            elif op == "release" and current and current["owner"] == owner:
+                del state[key]
+        return state
+
+    def lease_holder(self, job) -> dict | None:
+        """The live lease on ``job`` (``{"owner", "expires", ...}``) or None."""
+        entry = self._lease_state().get(job_key(job))
+        if entry is None or entry["expires"] <= self._clock():
+            return None
+        return entry
+
+    def claim(self, job, ttl: float | None = None) -> str | None:
+        """Try to lease ``job`` for this run; None when another run holds it.
+
+        Returns ``"fresh"`` (nobody held it), ``"reclaimed"`` (a stale
+        lease was taken over) or ``None``.  Claiming is check -> append ->
+        verify: after appending our claim the file is re-read, and the
+        *last* claim line wins, so two racing claimants agree on a single
+        winner without any locking.
+        """
+        key = job_key(job)
+        now = self._clock()
+        current = self._lease_state().get(key)
+        stale = current is not None and current["expires"] <= now
+        if current is not None and current["owner"] != self.owner and not stale:
+            return None
+        self._append_lease("claim", key, ttl)
+        winner = self._lease_state().get(key)
+        if winner is None or winner["owner"] != self.owner:
+            return None  # a racing claimant appended after us and won
+        self.owned_leases.add(key)
+        return "reclaimed" if stale and current["owner"] != self.owner else "fresh"
+
+    def heartbeat_owned(self, min_interval: float | None = None) -> int:
+        """Refresh every owned lease; returns how many were refreshed.
+
+        ``min_interval`` (default ``ttl / 4``) rate-limits refreshes so the
+        per-cell delivery path can call this unconditionally.
+        """
+        interval = min_interval if min_interval is not None else self.lease_ttl / 4
+        now = self._clock()
+        if not self.owned_leases or now - self._last_heartbeat < interval:
+            return 0
+        self._last_heartbeat = now
+        for key in sorted(self.owned_leases):
+            self._append_lease("heartbeat", key)
+        return len(self.owned_leases)
+
+    def release(self, job) -> None:
+        """Release this run's lease on ``job`` (no-op when not held)."""
+        key = job_key(job)
+        if key in self.owned_leases:
+            self.owned_leases.discard(key)
+            self._append_lease("release", key)
+
+    def release_owned(self) -> int:
+        """Release every lease this run still holds (cancellation path)."""
+        released = 0
+        for key in sorted(self.owned_leases):
+            self._append_lease("release", key)
+            released += 1
+        self.owned_leases.clear()
+        return released
+
+    # -- maintenance (``repro store``) ------------------------------------------------
+
+    def verify(self) -> dict:
+        """Integrity report of the store and lease files (read-only).
+
+        Counts well-formed records, duplicate keys, corrupt lines and a
+        torn tail on the results file, plus live/stale/total leases.
+        """
+        report = {"path": str(self.path), "file_bytes": 0, "lines": 0,
+                  "records": 0, "unique_keys": 0, "duplicate_keys": 0,
+                  "corrupt_lines": 0, "torn_tail": False,
+                  "leases_live": 0, "leases_stale": 0, "lease_lines": 0}
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            raw = b""
+        report["file_bytes"] = len(raw)
+        report["torn_tail"] = bool(raw) and not raw.endswith(b"\n")
+        keys: dict[str, int] = {}
+        for line in raw.decode(errors="replace").splitlines():
+            if not line.strip():
+                continue
+            report["lines"] += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                report["corrupt_lines"] += 1
+                continue
+            if (not isinstance(record, dict)
+                    or record.get("v") != STORE_FORMAT_VERSION
+                    or not isinstance(record.get("key"), str)
+                    or not isinstance(record.get("result"), dict)):
+                report["corrupt_lines"] += 1
+                continue
+            report["records"] += 1
+            keys[record["key"]] = keys.get(record["key"], 0) + 1
+        report["unique_keys"] = len(keys)
+        report["duplicate_keys"] = sum(count - 1 for count in keys.values())
+        try:
+            report["lease_lines"] = sum(
+                1 for line in self.lease_path.read_text(errors="replace")
+                .splitlines() if line.strip())
+        except OSError:
+            pass
+        now = self._clock()
+        for entry in self._lease_state().values():
+            if entry["expires"] > now:
+                report["leases_live"] += 1
+            else:
+                report["leases_stale"] += 1
+        return report
+
+    def compact(self, keep_meta: bool = False) -> dict:
+        """Rewrite the store in canonical form; returns what was dropped.
+
+        Canonical form: the last record per key, sorted by key, one
+        ``json.dumps(..., sort_keys=True)`` line each, observability
+        ``meta`` stripped (unless ``keep_meta``).  Torn tails, interior
+        garbage and duplicates disappear -- two stores holding the same
+        results compact to **byte-identical files** regardless of append
+        order, faults survived or meta recorded, which is the form the
+        chaos gates compare.  The rewrite is atomic (temp file +
+        ``os.replace``); the lease sidecar is pruned to live leases only.
+        """
+        before = self.verify()
+        records: dict[str, dict] = {}
+        try:
+            text = self.path.read_text(errors="replace")
+        except OSError:
+            text = ""
+        for line in text.splitlines():
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (not isinstance(record, dict)
+                    or record.get("v") != STORE_FORMAT_VERSION
+                    or not isinstance(record.get("key"), str)
+                    or not isinstance(record.get("result"), dict)):
+                continue
+            if not keep_meta:
+                record.pop("meta", None)
+            records[record["key"]] = record
+        self.close()
+        if records or self.path.exists():
+            tmp = self.path.with_name(self.path.name + ".compact.tmp")
+            with tmp.open("w") as handle:
+                for key in sorted(records):
+                    handle.write(json.dumps(records[key], sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        # Prune the lease sidecar: live claims survive (re-emitted with
+        # their original timestamps, so expiry is unchanged), everything
+        # released or expired is dropped.
+        now = self._clock()
+        live = {key: entry for key, entry in self._lease_state().items()
+                if entry["expires"] > now}
+        if self.lease_path.exists():
+            tmp = self.lease_path.with_name(self.lease_path.name + ".compact.tmp")
+            with tmp.open("w") as handle:
+                for key in sorted(live):
+                    entry = live[key]
+                    handle.write(json.dumps(
+                        {"lv": LEASE_FORMAT_VERSION, "op": "claim", "key": key,
+                         "owner": entry["owner"], "t": entry["t"],
+                         "ttl": entry["ttl"]}, sort_keys=True) + "\n")
+            os.replace(tmp, self.lease_path)
+        self.reload()
+        return {"records_kept": len(records),
+                "duplicates_dropped": before["duplicate_keys"],
+                "corrupt_dropped": before["corrupt_lines"],
+                "torn_tail_dropped": before["torn_tail"],
+                "leases_kept": len(live),
+                "lease_lines_dropped": before["lease_lines"] - len(live)}

@@ -50,6 +50,11 @@ class RunLogger:
         #: Accumulated seconds per named phase (see :meth:`phase`).
         self.phase_seconds: dict[str, float] = {}
         self.warnings: list[dict] = []
+        #: Occurrences per event name -- the cheap aggregate view the
+        #: reliability machinery reads back (how many ``job_retry`` /
+        #: ``worker_crash`` / ``lease_reclaimed`` events this run saw)
+        #: without rescanning :attr:`events`.
+        self.counters: dict[str, int] = {}
 
     # -- events ---------------------------------------------------------------------
 
@@ -59,6 +64,7 @@ class RunLogger:
                   "event": event}
         record.update(fields)
         self.events.append(record)
+        self.counters[event] = self.counters.get(event, 0) + 1
         if level in ("warning", "error"):
             self.warnings.append(record)
             if self.stream is not None:

@@ -85,3 +85,63 @@ def test_sweep_rejects_unknown_scheme(tmp_path, capsys):
                  "--cache-dir", str(tmp_path / "cache")])
     assert code == 2
     assert "unknown scheme" in capsys.readouterr().err
+
+
+def test_sweep_inject_faults_matches_clean_artifacts(tmp_path, capsys):
+    base = ["sweep", "--schemes", "isrb", "--workloads", "move_chain",
+            "--max-ops", "500", "--quiet", "--cache-dir", ""]
+    assert main(base + ["--out-dir", str(tmp_path / "clean")]) == 0
+    capsys.readouterr()
+    assert main(base + ["--out-dir", str(tmp_path / "chaos"), "--resume",
+                        "--inject-faults", "3", "--fault-rate", "1.0",
+                        "--fault-kinds", "raise,torn_write"]) == 0
+    err = capsys.readouterr().err
+    assert "reliability:" in err
+    # The chaos artifacts are byte-identical to the clean ones.
+    for name in ("sweep.md", "sweep.json", "sweep.csv"):
+        assert ((tmp_path / "chaos" / name).read_bytes()
+                == (tmp_path / "clean" / name).read_bytes())
+
+
+def test_sweep_rejects_unknown_fault_kind(tmp_path, capsys):
+    code = main(["sweep", "--schemes", "isrb", "--workloads", "move_chain",
+                 "--max-ops", "500", "--quiet", "--cache-dir", "",
+                 "--out-dir", str(tmp_path / "out"),
+                 "--inject-faults", "1", "--fault-kinds", "explode"])
+    assert code == 2
+    assert "unknown fault kind" in capsys.readouterr().err
+
+
+def test_store_verify_stats_compact(tmp_path, capsys):
+    out = tmp_path / "out"
+    assert main(["sweep", "--schemes", "isrb", "--workloads", "move_chain",
+                 "--max-ops", "500", "--quiet", "--resume", "--cache-dir", "",
+                 "--out-dir", str(out)]) == 0
+    capsys.readouterr()
+    store_file = out / "results_store.jsonl"
+
+    assert main(["store", "verify", str(store_file)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["records"] == 2 and report["corrupt_lines"] == 0
+
+    assert main(["store", "stats", str(store_file)]) == 0
+    text = capsys.readouterr().out
+    assert "2 record(s)" in text and "torn tail: no" in text
+
+    assert main(["store", "compact", str(store_file)]) == 0
+    outcome = json.loads(capsys.readouterr().out)
+    assert outcome["records_kept"] == 2
+
+    # verify exits non-zero on damage (a torn tail), compact repairs it.
+    with store_file.open("a") as handle:
+        handle.write('{"torn')
+    assert main(["store", "verify", str(store_file)]) == 1
+    capsys.readouterr()
+    assert main(["store", "compact", str(store_file)]) == 0
+    capsys.readouterr()
+    assert main(["store", "verify", str(store_file)]) == 0
+
+
+def test_store_verify_missing_file(tmp_path, capsys):
+    assert main(["store", "verify", str(tmp_path / "absent.jsonl")]) == 2
+    assert "no results store" in capsys.readouterr().err

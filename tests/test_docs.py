@@ -27,10 +27,13 @@ DOC_FILES = [
     REPO / "docs" / "user-guide.md",
     REPO / "docs" / "maintainer-guide.md",
     REPO / "docs" / "observability.md",
+    REPO / "docs" / "robustness.md",
 ]
 
 DOCTEST_MODULES = [
     "repro.experiments",
+    "repro.experiments.faults",
+    "repro.experiments.scheduler",
     "repro.pipeline.sampling",
     "repro.paper",
     "repro.paper.figures",
@@ -117,6 +120,13 @@ def test_observability_guide_covers_the_telemetry_surface():
     for topic in ("repro trace", "Perfetto", "Kanata", "MetricsRegistry",
                   "--log", "RunLogger", "zero-overhead"):
         assert topic in guide, f"observability guide never mentions {topic}"
+
+
+def test_robustness_guide_covers_the_failure_model():
+    guide = (REPO / "docs" / "robustness.md").read_text()
+    for topic in ("RetryPolicy", "quarantine", "lease", "torn",
+                  "repro store", "--inject-faults", "byte-identical"):
+        assert topic in guide, f"robustness guide never mentions {topic}"
 
 
 def test_maintainer_guide_maps_the_modules():
