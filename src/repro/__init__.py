@@ -78,7 +78,7 @@ from repro.telemetry import (
 )
 from repro.workloads import DEFAULT_SUITE, generate_trace, list_workloads
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "__version__",

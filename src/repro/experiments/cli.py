@@ -10,6 +10,7 @@ Subcommands::
     repro report SWEEP.json    # re-render tables from a saved artifact
     repro store ACTION FILE    # results-store maintenance (verify/stats/compact)
     repro bench [...]          # simulator throughput benchmarks -> BENCH_core.json
+    repro serve [...]          # HTTP sweep service (docs/service.md)
 
 ``sweep`` is the paper-table entry point: it expands a
 :class:`~repro.experiments.grid.SweepSpec` from the flags, runs it on a
@@ -113,6 +114,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="artifact directory (default: trace_out)")
 
     sweep = sub.add_parser("sweep", help="run an evaluation matrix in parallel")
+    sweep.add_argument("--spec", default=None, metavar="SPEC.json",
+                       help="read the sweep spec from a JSON document (the "
+                            "same wire format POST /sweeps accepts; "
+                            "overrides the grid flags below)")
     sweep.add_argument("--schemes", type=_csv_list, default=("isrb",),
                        help="comma-separated tracker schemes "
                             f"(known: {','.join(known_schemes())})")
@@ -223,6 +228,32 @@ def _build_parser() -> argparse.ArgumentParser:
     store.add_argument("--keep-meta", action="store_true",
                        help="compact: keep per-record observability metadata "
                             "(wall times) instead of stripping it")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP sweep service: submit sweeps over REST, stream "
+             "progress via SSE, share one results store across clients "
+             "(docs/service.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 = pick a free one; default 8765)")
+    serve.add_argument("--store", default="service_store/results.jsonl",
+                       metavar="RESULTS.jsonl",
+                       help="shared results store backing every sweep "
+                            "(default: service_store/results.jsonl)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes per running sweep "
+                            "(default 1 = in-process)")
+    serve.add_argument("--concurrent", type=int, default=2, metavar="N",
+                       help="sweeps running at once (default 2)")
+    serve.add_argument("--quota", type=int, default=2, metavar="N",
+                       help="active sweeps one client may hold (default 2)")
+    serve.add_argument("--queue-limit", type=int, default=8, metavar="N",
+                       help="active sweeps service-wide (default 8)")
+    serve.add_argument("--cache-dir", default="",
+                       help="trace/plan cache directory ('' disables caching, "
+                            "the default: served reports stay byte-identical "
+                            "to direct --cache-dir '' runs)")
 
     bench = sub.add_parser(
         "bench",
@@ -477,9 +508,25 @@ def _finish_observability(logger) -> None:
     logger.close()
 
 
+def _load_spec_file(path: str) -> SweepSpec:
+    """Read a sweep spec document (bare spec or service submission envelope)."""
+    from repro.service import schemas
+
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read spec file {path}: {exc}") from exc
+    if isinstance(data, dict) and "spec" in data:
+        if data.get("api") != schemas.API_VERSION:
+            raise ValueError(f"spec file {path}: unsupported api version "
+                             f"{data.get('api')!r}")
+        return schemas.spec_from_dict(data["spec"])
+    return schemas.spec_from_dict(data)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
-        spec = SweepSpec(
+        spec = _load_spec_file(args.spec) if args.spec else SweepSpec(
             schemes=tuple(args.schemes),
             workloads=tuple(args.workloads),
             move_elim=(False, True) if args.move_elim_ablation else (True,),
@@ -792,13 +839,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the HTTP sweep service (docs/service.md)."""
+    import asyncio
+
+    from repro.service import ServiceServer, SweepService
+
+    service = SweepService(args.store, workers=args.jobs,
+                           cache_dir=args.cache_dir or None,
+                           max_concurrent=args.concurrent, quota=args.quota,
+                           queue_limit=args.queue_limit)
+    server = ServiceServer(service, host=args.host, port=args.port)
+
+    def ready(port: int) -> None:
+        # The readiness line scripted sessions (and humans) wait for; on
+        # stdout and flushed so `repro serve &` pipelines see it promptly.
+        print(f"serving on http://{args.host}:{port}", flush=True)
+        print(f"results store: {args.store}", file=sys.stderr)
+
+    try:
+        asyncio.run(server.serve(ready=ready))
+    except KeyboardInterrupt:
+        print("\nshutting down (running sweeps are cancelled; the store "
+              "resumes them on the next submission)", file=sys.stderr)
+        return 130
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    finally:
+        service.shutdown()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also installed as the ``repro`` console script)."""
     args = _build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
                 "sweep": _cmd_sweep, "paper": _cmd_paper,
                 "report": _cmd_report, "store": _cmd_store,
-                "bench": _cmd_bench}
+                "bench": _cmd_bench, "serve": _cmd_serve}
     return handlers[args.command](args)
 
 

@@ -347,6 +347,23 @@ def _run_jobs_resumable(jobs: list[Job], store, workers: int,
                 _log(logger, "warning", "lease_reclaimed", job_id=job.job_id)
             mine.append((index, job))
 
+        # Close the miss->claim race: a concurrent run may have recorded a
+        # cell (and released its lease) between our snapshot read and our
+        # claim winning.  One reload re-checks every won cell -- records
+        # can only predate the claim, since holding the lease stops anyone
+        # else from simulating the cell from here on.
+        if mine:
+            store.reload()
+            contested, mine = mine, []
+            for index, job in contested:
+                if store.has(job):
+                    store.release(job)
+                    by_index[index] = JobResult(job=job, ok=True,
+                                                result=store.get(job),
+                                                from_store=True)
+                else:
+                    mine.append((index, job))
+
         ticks = 0
         if progress is not None:
             for index in sorted(by_index):
@@ -401,6 +418,22 @@ def _run_jobs_resumable(jobs: list[Job], store, workers: int,
                     continue
                 grant = store.claim(job)
                 if grant is not None:
+                    # Same miss->claim race as above: the owner may have
+                    # recorded and released between our reload and this
+                    # claim winning.
+                    store.reload()
+                    if store.has(job):
+                        store.release(job)
+                        job_result = JobResult(job=job, ok=True,
+                                               result=store.get(job),
+                                               from_store=True)
+                        stats.cells_awaited += 1
+                        by_index[index] = job_result
+                        counter["done"] += 1
+                        progressed = True
+                        if progress is not None:
+                            progress(counter["done"], total, job_result)
+                        continue
                     stats.leases_claimed += 1
                     if grant == "reclaimed":
                         stats.leases_reclaimed += 1

@@ -95,6 +95,35 @@ def job_key(job) -> str:
             f"|w{job.config.warm_signature()}|c{config_fp}|{sampling_fp}")
 
 
+def parse_key(key: str) -> dict | None:
+    """Split a :func:`job_key` back into its queryable components.
+
+    Returns ``{"workload", "max_ops", "seed", "variant", "warm",
+    "config", "sampling"}`` or ``None`` for a key this version cannot
+    parse.  The reverse of the key layout documented above; a workload
+    name containing ``|`` (never produced by the registry) would make the
+    split ambiguous, so the fixed six-field tail is anchored at the end.
+
+    >>> parse_key("move_chain|ops800|seed1|isrb_me|wabc|cdef|full")["variant"]
+    'isrb_me'
+    """
+    parts = key.split("|")
+    if len(parts) < 7:
+        return None
+    workload = "|".join(parts[:-6])
+    ops, seed, variant, warm, config, sampling = parts[-6:]
+    if not (ops.startswith("ops") and seed.startswith("seed")
+            and warm.startswith("w") and config.startswith("c")):
+        return None
+    try:
+        return {"workload": workload, "max_ops": int(ops[3:]),
+                "seed": int(seed[4:]), "variant": variant,
+                "warm": warm[1:], "config": config[1:],
+                "sampling": sampling}
+    except ValueError:
+        return None
+
+
 @dataclass
 class StoreStats:
     """Accounting for one :class:`ResultsStore` (reported by ``repro paper``)."""
@@ -434,6 +463,39 @@ class ResultsStore:
             released += 1
         self.owned_leases.clear()
         return released
+
+    # -- read-side queries (the service's ``GET /results``) ---------------------------
+
+    def query(self, workload: str | None = None, variant: str | None = None,
+              fingerprint: str | None = None,
+              limit: int | None = None) -> list[dict]:
+        """Stored cells matching the filters, sorted by key.
+
+        ``workload`` and ``variant`` match exactly; ``fingerprint`` is a
+        prefix match on the config fingerprint (so a full 16-hex
+        fingerprint and a shortened one both work).  Each row carries the
+        parsed key components plus the raw result payload; keys this
+        store version cannot parse (foreign writers) are skipped.  Purely
+        read-side: never touches leases or :attr:`stats`.
+        """
+        self.reload()
+        rows: list[dict] = []
+        for key in sorted(self._load()):
+            parsed = parse_key(key)
+            if parsed is None:
+                continue
+            if workload is not None and parsed["workload"] != workload:
+                continue
+            if variant is not None and parsed["variant"] != variant:
+                continue
+            if fingerprint is not None \
+                    and not parsed["config"].startswith(fingerprint):
+                continue
+            rows.append({"key": key, **parsed,
+                         "result": self._load()[key]})
+            if limit is not None and len(rows) >= limit:
+                break
+        return rows
 
     # -- maintenance (``repro store``) ------------------------------------------------
 

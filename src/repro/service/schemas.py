@@ -1,0 +1,196 @@
+"""Versioned JSON wire schemas shared by the service and the CLI.
+
+Everything that crosses the HTTP boundary -- sweep submissions, job
+status snapshots, results-store query rows, error bodies -- goes through
+this module, so the service, the :mod:`repro.service.client` helper and
+``repro sweep --spec FILE`` all speak one dialect.  Every payload carries
+``"api": API_VERSION``; a submission with a different version is rejected
+up front (:class:`SchemaError` with code ``unsupported_api_version``)
+instead of being half-understood.
+
+The spec schema is deliberately the *declarative* subset of
+:class:`~repro.experiments.grid.SweepSpec`: every scalar/tuple field
+round-trips, while ``base_config`` stays server-side (clients describe
+experiments, not machines -- the Table-1 base config is part of the
+service contract).  Unknown keys are errors, not warnings: a misspelled
+``"max_opss"`` must not silently run a default-length sweep.
+
+>>> spec = spec_from_dict({"schemes": ["isrb"], "max_ops": 4000})
+>>> spec.max_ops
+4000
+>>> spec_from_dict(spec_to_dict(spec)) == spec
+True
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.faults import FAULT_KINDS, FaultPlan
+from repro.experiments.grid import SweepSpec
+
+#: Wire-format version; bumped on any incompatible payload change.
+API_VERSION = 1
+
+#: Submission body size cap (a sweep spec is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+
+class SchemaError(ValueError):
+    """A payload that does not conform to the wire schema.
+
+    ``code`` is a stable machine-readable discriminator (surfaced in the
+    HTTP error body); the string message is for humans.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+#: SweepSpec fields a submission may set: name -> (element type, is tuple).
+_SPEC_FIELDS: dict[str, tuple[type | tuple, bool]] = {
+    "schemes": (str, True),
+    "workloads": (str, True),
+    "move_elim": (bool, True),
+    "smb": (bool, True),
+    "entries": ((int, type(None)), True),
+    "counter_bits": ((int, type(None)), True),
+    "max_ops": (int, False),
+    "seed": (int, False),
+    "sample_period": ((int, type(None)), False),
+    "sample_window": (int, False),
+    "sample_warmup": (int, False),
+    "sample_cooldown": (int, False),
+    "sample_tolerance": ((int, float, type(None)), False),
+    "sample_min_windows": (int, False),
+    "sample_max_windows": (int, False),
+}
+
+
+def spec_to_dict(spec: SweepSpec) -> dict:
+    """The wire form of a spec (tuples become lists; ``base_config`` stays out)."""
+    out: dict = {}
+    for name, (_types, is_tuple) in _SPEC_FIELDS.items():
+        value = getattr(spec, name)
+        out[name] = list(value) if is_tuple else value
+    return out
+
+
+def _check_type(name: str, value, types) -> None:
+    # bool is an int subclass; an int field must still reject True/False.
+    allowed = types if isinstance(types, tuple) else (types,)
+    if bool not in allowed and isinstance(value, bool):
+        raise SchemaError("invalid_field", f"field {name!r}: expected "
+                          f"a number, got a boolean")
+    if not isinstance(value, allowed):
+        names = "/".join(t.__name__ for t in allowed)
+        raise SchemaError("invalid_field",
+                          f"field {name!r}: expected {names}, "
+                          f"got {type(value).__name__}")
+
+
+def spec_from_dict(data) -> SweepSpec:
+    """Validate a wire-form spec into a :class:`SweepSpec`.
+
+    Unknown keys, wrong types and values :class:`SweepSpec` itself rejects
+    (unknown schemes/workloads, bad sampling geometry) all surface as
+    :class:`SchemaError`.
+    """
+    if not isinstance(data, dict):
+        raise SchemaError("invalid_spec", "spec must be a JSON object")
+    unknown = sorted(set(data) - set(_SPEC_FIELDS))
+    if unknown:
+        raise SchemaError("unknown_field",
+                          f"unknown spec field(s) {unknown}; known: "
+                          f"{sorted(_SPEC_FIELDS)}")
+    kwargs: dict = {}
+    for name, value in data.items():
+        types, is_tuple = _SPEC_FIELDS[name]
+        if is_tuple:
+            if not isinstance(value, (list, tuple)):
+                raise SchemaError("invalid_field",
+                                  f"field {name!r}: expected a list")
+            for item in value:
+                _check_type(f"{name}[]", item, types)
+            kwargs[name] = tuple(value)
+        else:
+            _check_type(name, value, types)
+            kwargs[name] = value
+    try:
+        return SweepSpec(**kwargs)
+    except ValueError as exc:
+        raise SchemaError("invalid_spec", str(exc)) from exc
+
+
+def faults_from_dict(data) -> FaultPlan:
+    """Validate a submission's optional ``"faults"`` block into a plan."""
+    if not isinstance(data, dict):
+        raise SchemaError("invalid_faults", "faults must be a JSON object")
+    unknown = sorted(set(data) - {"seed", "rate", "kinds"})
+    if unknown:
+        raise SchemaError("unknown_field",
+                          f"unknown faults field(s) {unknown}")
+    if "seed" not in data:
+        raise SchemaError("invalid_faults", "faults.seed is required")
+    _check_type("faults.seed", data["seed"], int)
+    kwargs: dict = {"seed": data["seed"]}
+    if "rate" in data:
+        _check_type("faults.rate", data["rate"], (int, float))
+        kwargs["rate"] = float(data["rate"])
+    if "kinds" in data:
+        kinds = data["kinds"]
+        if not isinstance(kinds, (list, tuple)):
+            raise SchemaError("invalid_faults", "faults.kinds must be a list")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise SchemaError("invalid_faults",
+                                  f"unknown fault kind {kind!r}; known: "
+                                  f"{list(FAULT_KINDS)}")
+        kwargs["kinds"] = tuple(kinds)
+    try:
+        return FaultPlan(**kwargs)
+    except ValueError as exc:
+        raise SchemaError("invalid_faults", str(exc)) from exc
+
+
+def parse_submission(body: bytes) -> tuple[SweepSpec, FaultPlan | None]:
+    """Parse and validate one ``POST /sweeps`` body.
+
+    The envelope is ``{"api": 1, "spec": {...}, "faults": {...}?}``;
+    returns the validated ``(spec, fault_plan)`` pair.
+    """
+    try:
+        data = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SchemaError("malformed_json",
+                          f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SchemaError("invalid_submission",
+                          "submission must be a JSON object")
+    if data.get("api") != API_VERSION:
+        raise SchemaError(
+            "unsupported_api_version",
+            f"api version {data.get('api')!r} is not supported "
+            f"(this service speaks api {API_VERSION})")
+    unknown = sorted(set(data) - {"api", "spec", "faults"})
+    if unknown:
+        raise SchemaError("unknown_field",
+                          f"unknown submission field(s) {unknown}")
+    if "spec" not in data:
+        raise SchemaError("invalid_submission", "submission needs a 'spec'")
+    spec = spec_from_dict(data["spec"])
+    fault_plan = None
+    if data.get("faults") is not None:
+        fault_plan = faults_from_dict(data["faults"])
+    return spec, fault_plan
+
+
+def envelope(**fields) -> dict:
+    """A response body stamped with the wire-format version."""
+    return {"api": API_VERSION, **fields}
+
+
+def error_body(code: str, message: str) -> dict:
+    """The error envelope every non-2xx JSON response uses."""
+    return envelope(error={"code": code, "message": message})

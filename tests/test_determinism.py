@@ -19,16 +19,6 @@ from repro.experiments.runner import run_sweep
 GOLDEN_SWEEP = Path(__file__).parent / "golden" / "sweep_small.md"
 
 
-@pytest.fixture(scope="module")
-def small_spec() -> SweepSpec:
-    return SweepSpec(
-        schemes=("isrb", "refcount_checkpoint"),
-        workloads=("spill_reload", "move_chain"),
-        max_ops=2_000,
-        seed=1,
-    )
-
-
 def test_run_sweep_twice_is_byte_identical(small_spec):
     first = run_sweep(small_spec, workers=1, cache_dir=None)
     second = run_sweep(small_spec, workers=1, cache_dir=None)

@@ -28,6 +28,7 @@ DOC_FILES = [
     REPO / "docs" / "maintainer-guide.md",
     REPO / "docs" / "observability.md",
     REPO / "docs" / "robustness.md",
+    REPO / "docs" / "service.md",
 ]
 
 DOCTEST_MODULES = [
@@ -38,6 +39,7 @@ DOCTEST_MODULES = [
     "repro.paper",
     "repro.paper.figures",
     "repro.paper.store",
+    "repro.service",
     "repro.telemetry",
 ]
 
@@ -129,8 +131,17 @@ def test_robustness_guide_covers_the_failure_model():
         assert topic in guide, f"robustness guide never mentions {topic}"
 
 
+def test_service_guide_covers_the_api():
+    guide = (REPO / "docs" / "service.md").read_text()
+    for topic in ("repro serve", "POST /sweeps", "GET /results",
+                  "DELETE /sweeps/{id}", "X-Client-Id", "quota",
+                  "text/event-stream", "byte-identical",
+                  "exactly once", "429", "503"):
+        assert topic in guide, f"service guide never mentions {topic}"
+
+
 def test_maintainer_guide_maps_the_modules():
     guide = (REPO / "docs" / "maintainer-guide.md").read_text()
     for module in ("repro.paper", "repro.experiments", "repro.pipeline",
-                   "DESIGN.md"):
+                   "repro.service", "DESIGN.md"):
         assert module in guide, f"maintainer guide never mentions {module}"

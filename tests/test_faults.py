@@ -20,30 +20,13 @@ import time
 import pytest
 
 from repro.experiments.faults import FAULT_KINDS, FaultPlan, TransientFault
-from repro.experiments.grid import SweepSpec
 from repro.experiments.runner import _execute_job, run_jobs, run_sweep
 from repro.experiments.scheduler import ReliabilityStats, RetryPolicy
 from repro.paper.store import ResultsStore, TornWriteError
 from repro.telemetry import RunLogger
 
-CHAOS_SPEC = SweepSpec(schemes=("isrb",),
-                       workloads=("move_chain", "spill_reload"), max_ops=800)
-
 #: Fast, deterministic retries for tests (no multi-second backoffs).
 FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.01, backoff_cap=0.05)
-
-
-def tiny_jobs():
-    return SweepSpec(schemes=("isrb",), workloads=("move_chain",),
-                     max_ops=800).expand()
-
-
-class FakeClock:
-    def __init__(self, now: float = 1_000.0) -> None:
-        self.now = now
-
-    def __call__(self) -> float:
-        return self.now
 
 
 # -- fault plan determinism ----------------------------------------------------------
@@ -96,11 +79,11 @@ def test_in_process_crash_and_hang_degrade_to_transient():
 
 
 @pytest.fixture(scope="module")
-def clean_reference(tmp_path_factory):
+def clean_reference(tmp_path_factory, chaos_spec):
     """Fault-free report + canonical (compacted) store bytes."""
     out = tmp_path_factory.mktemp("chaos_clean")
     store = ResultsStore(out / "results.jsonl", fsync=False)
-    report = run_sweep(CHAOS_SPEC, cache_dir=None, store=store)
+    report = run_sweep(chaos_spec, cache_dir=None, store=store)
     store.close()
     store.compact()
     return report, (out / "results.jsonl").read_bytes()
@@ -109,7 +92,7 @@ def clean_reference(tmp_path_factory):
 @pytest.mark.parametrize("seed", [1, 2, 3])
 @pytest.mark.parametrize("kind", FAULT_KINDS)
 def test_fault_injected_sweep_is_byte_identical_to_clean(
-        kind, seed, tmp_path, clean_reference):
+        kind, seed, tmp_path, clean_reference, chaos_spec):
     clean_report, clean_store_bytes = clean_reference
     plan = FaultPlan(seed=seed, rate=1.0, kinds=(kind,), hang_seconds=10.0)
     # crash needs a real worker process to kill; hang needs a watchdog.
@@ -117,7 +100,7 @@ def test_fault_injected_sweep_is_byte_identical_to_clean(
     timeout = 0.5 if kind == "hang" else 30.0
     stats = ReliabilityStats()
     store = ResultsStore(tmp_path / "results.jsonl", fsync=False)
-    report = run_sweep(CHAOS_SPEC, workers=workers, cache_dir=None,
+    report = run_sweep(chaos_spec, workers=workers, cache_dir=None,
                        timeout=timeout, store=store, fault_plan=plan,
                        retry=FAST_RETRY, stats=stats)
     store.close()
@@ -142,8 +125,8 @@ def test_fault_injected_sweep_is_byte_identical_to_clean(
 # -- quarantine: persistent failure ends in a failed cell, never a lost one ----------
 
 
-def test_persistent_fault_quarantines_cells_and_reports_them():
-    jobs = tiny_jobs()
+def test_persistent_fault_quarantines_cells_and_reports_them(tiny_jobs):
+    jobs = tiny_jobs
     plan = FaultPlan(seed=5, rate=1.0, kinds=("raise",), every_attempt=True)
     stats = ReliabilityStats()
     logger = RunLogger()
@@ -169,8 +152,8 @@ def test_persistent_fault_quarantines_cells_and_reports_them():
 # -- satellite: timeouts terminate + reap, never orphan ------------------------------
 
 
-def test_timed_out_worker_is_terminated_and_no_orphan_survives():
-    jobs = tiny_jobs()
+def test_timed_out_worker_is_terminated_and_no_orphan_survives(tiny_jobs):
+    jobs = tiny_jobs
     plan = FaultPlan(seed=7, rate=1.0, kinds=("hang",), every_attempt=True,
                      hang_seconds=30.0)
     stats = ReliabilityStats()
@@ -186,8 +169,8 @@ def test_timed_out_worker_is_terminated_and_no_orphan_survives():
             os.kill(pid, 0)
 
 
-def test_timeout_without_retry_fails_fast_with_old_error_text():
-    jobs = tiny_jobs()
+def test_timeout_without_retry_fails_fast_with_old_error_text(tiny_jobs):
+    jobs = tiny_jobs
     plan = FaultPlan(seed=7, rate=1.0, kinds=("hang",), every_attempt=True)
     retry = RetryPolicy(max_attempts=3, retry_timeouts=False)
     results = run_jobs(jobs, workers=2, timeout=0.4, fault_plan=plan,
@@ -198,10 +181,10 @@ def test_timeout_without_retry_fails_fast_with_old_error_text():
 # -- satellite: real SIGKILL of a worker ---------------------------------------------
 
 
-def test_sigkilled_worker_is_respawned_and_sweep_completes(tmp_path):
+def test_sigkilled_worker_is_respawned_and_sweep_completes(tmp_path, chaos_spec):
     """The crash fault is a real ``os.kill(pid, SIGKILL)`` inside the
     worker -- the supervisor must notice the death, respawn, retry."""
-    jobs = CHAOS_SPEC.expand()
+    jobs = chaos_spec.expand()
     plan = FaultPlan(seed=2, rate=1.0, kinds=("crash",))
     stats = ReliabilityStats()
     results = run_jobs(jobs, workers=2, cache_dir=str(tmp_path),
@@ -217,8 +200,8 @@ def test_sigkilled_worker_is_respawned_and_sweep_completes(tmp_path):
 # -- satellite: KeyboardInterrupt leaves the store clean and resumable ---------------
 
 
-def test_keyboard_interrupt_mid_sweep_is_resumable(tmp_path):
-    jobs = tiny_jobs()
+def test_keyboard_interrupt_mid_sweep_is_resumable(tmp_path, tiny_jobs):
+    jobs = tiny_jobs
     path = tmp_path / "results.jsonl"
     store = ResultsStore(path, fsync=False)
 
@@ -242,9 +225,9 @@ def test_keyboard_interrupt_mid_sweep_is_resumable(tmp_path):
     assert all(r.ok for r in results)
 
 
-def test_pool_keyboard_interrupt_drains_completed_cells(tmp_path):
+def test_pool_keyboard_interrupt_drains_completed_cells(tmp_path, chaos_spec):
     """A cancelled pool sweep keeps every already-finished cell."""
-    jobs = CHAOS_SPEC.expand()
+    jobs = chaos_spec.expand()
     path = tmp_path / "results.jsonl"
     store = ResultsStore(path, fsync=False)
     seen = []
@@ -270,12 +253,12 @@ def test_pool_keyboard_interrupt_drains_completed_cells(tmp_path):
 # -- leases: claim / release / stale reclaim / partition -----------------------------
 
 
-def test_lease_claim_is_exclusive_until_released(tmp_path):
-    clock = FakeClock()
+def test_lease_claim_is_exclusive_until_released(tmp_path, tiny_jobs, fake_clock):
+    clock = fake_clock
     path = tmp_path / "results.jsonl"
     a = ResultsStore(path, owner="a", clock=clock, lease_ttl=10.0)
     b = ResultsStore(path, owner="b", clock=clock, lease_ttl=10.0)
-    job = tiny_jobs()[0]
+    job = tiny_jobs[0]
     assert a.claim(job) == "fresh"
     assert b.claim(job) is None
     assert b.lease_holder(job)["owner"] == "a"
@@ -284,12 +267,13 @@ def test_lease_claim_is_exclusive_until_released(tmp_path):
     assert b.claim(job) == "fresh"
 
 
-def test_stale_lease_is_reclaimed_and_heartbeat_prevents_it(tmp_path):
-    clock = FakeClock()
+def test_stale_lease_is_reclaimed_and_heartbeat_prevents_it(
+        tmp_path, tiny_jobs, fake_clock):
+    clock = fake_clock
     path = tmp_path / "results.jsonl"
     a = ResultsStore(path, owner="a", clock=clock, lease_ttl=10.0)
     b = ResultsStore(path, owner="b", clock=clock, lease_ttl=10.0)
-    job = tiny_jobs()[0]
+    job = tiny_jobs[0]
     assert a.claim(job) == "fresh"
     clock.now += 8.0
     assert a.heartbeat_owned(min_interval=0.0) == 1  # refreshed before expiry
@@ -302,21 +286,21 @@ def test_stale_lease_is_reclaimed_and_heartbeat_prevents_it(tmp_path):
     assert b.lease_holder(job)["owner"] == "b"
 
 
-def test_release_owned_clears_every_lease(tmp_path):
-    clock = FakeClock()
+def test_release_owned_clears_every_lease(tmp_path, tiny_jobs, fake_clock):
+    clock = fake_clock
     store = ResultsStore(tmp_path / "r.jsonl", owner="a", clock=clock,
                          lease_ttl=10.0)
-    jobs = tiny_jobs()
+    jobs = tiny_jobs
     for job in jobs:
         assert store.claim(job) == "fresh"
     assert store.release_owned() == len(jobs)
     assert store._lease_state() == {}
 
 
-def test_concurrent_resumable_runs_partition_work(tmp_path):
+def test_concurrent_resumable_runs_partition_work(tmp_path, tiny_jobs):
     """Two runs over one store: cells leased by the other run are awaited
     (not duplicated), and both runs end with the full result set."""
-    jobs = tiny_jobs()
+    jobs = tiny_jobs
     path = tmp_path / "results.jsonl"
     other = ResultsStore(path, owner="other", fsync=False)
     assert other.claim(jobs[1]) == "fresh"
@@ -344,9 +328,9 @@ def test_concurrent_resumable_runs_partition_work(tmp_path):
     mine.close()
 
 
-def test_stale_leased_cell_is_reclaimed_and_run(tmp_path):
+def test_stale_leased_cell_is_reclaimed_and_run(tmp_path, tiny_jobs):
     """A cell whose owner crashed (lease expired, no result) is reclaimed."""
-    jobs = tiny_jobs()
+    jobs = tiny_jobs
     path = tmp_path / "results.jsonl"
     crashed = ResultsStore(path, owner="crashed", fsync=False, lease_ttl=0.05)
     assert crashed.claim(jobs[0]) == "fresh"
@@ -363,8 +347,8 @@ def test_stale_leased_cell_is_reclaimed_and_run(tmp_path):
 # -- store durability: fsync, torn-line repair, verify/compact -----------------------
 
 
-def test_repair_truncates_torn_tail_only(tmp_path):
-    jobs = tiny_jobs()
+def test_repair_truncates_torn_tail_only(tmp_path, tiny_jobs):
+    jobs = tiny_jobs
     path = tmp_path / "results.jsonl"
     store = ResultsStore(path, fsync=False)
     run_jobs(jobs, store=store)
@@ -380,8 +364,8 @@ def test_repair_truncates_torn_tail_only(tmp_path):
     assert again.repair() == 0  # idempotent
 
 
-def test_record_torn_then_repair_converges_to_identical_bytes(tmp_path):
-    jobs = tiny_jobs()
+def test_record_torn_then_repair_converges_to_identical_bytes(tmp_path, tiny_jobs):
+    jobs = tiny_jobs
     ok, result, _error, _elapsed = _execute_job((jobs[0], None, None, True))
     assert ok
 
@@ -400,8 +384,8 @@ def test_record_torn_then_repair_converges_to_identical_bytes(tmp_path):
             == (tmp_path / "clean.jsonl").read_bytes())
 
 
-def test_compact_canonicalizes_order_duplicates_and_meta(tmp_path):
-    jobs = CHAOS_SPEC.expand()
+def test_compact_canonicalizes_order_duplicates_and_meta(tmp_path, chaos_spec):
+    jobs = chaos_spec.expand()
     executed = [(job, _execute_job((job, None, None, True))[1]) for job in jobs]
 
     forward = ResultsStore(tmp_path / "fwd.jsonl", fsync=False)
@@ -430,9 +414,9 @@ def test_compact_canonicalizes_order_duplicates_and_meta(tmp_path):
     assert all(resumed.has(job) for job in jobs)
 
 
-def test_verify_reports_damage_and_lease_hygiene(tmp_path):
-    clock = FakeClock()
-    jobs = tiny_jobs()
+def test_verify_reports_damage_and_lease_hygiene(tmp_path, tiny_jobs, fake_clock):
+    clock = fake_clock
+    jobs = tiny_jobs
     path = tmp_path / "results.jsonl"
     store = ResultsStore(path, fsync=False, clock=clock, lease_ttl=10.0)
     run_jobs(jobs, store=store)
@@ -483,10 +467,10 @@ def test_retry_policy_backoff_is_bounded_and_deterministic():
         RetryPolicy(max_attempts=0)
 
 
-def test_transient_faults_retry_in_process_and_converge(tmp_path):
+def test_transient_faults_retry_in_process_and_converge(tmp_path, tiny_jobs):
     """The in-process backend retries injected transients with backoff and
     produces results identical to an uninjected run."""
-    jobs = tiny_jobs()
+    jobs = tiny_jobs
     plan = FaultPlan(seed=9, rate=1.0, kinds=("raise",))
     stats = ReliabilityStats()
     slept = []

@@ -28,18 +28,12 @@ from repro.pipeline.config import CoreConfig
 SVG_NS = "{http://www.w3.org/2000/svg}"
 
 
-@pytest.fixture()
-def small_jobs():
-    return SweepSpec(schemes=("isrb",), workloads=("move_chain",),
-                     max_ops=800).expand()
-
-
 # -- store keying -------------------------------------------------------------------
 
 
-def test_job_key_distinguishes_prf_sizing(small_jobs):
+def test_job_key_distinguishes_prf_sizing(tiny_jobs):
     """Same variant name on a resized machine must never share a key."""
-    job = small_jobs[1]
+    job = tiny_jobs[1]
     resized = SweepSpec(
         schemes=("isrb",), workloads=("move_chain",), max_ops=800,
         base_config=CoreConfig().replace(num_int_pregs=128,
@@ -48,8 +42,8 @@ def test_job_key_distinguishes_prf_sizing(small_jobs):
     assert job_key(job) != job_key(resized)
 
 
-def test_job_key_distinguishes_sampling_and_trace(small_jobs):
-    job = small_jobs[0]
+def test_job_key_distinguishes_sampling_and_trace(tiny_jobs):
+    job = tiny_jobs[0]
     sampled = SweepSpec(schemes=("isrb",), workloads=("move_chain",),
                         max_ops=6_000, sample_period=2_000,
                         sample_window=600, sample_warmup=300).expand()[0]
@@ -84,25 +78,25 @@ def test_job_key_of_fixed_geometry_predates_error_budget_knobs():
 # -- store durability ---------------------------------------------------------------
 
 
-def test_store_roundtrip_and_resume(tmp_path, small_jobs):
+def test_store_roundtrip_and_resume(tmp_path, tiny_jobs):
     store = ResultsStore(tmp_path / "results.jsonl")
-    first = run_jobs(small_jobs, store=store)
+    first = run_jobs(tiny_jobs, store=store)
     assert all(r.ok and not r.from_store for r in first)
-    assert store.stats.appended == len(small_jobs)
+    assert store.stats.appended == len(tiny_jobs)
 
     # A brand-new store object over the same file resumes everything.
     store.close()
     reopened = ResultsStore(tmp_path / "results.jsonl")
-    second = run_jobs(small_jobs, store=reopened)
+    second = run_jobs(tiny_jobs, store=reopened)
     assert all(r.ok and r.from_store for r in second)
     for a, b in zip(first, second):
         assert a.result.to_dict() == b.result.to_dict()
 
 
-def test_store_skips_corrupt_lines_and_reruns_those_cells(tmp_path, small_jobs):
+def test_store_skips_corrupt_lines_and_reruns_those_cells(tmp_path, tiny_jobs):
     path = tmp_path / "results.jsonl"
     store = ResultsStore(path)
-    run_jobs(small_jobs, store=store)
+    run_jobs(tiny_jobs, store=store)
     store.close()
 
     # Corrupt one record (garbage) and tear the final line mid-append.
@@ -112,33 +106,33 @@ def test_store_skips_corrupt_lines_and_reruns_those_cells(tmp_path, small_jobs):
     path.write_text(text)
 
     resumed = ResultsStore(path)
-    results = run_jobs(small_jobs, store=resumed)
+    results = run_jobs(tiny_jobs, store=resumed)
     assert all(r.ok for r in results)
     # Exactly the corrupted cell re-simulated; the intact one resumed.
-    assert sum(1 for r in results if r.from_store) == len(small_jobs) - 1
+    assert sum(1 for r in results if r.from_store) == len(tiny_jobs) - 1
     assert resumed.stats.corrupt_lines >= 2
 
 
-def test_store_total_corruption_falls_back_to_clean_rerun(tmp_path, small_jobs):
+def test_store_total_corruption_falls_back_to_clean_rerun(tmp_path, tiny_jobs):
     path = tmp_path / "results.jsonl"
     path.write_bytes(b"\x00\xff garbage \x00" * 50)
     store = ResultsStore(path)
-    results = run_jobs(small_jobs, store=store)
+    results = run_jobs(tiny_jobs, store=store)
     assert all(r.ok and not r.from_store for r in results)
     # The re-run repopulated the store; a fresh handle resumes fully.
     store.close()
-    again = run_jobs(small_jobs, store=ResultsStore(path))
+    again = run_jobs(tiny_jobs, store=ResultsStore(path))
     assert all(r.from_store for r in again)
 
 
-def test_store_ignores_records_with_wrong_version(tmp_path, small_jobs):
+def test_store_ignores_records_with_wrong_version(tmp_path, tiny_jobs):
     path = tmp_path / "results.jsonl"
     store = ResultsStore(path)
-    run_jobs(small_jobs, store=store)
+    run_jobs(tiny_jobs, store=store)
     store.close()
     bumped = path.read_text().replace('"v": 1', '"v": 99')
     path.write_text(bumped)
-    results = run_jobs(small_jobs, store=ResultsStore(path))
+    results = run_jobs(tiny_jobs, store=ResultsStore(path))
     assert all(not r.from_store for r in results)
 
 
